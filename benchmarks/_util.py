@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_fig*.py``/``test_table*.py`` file regenerates one table or
+figure of the paper: it computes the data, renders it as text next to the
+paper's published numbers, prints it (visible with ``pytest -s`` /
+captured otherwise) and saves it under ``bench_results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+
+Set ``REPRO_BENCH_FAST=1`` to shrink the workloads (useful on slow
+machines); the saved artifacts then note the reduced setting.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "bench_results")
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it to bench_results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    body = banner + text + "\n"
+    print(body)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(body)
+
+
+def fig10_settings() -> tuple[tuple[int, int, int], int, int, int]:
+    """(shape, ckpt_step, extra_steps, record_every) for the drift bench."""
+    if FAST:
+        # Keep the paper's full step window (the chaotic divergence needs
+        # it) but shrink the grid.
+        return (256, 40, 2), 720, 1500, 50
+    from repro.apps.fields import NICAM_SHAPE
+
+    return NICAM_SHAPE, 720, 1500, 50

@@ -1,0 +1,38 @@
+"""Session-scoped workloads shared by the benchmark files.
+
+The paper's compression targets are NICAM's five physical arrays after the
+model has run for a while (720 steps ~ one wall-clock hour in the paper's
+setup).  We evolve the climate proxy for a short spin-up so the fields
+carry dynamical structure rather than just the initial conditions, then
+reuse the same state across every figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.climate import ClimateProxy
+from repro.apps.fields import NICAM_SHAPE
+
+from _util import FAST
+
+SPINUP_STEPS = 20 if FAST else 60
+BENCH_SHAPE = (256, 40, 2) if FAST else NICAM_SHAPE
+
+FIELD_NAMES = ("pressure", "temperature", "wind_u", "wind_v", "wind_w")
+
+
+@pytest.fixture(scope="session")
+def climate_state() -> dict[str, np.ndarray]:
+    """The five NICAM-like variables after spin-up (paper's ckpt targets)."""
+    app = ClimateProxy(shape=BENCH_SHAPE, seed=2015)
+    for _ in range(SPINUP_STEPS):
+        app.step()
+    return {name: getattr(app, name).copy() for name in FIELD_NAMES}
+
+
+@pytest.fixture(scope="session")
+def temperature(climate_state) -> np.ndarray:
+    """The array the paper's Figs. 6-8 report on."""
+    return climate_state["temperature"]

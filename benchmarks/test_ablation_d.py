@@ -1,0 +1,63 @@
+"""Ablation (design choice): spike-partition count d.
+
+The paper fixes d = 64 without a sweep ("The parameter d is set to be 64").
+This bench justifies that choice: small d degenerates toward the simple
+quantizer (everything spiked -> large max error), large d quantizes too
+little (worse rate for no error benefit).  d = 64 sits on the plateau.
+"""
+
+from __future__ import annotations
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.analysis.tables import render_series
+from repro.core.errors import max_relative_error, mean_relative_error
+
+from _util import save_and_print
+
+D_VALUES = (1, 4, 16, 64, 256, 1024)
+
+
+def sweep_d(temperature):
+    rows = []
+    for d in D_VALUES:
+        comp = WaveletCompressor(
+            CompressionConfig(n_bins=128, quantizer="proposed", spike_partitions=d)
+        )
+        blob, stats = comp.compress_with_stats(temperature)
+        approx = comp.decompress(blob)
+        rows.append(
+            (
+                d,
+                stats.compression_rate_percent,
+                mean_relative_error(temperature, approx) * 100,
+                max_relative_error(temperature, approx) * 100,
+                stats.quantized_fraction * 100,
+            )
+        )
+    return rows
+
+
+def test_ablation_d(benchmark, temperature):
+    rows = benchmark.pedantic(sweep_d, args=(temperature,), rounds=1, iterations=1)
+    text = render_series(
+        [r[0] for r in rows],
+        {
+            "rate [%]": [r[1] for r in rows],
+            "mean err [%]": [r[2] for r in rows],
+            "max err [%]": [r[3] for r in rows],
+            "quantized [%]": [r[4] for r in rows],
+        },
+        x_label="d",
+        floatfmt=".4f",
+        title="Ablation: spike-partition count d (paper fixes d=64)",
+    )
+    save_and_print("ablation_d", text)
+
+    by_d = {r[0]: r for r in rows}
+    # d=1 is the simple quantizer: worst max error of the sweep.
+    assert by_d[1][3] >= max(r[3] for r in rows if r[0] >= 16)
+    # Larger d quantizes a (weakly) smaller share of coefficients.
+    assert by_d[1024][4] <= by_d[1][4] + 1e-9
+    # d=64's max error is already within 3x of the best in the sweep.
+    best_max = min(r[3] for r in rows)
+    assert by_d[64][3] <= 3 * best_max + 1e-9

@@ -1,0 +1,61 @@
+"""Ablation (design choice): wavelet recursion depth.
+
+The paper's Figs. 2-3 recurse the transform on the low band but never
+sweep the depth.  DESIGN.md makes the depth a first-class knob
+(``CompressionConfig.levels``); this bench quantifies the rate/error
+trade-off it buys: deeper decompositions expose more coefficients to
+quantization (better rate, slightly more error sites) until returns
+diminish.
+"""
+
+from __future__ import annotations
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.analysis.tables import render_series
+from repro.core.errors import mean_relative_error
+
+from _util import save_and_print
+
+LEVELS = (1, 2, 3, 5, "max")
+
+
+def sweep_levels(temperature):
+    rows = []
+    for levels in LEVELS:
+        comp = WaveletCompressor(
+            CompressionConfig(n_bins=128, quantizer="proposed", levels=levels)
+        )
+        blob, stats = comp.compress_with_stats(temperature)
+        approx = comp.decompress(blob)
+        rows.append(
+            (
+                str(levels),
+                stats.applied_levels,
+                stats.compression_rate_percent,
+                mean_relative_error(temperature, approx) * 100,
+                stats.quantized_fraction * 100,
+            )
+        )
+    return rows
+
+
+def test_ablation_levels(benchmark, temperature):
+    rows = benchmark.pedantic(sweep_levels, args=(temperature,), rounds=1, iterations=1)
+    text = render_series(
+        [r[0] for r in rows],
+        {
+            "applied": [r[1] for r in rows],
+            "rate [%]": [r[2] for r in rows],
+            "mean err [%]": [r[3] for r in rows],
+            "quantized [%]": [r[4] for r in rows],
+        },
+        x_label="levels",
+        floatfmt=".4f",
+        title="Ablation: wavelet depth vs rate/error",
+    )
+    save_and_print("ablation_levels", text)
+
+    # Deeper transforms quantize a larger share of coefficients...
+    assert rows[-1][4] > rows[0][4]
+    # ...which must not blow up the error (stays within the same regime).
+    assert rows[-1][3] < 10 * max(rows[0][3], 1e-6) + 0.5

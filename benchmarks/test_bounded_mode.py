@@ -1,0 +1,57 @@
+"""Future-work feature -- error-bounded compression sweep.
+
+The paper's Section IV-C promises a mode that "can control the errors by
+specifying a value, such as tolerable degree of errors"; this repository
+implements it (``quantizer="bounded"``).  The bench sweeps the bound over
+five orders of magnitude, verifies the guarantee empirically at every
+point, and reports the rate the guarantee costs -- the trade-off curve a
+user of the mode needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.analysis.tables import render_series
+
+from _util import save_and_print
+
+BOUNDS = (10.0, 1.0, 0.1, 0.01, 0.001)
+
+
+def sweep_bounds(temperature):
+    rows = []
+    for bound in BOUNDS:
+        comp = WaveletCompressor(
+            CompressionConfig(quantizer="bounded", error_bound=bound)
+        )
+        blob, stats = comp.compress_with_stats(temperature)
+        approx = comp.decompress(blob)
+        achieved = float(np.abs(temperature - approx).max())
+        rows.append((bound, stats.compression_rate_percent, achieved,
+                     stats.quantized_fraction * 100))
+    return rows
+
+
+def test_bounded_mode(benchmark, temperature):
+    rows = benchmark.pedantic(sweep_bounds, args=(temperature,), rounds=1, iterations=1)
+    text = render_series(
+        [r[0] for r in rows],
+        {
+            "rate [%]": [r[1] for r in rows],
+            "achieved max |err|": [r[2] for r in rows],
+            "quantized [%]": [r[3] for r in rows],
+        },
+        x_label="bound",
+        floatfmt=".4g",
+        title="Error-bounded mode: guaranteed max absolute error vs rate",
+    )
+    save_and_print("bounded_mode", text)
+
+    # The guarantee must hold at every point...
+    for bound, _rate, achieved, _q in rows:
+        assert achieved <= bound
+    # ...and tighter bounds must cost rate monotonically (weakly).
+    rates = [r[1] for r in rows]
+    assert all(b >= a - 0.5 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,65 @@
+"""Section I motivation -- machine efficiency as MTBF shrinks toward
+exascale, with and without lossy checkpoint compression.
+
+The paper's opening argument quantified: system MTBF falls as 1/nodes
+(ref. [4] projects "a few hours" at exascale); at each MTBF the machine
+runs at its Daly-optimal checkpoint interval; compression multiplies the
+checkpoint cost by ``compute + rate x I/O`` and buys back efficiency,
+most where the machine hurts most.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_series
+from repro.failure.projection import efficiency_at, mtbf_at_scale
+
+from _util import save_and_print
+
+NODE_MTBF_YEARS = 5.0
+NODE_COUNTS = (1_000, 10_000, 50_000, 100_000, 200_000)
+IO_SECONDS = 120.0          # uncompressed checkpoint write at full scale
+COMPRESS_SECONDS = 3.0      # per-process compression cost (constant)
+RATE = 0.19                 # the paper's compression rate
+RESTART_SECONDS = 240.0
+
+
+def run_projection():
+    node_mtbf = NODE_MTBF_YEARS * 365.0 * 86400.0
+    rows = []
+    for nodes in NODE_COUNTS:
+        mtbf = mtbf_at_scale(node_mtbf, nodes)
+        plain = efficiency_at(mtbf, IO_SECONDS, RESTART_SECONDS)
+        lossy = efficiency_at(
+            mtbf, COMPRESS_SECONDS + IO_SECONDS * RATE, RESTART_SECONDS
+        )
+        rows.append((nodes, mtbf / 3600.0, plain.efficiency, lossy.efficiency))
+    return rows
+
+
+def test_exascale_projection(benchmark):
+    rows = benchmark.pedantic(run_projection, rounds=1, iterations=1)
+    text = render_series(
+        [r[0] for r in rows],
+        {
+            "MTBF [h]": [r[1] for r in rows],
+            "efficiency w/o compression": [r[2] for r in rows],
+            "efficiency with lossy ckpt": [r[3] for r in rows],
+        },
+        x_label="nodes",
+        floatfmt=".3f",
+        title=(
+            "Section I projection: 5-year node MTBF, 120 s raw checkpoint, "
+            "rate 19 %"
+        ),
+    )
+    save_and_print("exascale_projection", text)
+
+    plain = [r[2] for r in rows]
+    lossy = [r[3] for r in rows]
+    # Efficiency degrades with scale...
+    assert all(a > b for a, b in zip(plain, plain[1:]))
+    # ...compression helps at every scale...
+    assert all(l > p for p, l in zip(plain, lossy))
+    # ...and helps *more* at larger scale (absolute gain grows).
+    gains = [l - p for p, l in zip(plain, lossy)]
+    assert gains[-1] > gains[0]

@@ -1,0 +1,53 @@
+"""Figure 6 -- compression rates of gzip vs the two lossy methods.
+
+Paper values (temperature array, n = 128): gzip alone 86.78 %, lossy with
+simple quantization ~12 %, lossy with proposed quantization ~17 %.  The
+claim to reproduce: lossless deflate of double arrays is nearly useless,
+both lossy pipelines cut the checkpoint by roughly an order of magnitude,
+and the proposed method pays a modest rate premium over simple for its
+error advantage.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.analysis.tables import render_table
+
+from _util import save_and_print
+
+PAPER = {"gzip": 86.78, "simple": 12.10, "proposed": 16.75}
+
+
+def measure_rates(temperature) -> dict[str, float]:
+    rates = {
+        "gzip": 100.0 * len(zlib.compress(temperature.tobytes(), 6)) / temperature.nbytes
+    }
+    for quantizer in ("simple", "proposed"):
+        comp = WaveletCompressor(CompressionConfig(n_bins=128, quantizer=quantizer))
+        _, stats = comp.compress_with_stats(temperature)
+        rates[quantizer] = stats.compression_rate_percent
+    return rates
+
+
+def test_fig6_lossless_vs_lossy(benchmark, temperature):
+    rates = benchmark.pedantic(measure_rates, args=(temperature,), rounds=3, iterations=1)
+    rows = [
+        [method, PAPER[method], rates[method]]
+        for method in ("gzip", "simple", "proposed")
+    ]
+    text = render_table(
+        ["method (n=128)", "paper rate [%]", "measured rate [%]"],
+        rows,
+        floatfmt=".2f",
+        title="Fig. 6: compression rate, gzip vs lossy (lower is better)",
+    )
+    save_and_print("fig6_lossless_vs_lossy", text)
+
+    # Shape assertions: gzip is far above both lossy rates; lossy rates are
+    # an order of magnitude better; proposed >= simple (its rate premium).
+    assert rates["gzip"] > 60.0
+    assert rates["simple"] < rates["gzip"] / 3
+    assert rates["proposed"] < rates["gzip"] / 3
+    assert rates["proposed"] >= rates["simple"] - 0.5

@@ -1,0 +1,97 @@
+"""Figure 9 -- estimated overall checkpoint time vs parallelism.
+
+Paper methodology, reproduced exactly: measure the per-process compression
+cost breakdown (wavelet / quantization+encoding / temp-file write / gzip /
+other) on a real 1.5 MB array, then combine it with the analytic
+20 GB/s-shared-PFS I/O model under weak scaling (1.5 MB/process).
+
+Paper claims to reproduce: compression cost is constant in parallelism
+while I/O grows linearly, so the with-compression line is flatter; the two
+lines cross at mid-scale parallelism (~768 processes in the paper's
+setting); at 2048 processes compression saves ~55 %; asymptotically the
+saving approaches (1 - rate) ~ 81 %; and gzip (incl. its temp-file write)
+dominates the compression time.
+"""
+
+from __future__ import annotations
+
+from repro import CompressionConfig
+from repro.analysis.tables import render_bars, render_series, render_table
+from repro.iomodel.breakdown import measure_breakdown
+from repro.iomodel.scaling import (
+    PAPER_PARALLELISMS,
+    asymptotic_saving_fraction,
+    crossover_parallelism,
+    estimate_series,
+)
+from repro.iomodel.storage import PAPER_PFS
+
+from _util import save_and_print
+
+
+def run_estimate(temperature):
+    breakdown = measure_breakdown(
+        temperature, CompressionConfig(n_bins=128, quantizer="proposed"), repeats=5
+    )
+    series = estimate_series(PAPER_PARALLELISMS, breakdown, PAPER_PFS)
+    return breakdown, series
+
+
+def test_fig9_scaling(benchmark, temperature):
+    breakdown, series = benchmark.pedantic(
+        run_estimate, args=(temperature,), rounds=1, iterations=1
+    )
+    rate = breakdown.compression_rate_percent / 100.0
+
+    text = render_bars(
+        {
+            "wavelet": breakdown.wavelet * 1e3,
+            "quantization+encoding": breakdown.quantization_encoding * 1e3,
+            "temp file write": breakdown.temp_write * 1e3,
+            "gzip": breakdown.gzip * 1e3,
+            "other overheads": breakdown.other * 1e3,
+        },
+        unit=" ms",
+        title=(
+            "Fig. 9 (bars): measured per-process compression breakdown "
+            f"({breakdown.per_process_bytes} bytes, rate "
+            f"{breakdown.compression_rate_percent:.2f} %)"
+        ),
+    )
+    text += "\n\n" + render_series(
+        [p.parallelism for p in series],
+        {
+            "with compression [ms]": [p.with_compression_seconds * 1e3 for p in series],
+            "w/o compression [ms]": [p.without_compression_seconds * 1e3 for p in series],
+            "saving [%]": [p.saving_fraction * 100 for p in series],
+        },
+        x_label="processes",
+        floatfmt=".2f",
+        title="Fig. 9 (lines): estimated overall checkpoint time, weak scaling",
+    )
+    p_star = crossover_parallelism(breakdown, PAPER_PFS)
+    at2048 = next(p for p in series if p.parallelism == 2048)
+    text += "\n\n" + render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["crossover parallelism", "~768", f"{p_star:.0f}"],
+            ["saving at 2048 procs [%]", "55", f"{at2048.saving_fraction * 100:.1f}"],
+            ["asymptotic saving [%]", "81 (rate 19 %)",
+             f"{asymptotic_saving_fraction(rate) * 100:.1f} (rate {rate * 100:.1f} %)"],
+        ],
+        title="Fig. 9 summary",
+    )
+    save_and_print("fig9_scaling", text)
+
+    # Shape assertions.
+    slope_with = series[-1].with_compression_seconds - series[0].with_compression_seconds
+    slope_without = (
+        series[-1].without_compression_seconds - series[0].without_compression_seconds
+    )
+    assert slope_with < slope_without, "with-compression line must be flatter"
+    assert series[0].parallelism < p_star, "crossover should sit inside/above the axis start"
+    assert at2048.parallelism > p_star, "compression must win by 2048 processes"
+    assert at2048.saving_fraction > 0.2
+    assert asymptotic_saving_fraction(rate) > 0.7
+    # gzip + temp write dominate the measured compression time (paper IV-D).
+    assert breakdown.temp_write + breakdown.gzip > 0.5 * breakdown.total_seconds

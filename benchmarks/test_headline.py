@@ -1,0 +1,61 @@
+"""Abstract headline numbers -- 81 % checkpoint-time reduction, ~1.2 %
+average relative error over all compressed variables.
+
+This bench aggregates the per-figure machinery into the two numbers the
+paper leads with, using all five NICAM-like arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.analysis.tables import render_table
+from repro.core.errors import mean_relative_error
+from repro.iomodel.breakdown import measure_breakdown
+from repro.iomodel.scaling import asymptotic_saving_fraction, estimate_point
+from repro.iomodel.storage import PAPER_PFS
+
+from _util import save_and_print
+
+
+def run_headline(climate_state):
+    config = CompressionConfig(n_bins=128, quantizer="proposed")
+    comp = WaveletCompressor(config)
+    rates, errors = [], []
+    for arr in climate_state.values():
+        blob, stats = comp.compress_with_stats(arr)
+        approx = comp.decompress(blob)
+        rates.append(stats.compression_rate_percent)
+        errors.append(mean_relative_error(arr, approx) * 100)
+    breakdown = measure_breakdown(
+        climate_state["temperature"], config, repeats=3
+    )
+    mean_rate = float(np.mean(rates))
+    at_scale = estimate_point(
+        2048, breakdown, PAPER_PFS, rate_fraction=mean_rate / 100.0
+    )
+    return mean_rate, float(np.mean(errors)), at_scale
+
+
+def test_headline(benchmark, climate_state):
+    mean_rate, mean_error, at_scale = benchmark.pedantic(
+        run_headline, args=(climate_state,), rounds=1, iterations=1
+    )
+    asymptotic = asymptotic_saving_fraction(mean_rate / 100.0) * 100
+    text = render_table(
+        ["headline quantity", "paper", "measured"],
+        [
+            ["avg relative error, all variables [%]", "~1.2", f"{mean_error:.3f}"],
+            ["avg compression rate, all variables [%]", "13 - 29", f"{mean_rate:.2f}"],
+            ["ckpt-time saving at 2048 procs [%]", "55", f"{at_scale.saving_fraction * 100:.1f}"],
+            ["asymptotic ckpt-time saving [%]", "81", f"{asymptotic:.1f}"],
+        ],
+        title="Headline numbers (abstract / Section I)",
+    )
+    save_and_print("headline", text)
+
+    assert mean_error < 3.0, "average error must stay in the paper's low-% regime"
+    assert mean_rate < 60.0
+    assert at_scale.saving_fraction > 0.2
+    assert asymptotic > 60.0

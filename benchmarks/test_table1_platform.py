@@ -1,0 +1,37 @@
+"""Table I -- system specification.
+
+The paper's Table I documents the measurement platform (Core i7-3930K
+nodes, NFS v3 on RAID6).  The reproduction substitutes this machine for
+the node and analytic storage models for the filesystems; this bench
+records both so every other figure's numbers are interpretable.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.iomodel.storage import PAPER_NFS, PAPER_PER_PROCESS_BYTES, PAPER_PFS
+
+from _util import save_and_print
+
+
+def build_platform_table() -> str:
+    rows = [
+        ["Node (paper)", "Intel Core i7-3930K 6c 3.20GHz, DDR3 16GB, NFS v3 RAID6"],
+        ["Node (ours)", f"{platform.machine()}, Python {sys.version.split()[0]}, NumPy {np.__version__}"],
+        ["OS (ours)", platform.platform()],
+        ["Shared FS model (Fig. 9)", f"{PAPER_PFS.name}: {PAPER_PFS.bandwidth_bytes_per_sec / 1e9:.0f} GB/s aggregate"],
+        ["NFS model (Table I)", f"{PAPER_NFS.name}: {PAPER_NFS.bandwidth_bytes_per_sec / 1e6:.0f} MB/s, {PAPER_NFS.latency_sec * 1e3:.1f} ms latency"],
+        ["Checkpoint per process", f"{PAPER_PER_PROCESS_BYTES} bytes (1.5 MB, one NICAM array)"],
+    ]
+    return render_table(["item", "specification"], rows, title="Table I: platform")
+
+
+def test_table1_platform(benchmark):
+    text = benchmark(build_platform_table)
+    save_and_print("table1_platform", text)
+    assert "20 GB/s" in text

@@ -1,0 +1,62 @@
+"""Microbenchmarks of each pipeline stage (pytest-benchmark timings).
+
+Not a paper figure: these are the engineering numbers a downstream user
+asks first -- how fast is each stage, and what does a full roundtrip cost
+on the paper's 1.5 MB array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.core.bands import high_band_mask
+from repro.core.quantization import proposed_quantize, simple_quantize
+from repro.core.wavelet import haar_forward, haar_inverse
+
+
+@pytest.fixture(scope="module")
+def coeffs(temperature):
+    return haar_forward(temperature, 3)
+
+
+@pytest.fixture(scope="module")
+def high_values(temperature, coeffs):
+    c, applied = coeffs
+    return np.ascontiguousarray(c[high_band_mask(temperature.shape, applied)])
+
+
+def test_perf_wavelet_forward(benchmark, temperature):
+    benchmark(haar_forward, temperature, 3)
+
+
+def test_perf_wavelet_inverse(benchmark, coeffs):
+    c, applied = coeffs
+    benchmark(haar_inverse, c, applied)
+
+
+def test_perf_simple_quantize(benchmark, high_values):
+    benchmark(simple_quantize, high_values, 128)
+
+
+def test_perf_proposed_quantize(benchmark, high_values):
+    benchmark(proposed_quantize, high_values, 128, 64)
+
+
+def test_perf_compress(benchmark, temperature):
+    comp = WaveletCompressor(CompressionConfig(n_bins=128, quantizer="proposed"))
+    benchmark(comp.compress, temperature)
+
+
+def test_perf_decompress(benchmark, temperature):
+    comp = WaveletCompressor(CompressionConfig(n_bins=128, quantizer="proposed"))
+    blob = comp.compress(temperature)
+    benchmark(comp.decompress, blob)
+
+
+def test_perf_lossless_baseline(benchmark, temperature):
+    import zlib
+
+    data = temperature.tobytes()
+    benchmark(zlib.compress, data, 6)

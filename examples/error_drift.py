@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Fig. 10 experiment at laptop scale.
+
+Runs the climate proxy to a checkpoint step, restarts it from lossily
+compressed state (both quantizers), and tracks the divergence of the
+temperature field from the uninterrupted reference -- then fits the
+paper's random-walk (sqrt-growth) model to the measured drift.
+
+The full-scale version (NICAM shape, 720 + 1500 steps) lives in
+``benchmarks/test_fig10_error_drift.py``; this example uses a reduced grid
+so it finishes in under a minute.
+
+Run:  python examples/error_drift.py
+"""
+
+from __future__ import annotations
+
+from repro import CompressionConfig
+from repro.analysis.drift import error_drift_experiment
+from repro.analysis.random_walk import fit_sqrt_growth
+from repro.analysis.tables import render_series, render_table
+from repro.apps.climate import ClimateProxy
+
+SHAPE = (128, 24, 2)
+CKPT_STEP = 300
+EXTRA_STEPS = 1500
+RECORD_EVERY = 100
+
+
+def main() -> None:
+    print(
+        f"running drift experiment: ckpt at step {CKPT_STEP}, "
+        f"{EXTRA_STEPS} steps after restart, grid {SHAPE} ..."
+    )
+    result = error_drift_experiment(
+        lambda: ClimateProxy(shape=SHAPE, seed=99),
+        ckpt_step=CKPT_STEP,
+        extra_steps=EXTRA_STEPS,
+        configs={
+            "simple": CompressionConfig(n_bins=128, quantizer="simple"),
+            "proposed": CompressionConfig(n_bins=128, quantizer="proposed"),
+        },
+        field="temperature",
+        record_every=RECORD_EVERY,
+    )
+
+    print(render_series(
+        list(result.steps),
+        {k: list(v) for k, v in result.series.items()},
+        x_label="step",
+        floatfmt=".5f",
+        title="mean relative error of temperature after lossy restart [%]",
+    ))
+
+    rows = []
+    for label in ("simple", "proposed"):
+        fit = fit_sqrt_growth(result.steps, result.series[label])
+        rows.append([
+            label,
+            f"{result.immediate_errors[label]:.5f}",
+            f"{float(result.series[label][-1]):.5f}",
+            f"{fit.coeff:.5f}",
+            f"{fit.r_squared:.3f}",
+        ])
+    print()
+    print(render_table(
+        ["quantizer", "immediate err [%]", "final err [%]",
+         "sqrt-fit coeff", "R^2"],
+        rows,
+        title="random-walk (sqrt-growth) fit, paper Section IV-E",
+    ))
+    print("\nexpected shape: proposed sits well below simple; both decay "
+          "while the\nquantization noise diffuses, then grow slowly as the "
+          "chaotic modulator\ndecorrelates -- fluctuating like the paper's "
+          "random walk.")
+
+
+if __name__ == "__main__":
+    main()

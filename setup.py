@@ -1,0 +1,10 @@
+"""Shim for environments without PEP 660 editable-install support.
+
+``pip install -e .`` needs the ``wheel`` package for build isolation; on
+offline machines ``python setup.py develop`` installs the same editable
+package with plain setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

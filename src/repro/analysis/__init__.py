@@ -1,0 +1,38 @@
+"""Experiment drivers and reporting helpers."""
+
+from .conservation import (
+    adjust_energy,
+    adjust_mean,
+    adjust_sum,
+    conservation_report,
+    symmetrize,
+)
+from .distribution import (
+    BandDistribution,
+    high_band_distribution,
+    render_histogram,
+)
+from .drift import DriftResult, error_drift_experiment, lossy_roundtrip_state
+from .random_walk import SqrtFit, expected_random_walk_error, fit_sqrt_growth
+from .tables import format_bytes, render_bars, render_series, render_table
+
+__all__ = [
+    "adjust_sum",
+    "adjust_mean",
+    "adjust_energy",
+    "symmetrize",
+    "conservation_report",
+    "BandDistribution",
+    "high_band_distribution",
+    "render_histogram",
+    "DriftResult",
+    "error_drift_experiment",
+    "lossy_roundtrip_state",
+    "SqrtFit",
+    "fit_sqrt_growth",
+    "expected_random_walk_error",
+    "render_table",
+    "render_series",
+    "render_bars",
+    "format_bytes",
+]

@@ -1,0 +1,58 @@
+"""Common machinery for proxy applications.
+
+A *proxy app* is a small, deterministic time-stepping simulation exposing
+the :class:`~repro.ckpt.protocol.Checkpointable` protocol plus a step
+counter.  The drift experiment (paper Fig. 10) and the failure simulator
+drive any of them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = ["ProxyApp", "run_steps", "state_allclose"]
+
+
+@runtime_checkable
+class ProxyApp(Protocol):
+    """Time-stepping simulation with checkpointable state."""
+
+    #: Logical step counter; advanced by :meth:`step`, reset on restart.
+    step_index: int
+
+    def step(self) -> None:
+        """Advance the simulation by one time step."""
+        ...
+
+    def state_arrays(self) -> dict[str, np.ndarray]: ...
+
+    def load_state_arrays(self, arrays: Mapping[str, np.ndarray]) -> None: ...
+
+
+def run_steps(app: ProxyApp, n: int) -> ProxyApp:
+    """Advance ``app`` by ``n`` steps (returns it for chaining)."""
+    if n < 0:
+        raise ReproError(f"cannot run a negative number of steps: {n}")
+    for _ in range(n):
+        app.step()
+    return app
+
+
+def state_allclose(
+    a: Mapping[str, np.ndarray],
+    b: Mapping[str, np.ndarray],
+    *,
+    rtol: float = 1e-12,
+    atol: float = 1e-12,
+) -> bool:
+    """True when two state snapshots hold the same arrays within tolerance."""
+    if set(a) != set(b):
+        return False
+    return all(
+        np.allclose(np.asarray(a[k]), np.asarray(b[k]), rtol=rtol, atol=atol)
+        for k in a
+    )

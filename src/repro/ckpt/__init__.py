@@ -1,0 +1,52 @@
+"""Application-level checkpoint/restart framework."""
+
+from .interval import (
+    IntervalComparison,
+    checkpoint_overhead_fraction,
+    compare_compression_intervals,
+    daly_interval,
+    expected_runtime,
+    expected_runtime_async,
+    optimal_interval_with_compression,
+    young_interval,
+)
+from .incremental import DeltaRecord, IncrementalArrayStore
+from .manager import CheckpointManager, deserialize_array, serialize_array_lossless
+from .manifest import ArrayEntry, CheckpointManifest, array_key, manifest_key
+from .multilevel import CheckpointLevel, MultiLevelCheckpointManager
+from .protocol import ArrayRegistry, Checkpointable, registry_from_checkpointable
+from .redundancy import ParityGroup, encode_parity_group, reconstruct_member
+from .store import CountingStore, DirectoryStore, MemoryStore, Store, ThrottledStore
+
+__all__ = [
+    "ArrayRegistry",
+    "Checkpointable",
+    "registry_from_checkpointable",
+    "ArrayEntry",
+    "CheckpointManifest",
+    "array_key",
+    "manifest_key",
+    "Store",
+    "MemoryStore",
+    "DirectoryStore",
+    "CountingStore",
+    "ThrottledStore",
+    "CheckpointManager",
+    "IncrementalArrayStore",
+    "DeltaRecord",
+    "ParityGroup",
+    "encode_parity_group",
+    "reconstruct_member",
+    "serialize_array_lossless",
+    "deserialize_array",
+    "CheckpointLevel",
+    "MultiLevelCheckpointManager",
+    "young_interval",
+    "daly_interval",
+    "expected_runtime",
+    "expected_runtime_async",
+    "checkpoint_overhead_fraction",
+    "optimal_interval_with_compression",
+    "IntervalComparison",
+    "compare_compression_intervals",
+]

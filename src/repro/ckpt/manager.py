@@ -1,0 +1,267 @@
+"""Checkpoint manager: writes, verifies and restores whole checkpoints.
+
+Ties together the array registry (what to save), a store (where), and the
+compression layer (how): float arrays default to the paper's lossy wavelet
+pipeline, everything else to a lossless codec, with per-array overrides.
+
+The write protocol is crash-consistent: array blobs go in first and the
+manifest last, so a checkpoint is visible if and only if it is complete.
+Every restore verifies blob sizes and CRC32s against the manifest before
+any data reaches the application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..config import CompressionConfig
+from ..core import container
+from ..core.pipeline import WaveletCompressor
+from ..exceptions import (
+    CheckpointError,
+    CheckpointNotFoundError,
+    FormatError,
+    RestoreError,
+)
+from ..lossless import get_codec
+from .manifest import (
+    MANIFEST_FILENAME,
+    ArrayEntry,
+    CheckpointManifest,
+    array_key,
+    manifest_key,
+    validate_app_meta,
+)
+from .protocol import ArrayRegistry
+from .store import Store
+
+__all__ = ["CheckpointManager", "serialize_array_lossless", "deserialize_array"]
+
+_LOSSLESS_KIND = "lossless-array"
+_FLOAT_DTYPES = (np.float32, np.float64)
+
+
+def serialize_array_lossless(arr: np.ndarray, codec_name: str, level: int = 6) -> bytes:
+    """Bit-exact serialization of any ndarray through a lossless codec."""
+    a = np.ascontiguousarray(arr)
+    header = {
+        "kind": _LOSSLESS_KIND,
+        "shape": list(a.shape),
+        "dtype": a.dtype.str,  # byte-order explicit, e.g. '<f8'
+    }
+    body = container.write_body(header, {"data": a.tobytes()})
+    return container.wrap_envelope(body, codec_name, level)
+
+
+def deserialize_array(blob: bytes) -> np.ndarray:
+    """Decode a blob written by either the lossy pipeline or
+    :func:`serialize_array_lossless` (dispatch on the container header)."""
+    body, _backend = container.unwrap_envelope(blob)
+    header, sections = container.read_body(body)
+    if header.get("kind") == _LOSSLESS_KIND:
+        try:
+            shape = tuple(int(s) for s in header["shape"])
+            dtype = np.dtype(header["dtype"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"lossless array header is malformed: {exc}") from exc
+        if "data" not in sections:
+            raise FormatError("lossless array container is missing its data section")
+        data = np.frombuffer(sections["data"], dtype=dtype)
+        expected = 1
+        for s in shape:
+            expected *= s
+        if data.size != expected:
+            raise FormatError(
+                f"lossless array payload holds {data.size} items, "
+                f"shape {shape} needs {expected}"
+            )
+        return data.reshape(shape).copy()
+    return WaveletCompressor.decompress(blob)
+
+
+class CheckpointManager:
+    """Write/restore checkpoints of a registry into a store.
+
+    Parameters
+    ----------
+    registry:
+        The live application arrays (see :class:`ArrayRegistry`).
+    store:
+        Blob destination.
+    config:
+        Lossy configuration used for float arrays by default.
+    lossless_codec:
+        Codec name used for non-float arrays (and for explicit
+        ``"lossless"`` policy entries).
+    policy:
+        Optional per-array overrides: map an array name to ``"lossy"``,
+        ``"lossless"``, or a :class:`CompressionConfig` of its own.  Arrays
+        whose values must restore bit-exactly (conserved integer counters,
+        RNG state words) should be pinned to ``"lossless"``.
+    retention:
+        Keep only the newest ``retention`` checkpoints; older ones are
+        pruned after every successful write.  ``None`` keeps everything.
+    """
+
+    def __init__(
+        self,
+        registry: ArrayRegistry,
+        store: Store,
+        *,
+        config: CompressionConfig | None = None,
+        lossless_codec: str = "zlib",
+        policy: Mapping[str, Any] | None = None,
+        retention: int | None = None,
+    ) -> None:
+        self.registry = registry
+        self.store = store
+        self.config = config if config is not None else CompressionConfig()
+        self.lossless_codec = lossless_codec
+        get_codec(lossless_codec)  # fail fast on unknown codec
+        self.policy = dict(policy or {})
+        for name, spec in self.policy.items():
+            if not (
+                spec in ("lossy", "lossless") or isinstance(spec, CompressionConfig)
+            ):
+                raise CheckpointError(
+                    f"policy for {name!r} must be 'lossy', 'lossless' or a "
+                    f"CompressionConfig, got {spec!r}"
+                )
+        if retention is not None and retention < 1:
+            raise CheckpointError(f"retention must be >= 1 or None, got {retention}")
+        self.retention = retention
+
+    # -- write ---------------------------------------------------------------
+
+    def _resolve_policy(self, name: str, arr: np.ndarray) -> tuple[str, Any]:
+        spec = self.policy.get(name)
+        if isinstance(spec, CompressionConfig):
+            return "lossy", spec
+        if spec == "lossy":
+            return "lossy", self.config
+        if spec == "lossless":
+            return "lossless", self.lossless_codec
+        if arr.dtype in [np.dtype(d) for d in _FLOAT_DTYPES]:
+            return "lossy", self.config
+        return "lossless", self.lossless_codec
+
+    def checkpoint(
+        self, step: int, app_meta: Mapping[str, Any] | None = None
+    ) -> CheckpointManifest:
+        """Write one complete checkpoint for logical ``step``."""
+        if not isinstance(step, (int, np.integer)) or isinstance(step, bool):
+            raise CheckpointError(f"step must be an int, got {step!r}")
+        step = int(step)
+        if step < 0:
+            raise CheckpointError(f"step must be >= 0, got {step}")
+        if self.store.exists(manifest_key(step)):
+            raise CheckpointError(f"checkpoint for step {step} already exists")
+        meta = validate_app_meta(app_meta)
+        entries: list[ArrayEntry] = []
+        for name in self.registry.names():
+            arr = np.asarray(self.registry.get(name))
+            mode, how = self._resolve_policy(name, arr)
+            if mode == "lossy":
+                compressor = WaveletCompressor(how)
+                blob = compressor.compress(arr)
+                codec = "wavelet-lossy"
+                params = how.to_dict()
+            else:
+                blob = serialize_array_lossless(arr, how, self.config.backend_level)
+                codec = f"lossless:{how}"
+                params = {}
+            self.store.put(array_key(step, name), blob)
+            entries.append(
+                ArrayEntry(
+                    name=name,
+                    shape=tuple(arr.shape),
+                    dtype=str(arr.dtype),
+                    codec=codec,
+                    codec_params=params,
+                    raw_bytes=int(arr.nbytes),
+                    stored_bytes=len(blob),
+                    crc32=ArrayEntry.checksum(blob),
+                )
+            )
+        manifest = CheckpointManifest(step=step, entries=tuple(entries), app_meta=meta)
+        self.store.put(manifest_key(step), manifest.to_json())
+        if self.retention is not None:
+            self._prune()
+        return manifest
+
+    def _prune(self) -> None:
+        steps = self.steps()
+        for step in steps[: max(0, len(steps) - self.retention)]:
+            self.delete(step)
+
+    # -- enumerate -------------------------------------------------------------
+
+    def steps(self) -> list[int]:
+        """Steps of every *complete* checkpoint, ascending."""
+        found = []
+        for key in self.store.list_keys("ckpt/"):
+            parts = key.split("/")
+            if len(parts) == 3 and parts[2] == MANIFEST_FILENAME:
+                try:
+                    found.append(int(parts[1]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def latest_step(self) -> int | None:
+        steps = self.steps()
+        return steps[-1] if steps else None
+
+    def read_manifest(self, step: int) -> CheckpointManifest:
+        key = manifest_key(step)
+        if not self.store.exists(key):
+            raise CheckpointNotFoundError(f"no checkpoint for step {step}")
+        return CheckpointManifest.from_json(self.store.get(key))
+
+    # -- read ------------------------------------------------------------------
+
+    def load_arrays(self, step: int) -> dict[str, np.ndarray]:
+        """Decode every array of checkpoint ``step`` after verifying CRCs."""
+        manifest = self.read_manifest(step)
+        arrays: dict[str, np.ndarray] = {}
+        for entry in manifest.entries:
+            blob = self.store.get(array_key(step, entry.name))
+            entry.verify(blob)
+            arr = deserialize_array(blob)
+            if tuple(arr.shape) != entry.shape:
+                raise RestoreError(
+                    f"array {entry.name!r} decoded to shape {arr.shape}, "
+                    f"manifest records {entry.shape}"
+                )
+            arrays[entry.name] = arr
+        return arrays
+
+    def restore(self, step: int | None = None) -> CheckpointManifest:
+        """Load checkpoint ``step`` (default: latest) into the registry."""
+        if step is None:
+            step = self.latest_step()
+            if step is None:
+                raise CheckpointNotFoundError("store holds no checkpoints")
+        arrays = self.load_arrays(step)
+        self.registry.restore(arrays)
+        return self.read_manifest(step)
+
+    def verify(self, step: int) -> CheckpointManifest:
+        """CRC-verify every blob of ``step`` without touching the registry."""
+        manifest = self.read_manifest(step)
+        for entry in manifest.entries:
+            key = array_key(step, entry.name)
+            if not self.store.exists(key):
+                raise FormatError(f"checkpoint {step} is missing blob {key!r}")
+            entry.verify(self.store.get(key))
+        return manifest
+
+    def delete(self, step: int) -> None:
+        """Remove checkpoint ``step`` (manifest first, so it disappears
+        atomically from :meth:`steps`)."""
+        self.store.delete(manifest_key(step))
+        prefix = f"ckpt/{int(step):010d}/"
+        for key in self.store.list_keys(prefix):
+            self.store.delete(key)

@@ -1,0 +1,157 @@
+"""Checkpoint manifests: the metadata record of one checkpoint.
+
+A manifest lists every stored array with its shape, dtype, codec, sizes and
+payload CRC32 so a restore can (a) locate the blobs, (b) verify integrity
+before handing data back to the application and (c) report the achieved
+compression rate per array -- the quantity paper Eq. 5 evaluates.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import FormatError
+
+__all__ = ["ArrayEntry", "CheckpointManifest", "manifest_key", "array_key", "MANIFEST_FILENAME"]
+
+MANIFEST_FILENAME = "manifest.json"
+_STEP_WIDTH = 10  # zero-padded so lexicographic key order == numeric order
+
+
+def manifest_key(step: int) -> str:
+    """Store key of the manifest for ``step``."""
+    return f"ckpt/{int(step):0{_STEP_WIDTH}d}/{MANIFEST_FILENAME}"
+
+
+def array_key(step: int, name: str) -> str:
+    """Store key of one array blob inside checkpoint ``step``."""
+    return f"ckpt/{int(step):0{_STEP_WIDTH}d}/{name}.bin"
+
+
+@dataclass(frozen=True)
+class ArrayEntry:
+    """Metadata of one stored array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    codec: str
+    codec_params: dict[str, Any] = field(default_factory=dict)
+    raw_bytes: int = 0
+    stored_bytes: int = 0
+    crc32: int = 0
+
+    @property
+    def compression_rate_percent(self) -> float:
+        """Paper Eq. 5 for this array."""
+        if self.raw_bytes <= 0:
+            return float("nan")
+        return 100.0 * self.stored_bytes / self.raw_bytes
+
+    def verify(self, payload: bytes) -> None:
+        """Raise :class:`FormatError` unless ``payload`` matches the record."""
+        if len(payload) != self.stored_bytes:
+            raise FormatError(
+                f"array {self.name!r}: stored blob is {len(payload)} bytes, "
+                f"manifest records {self.stored_bytes}"
+            )
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if crc != self.crc32:
+            raise FormatError(
+                f"array {self.name!r}: blob CRC {crc:#010x} does not match "
+                f"manifest {self.crc32:#010x}; checkpoint is corrupt"
+            )
+
+    @staticmethod
+    def checksum(payload: bytes) -> int:
+        return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """The metadata record of one complete checkpoint."""
+
+    step: int
+    entries: tuple[ArrayEntry, ...]
+    app_meta: dict[str, Any] = field(default_factory=dict)
+    format_version: int = 1
+
+    @property
+    def total_raw_bytes(self) -> int:
+        return sum(e.raw_bytes for e in self.entries)
+
+    @property
+    def total_stored_bytes(self) -> int:
+        return sum(e.stored_bytes for e in self.entries)
+
+    @property
+    def compression_rate_percent(self) -> float:
+        """Paper Eq. 5 over the whole checkpoint."""
+        raw = self.total_raw_bytes
+        if raw <= 0:
+            return float("nan")
+        return 100.0 * self.total_stored_bytes / raw
+
+    def entry(self, name: str) -> ArrayEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise KeyError(f"manifest for step {self.step} has no array {name!r}")
+
+    def names(self) -> list[str]:
+        return [e.name for e in self.entries]
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self) -> bytes:
+        doc = {
+            "format_version": self.format_version,
+            "step": self.step,
+            "app_meta": self.app_meta,
+            "entries": [
+                {**asdict(e), "shape": list(e.shape)} for e in self.entries
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "CheckpointManifest":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FormatError(f"manifest is not valid JSON: {exc}") from exc
+        try:
+            entries = tuple(
+                ArrayEntry(
+                    name=e["name"],
+                    shape=tuple(int(s) for s in e["shape"]),
+                    dtype=e["dtype"],
+                    codec=e["codec"],
+                    codec_params=dict(e.get("codec_params", {})),
+                    raw_bytes=int(e["raw_bytes"]),
+                    stored_bytes=int(e["stored_bytes"]),
+                    crc32=int(e["crc32"]),
+                )
+                for e in doc["entries"]
+            )
+            return cls(
+                step=int(doc["step"]),
+                entries=entries,
+                app_meta=dict(doc.get("app_meta", {})),
+                format_version=int(doc.get("format_version", 1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"manifest is missing fields: {exc}") from exc
+
+
+def validate_app_meta(app_meta: Mapping[str, Any] | None) -> dict[str, Any]:
+    """Ensure user metadata is JSON-serializable before it hits the store."""
+    meta = dict(app_meta or {})
+    try:
+        json.dumps(meta)
+    except (TypeError, ValueError) as exc:
+        raise FormatError(f"app_meta must be JSON-serializable: {exc}") from exc
+    return meta

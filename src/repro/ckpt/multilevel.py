@@ -1,0 +1,133 @@
+"""Multi-level checkpointing (paper Section V, refs. [5][25]).
+
+FTI/SCR-style storage hierarchies write cheap checkpoints to fast local
+storage frequently and expensive ones to the shared parallel filesystem
+rarely.  :class:`MultiLevelCheckpointManager` composes one
+:class:`~repro.ckpt.manager.CheckpointManager` per level with a per-level
+interval and retention, and restores from the newest complete checkpoint
+across all levels -- exactly the policy the paper positions its compressor
+inside ("we will combine with other efforts ... such as harnessing storage
+hierarchy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..config import CompressionConfig
+from ..exceptions import CheckpointError, CheckpointNotFoundError
+from .manager import CheckpointManager
+from .manifest import CheckpointManifest
+from .protocol import ArrayRegistry
+from .store import Store
+
+__all__ = ["CheckpointLevel", "MultiLevelCheckpointManager"]
+
+
+@dataclass(frozen=True)
+class CheckpointLevel:
+    """One tier of the storage hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Human-readable tier name ("node-local", "pfs", ...).
+    store:
+        Destination for this tier.
+    interval:
+        Write a checkpoint on steps divisible by ``interval``.
+    retention:
+        How many checkpoints this tier keeps (older pruned); None = all.
+    config:
+        Optional tier-specific lossy configuration (e.g. aggressive
+        quantization to the slow tier, lossless to the fast one).
+    """
+
+    name: str
+    store: Store
+    interval: int
+    retention: int | None = 1
+    config: CompressionConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise CheckpointError(
+                f"level {self.name!r}: interval must be >= 1, got {self.interval}"
+            )
+
+
+class MultiLevelCheckpointManager:
+    """Drive several checkpoint tiers from one application registry."""
+
+    def __init__(
+        self,
+        registry: ArrayRegistry,
+        levels: list[CheckpointLevel],
+        *,
+        config: CompressionConfig | None = None,
+        lossless_codec: str = "zlib",
+        policy: Mapping[str, Any] | None = None,
+    ) -> None:
+        if not levels:
+            raise CheckpointError("at least one checkpoint level is required")
+        names = [lv.name for lv in levels]
+        if len(set(names)) != len(names):
+            raise CheckpointError(f"level names must be unique, got {names}")
+        base = config if config is not None else CompressionConfig()
+        self.levels = list(levels)
+        self.managers: dict[str, CheckpointManager] = {
+            lv.name: CheckpointManager(
+                registry,
+                lv.store,
+                config=lv.config if lv.config is not None else base,
+                lossless_codec=lossless_codec,
+                policy=policy,
+                retention=lv.retention,
+            )
+            for lv in self.levels
+        }
+
+    def due_levels(self, step: int) -> list[CheckpointLevel]:
+        """Tiers scheduled to checkpoint at ``step``."""
+        return [lv for lv in self.levels if step % lv.interval == 0]
+
+    def maybe_checkpoint(
+        self, step: int, app_meta: Mapping[str, Any] | None = None
+    ) -> dict[str, CheckpointManifest]:
+        """Checkpoint every tier due at ``step``; returns name -> manifest."""
+        written: dict[str, CheckpointManifest] = {}
+        for lv in self.due_levels(step):
+            written[lv.name] = self.managers[lv.name].checkpoint(step, app_meta)
+        return written
+
+    def checkpoint_all(
+        self, step: int, app_meta: Mapping[str, Any] | None = None
+    ) -> dict[str, CheckpointManifest]:
+        """Force a checkpoint on every tier regardless of its interval."""
+        return {
+            lv.name: self.managers[lv.name].checkpoint(step, app_meta)
+            for lv in self.levels
+        }
+
+    def newest(self) -> tuple[str, int] | None:
+        """(level name, step) of the newest complete checkpoint anywhere.
+
+        Ties prefer the earlier (faster) tier in the level list.
+        """
+        best: tuple[str, int] | None = None
+        for lv in self.levels:
+            step = self.managers[lv.name].latest_step()
+            if step is None:
+                continue
+            if best is None or step > best[1]:
+                best = (lv.name, step)
+        return best
+
+    def restore_newest(self) -> tuple[str, CheckpointManifest]:
+        """Restore from the newest checkpoint across the hierarchy."""
+        found = self.newest()
+        if found is None:
+            raise CheckpointNotFoundError("no checkpoint exists on any level")
+        name, step = found
+        return name, self.managers[name].restore(step)

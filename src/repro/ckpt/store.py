@@ -1,0 +1,237 @@
+"""Storage backends for checkpoint blobs.
+
+Checkpoint data flows through a tiny key/value interface so the same
+manager drives an in-memory store (unit tests, in-memory checkpointing a la
+FTI/FMI), a POSIX directory (the paper's NFS target) or a bandwidth-modelled
+store standing in for the 20 GB/s parallel filesystem of paper Section IV-D.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from abc import ABC, abstractmethod
+
+from ..exceptions import StorageError
+
+__all__ = [
+    "Store",
+    "MemoryStore",
+    "DirectoryStore",
+    "CountingStore",
+    "ThrottledStore",
+]
+
+
+class Store(ABC):
+    """Minimal key/value blob store."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Write ``data`` under ``key`` (atomically where the medium allows)."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Read the blob under ``key``; raises :class:`StorageError` if absent."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool: ...
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; deleting a missing key is a no-op."""
+
+    @abstractmethod
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """All keys starting with ``prefix``, sorted."""
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not key:
+        raise StorageError(f"store key must be a non-empty str, got {key!r}")
+    parts = key.split("/")
+    if any(p in ("", ".", "..") for p in parts):
+        raise StorageError(f"store key must be a clean relative path: {key!r}")
+    return key
+
+
+class MemoryStore(Store):
+    """Dict-backed store (unit tests and in-memory checkpointing)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> None:
+        self._blobs[_check_key(key)] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._blobs[_check_key(key)]
+        except KeyError:
+            raise StorageError(f"no object stored under key {key!r}") from None
+
+    def exists(self, key: str) -> bool:
+        return _check_key(key) in self._blobs
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(_check_key(key), None)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._blobs if k.startswith(prefix))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._blobs.values())
+
+
+class DirectoryStore(Store):
+    """Files under a root directory, written atomically (tmp + rename).
+
+    Keys map to nested paths; the rename guarantees a reader never sees a
+    torn checkpoint blob even if the writer dies mid-write -- the property
+    application-level checkpointing depends on.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(f"cannot create store root {self.root}: {exc}") from exc
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, *_check_key(key).split("/"))
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise StorageError(f"write of {key!r} failed: {exc}") from exc
+
+    def get(self, key: str) -> bytes:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise StorageError(f"no object stored under key {key!r}") from None
+        except OSError as exc:
+            raise StorageError(f"read of {key!r} failed: {exc}") from exc
+
+    def exists(self, key: str) -> bool:
+        return os.path.isfile(self._path(key))
+
+    def delete(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise StorageError(f"delete of {key!r} failed: {exc}") from exc
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        keys = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fn in filenames:
+                if fn.startswith(".tmp-"):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, fn), self.root)
+                key = rel.replace(os.sep, "/")
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+
+class CountingStore(Store):
+    """Wrapper recording operation counts and byte totals (diagnostics)."""
+
+    def __init__(self, inner: Store) -> None:
+        self.inner = inner
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(key, data)
+        self.puts += 1
+        self.bytes_written += len(data)
+
+    def get(self, key: str) -> bytes:
+        data = self.inner.get(key)
+        self.gets += 1
+        self.bytes_read += len(data)
+        return data
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+        self.deletes += 1
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+
+class ThrottledStore(Store):
+    """Wrapper that *accounts* simulated transfer time against a bandwidth.
+
+    Stands in for the shared parallel filesystem of paper Section IV-D: no
+    real sleeping happens, but every put/get accrues
+    ``latency + nbytes / bandwidth`` seconds into :attr:`simulated_seconds`,
+    which the scaling model and the failure simulator read.
+    """
+
+    def __init__(
+        self,
+        inner: Store,
+        bandwidth_bytes_per_sec: float,
+        latency_sec: float = 0.0,
+    ) -> None:
+        if bandwidth_bytes_per_sec <= 0:
+            raise StorageError(
+                f"bandwidth must be positive, got {bandwidth_bytes_per_sec}"
+            )
+        if latency_sec < 0:
+            raise StorageError(f"latency must be >= 0, got {latency_sec}")
+        self.inner = inner
+        self.bandwidth = float(bandwidth_bytes_per_sec)
+        self.latency = float(latency_sec)
+        self.simulated_seconds = 0.0
+
+    def _account(self, nbytes: int) -> None:
+        self.simulated_seconds += self.latency + nbytes / self.bandwidth
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(key, data)
+        self._account(len(data))
+
+    def get(self, key: str) -> bytes:
+        data = self.inner.get(key)
+        self._account(len(data))
+        return data
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)

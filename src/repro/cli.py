@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro`` / ``repro-ckpt``.
+
+Subcommands
+-----------
+compress
+    Compress a ``.npy`` array into a ``.rpz`` blob.
+decompress
+    Decode a ``.rpz`` blob back into a ``.npy`` array.
+inspect
+    Print the self-describing header of a blob.
+evaluate
+    Compress + decompress in memory and report rate and errors
+    (paper Eqs. 5-6) without writing anything.
+tune
+    Find the smallest division number meeting an error tolerance.
+verify
+    CRC-verify every checkpoint in a checkpoint directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from . import __version__
+from .config import CompressionConfig
+from .core.errors import error_report
+from .core.pipeline import WaveletCompressor, inspect as inspect_blob
+from .core.tuning import tune_for_tolerance
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-bins", type=int, default=128, metavar="N",
+        help="division number n (paper Fig. 4), 1-256 [default: 128]",
+    )
+    parser.add_argument(
+        "--quantizer", choices=("simple", "proposed", "bounded", "none"),
+        default="proposed",
+        help="quantization method [default: proposed]",
+    )
+    parser.add_argument(
+        "--spike-partitions", type=int, default=64, metavar="D",
+        help="spike-detection partition count d [default: 64]",
+    )
+    parser.add_argument(
+        "--levels", default="3", metavar="L",
+        help="wavelet recursion depth (int or 'max') [default: 3]",
+    )
+    parser.add_argument(
+        "--backend", default="zlib",
+        help="lossless backend applied to the container [default: zlib]",
+    )
+    parser.add_argument(
+        "--backend-level", type=int, default=6, metavar="LVL",
+        help="backend compression level 0-9 [default: 6]",
+    )
+    parser.add_argument(
+        "--error-bound", type=float, default=None, metavar="E",
+        help="guaranteed max absolute element error (quantizer 'bounded' only)",
+    )
+    parser.add_argument(
+        "--wavelet", choices=("haar", "cdf53"), default="haar",
+        help="transform family: the paper's haar or JPEG 2000 cdf53 [default: haar]",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> CompressionConfig:
+    levels: int | str = args.levels
+    if levels != "max":
+        levels = int(levels)
+    return CompressionConfig(
+        n_bins=args.n_bins,
+        quantizer=args.quantizer,
+        spike_partitions=args.spike_partitions,
+        levels=levels,
+        backend=args.backend,
+        backend_level=args.backend_level,
+        error_bound=args.error_bound,
+        wavelet=args.wavelet,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ckpt",
+        description=(
+            "Wavelet-based lossy compression for application-level "
+            "checkpoint/restart (Sasaki et al., IPDPS 2015)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a .npy array into a .rpz blob")
+    p.add_argument("input", help="input .npy file (float32/float64 array)")
+    p.add_argument("output", help="output .rpz file")
+    _add_config_args(p)
+
+    p = sub.add_parser("decompress", help="decode a .rpz blob into a .npy array")
+    p.add_argument("input", help="input .rpz file")
+    p.add_argument("output", help="output .npy file")
+
+    p = sub.add_parser("inspect", help="print the header of a .rpz blob")
+    p.add_argument("input", help="input .rpz file")
+
+    p = sub.add_parser(
+        "evaluate", help="report compression rate and errors for an array"
+    )
+    p.add_argument("input", help="input .npy file")
+    _add_config_args(p)
+
+    p = sub.add_parser(
+        "tune", help="find the smallest n meeting an error tolerance"
+    )
+    p.add_argument("input", help="input .npy file")
+    p.add_argument(
+        "--tolerance", type=float, required=True,
+        help="relative-error tolerance as a fraction (0.01 = 1%%)",
+    )
+    p.add_argument(
+        "--metric", choices=("mean", "max"), default="mean",
+        help="which relative error the tolerance bounds [default: mean]",
+    )
+
+    p = sub.add_parser(
+        "verify", help="CRC-verify every checkpoint in a directory store"
+    )
+    p.add_argument("directory", help="checkpoint directory (DirectoryStore root)")
+    return parser
+
+
+def _load_array(path: str) -> np.ndarray:
+    try:
+        return np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot load array from {path!r}: {exc}") from exc
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    arr = _load_array(args.input)
+    compressor = WaveletCompressor(_config_from_args(args))
+    blob, stats = compressor.compress_with_stats(arr)
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    print(
+        f"{args.input}: {stats.original_bytes} -> {stats.compressed_bytes} bytes "
+        f"(rate {stats.compression_rate_percent:.2f}%, "
+        f"{stats.total_compression_seconds * 1e3:.1f} ms)"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    arr = WaveletCompressor.decompress(blob)
+    np.save(args.output, arr)
+    print(f"{args.output}: shape {arr.shape}, dtype {arr.dtype}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    print(json.dumps(inspect_blob(blob), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    arr = _load_array(args.input)
+    compressor = WaveletCompressor(_config_from_args(args))
+    approx, stats = compressor.roundtrip(arr)
+    report = error_report(arr, approx)
+    print(f"compression rate : {stats.compression_rate_percent:.2f} %")
+    print(f"mean rel. error  : {report.mean_relative_error_pct:.5f} %")
+    print(f"max rel. error   : {report.max_relative_error_pct:.5f} %")
+    print(f"rmse             : {report.rmse:.6g}")
+    print(f"quantized        : {stats.n_quantized}/{stats.n_coefficients} coefficients")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    arr = _load_array(args.input)
+    result = tune_for_tolerance(arr, args.tolerance, metric=args.metric)
+    print(f"config           : {result.config.to_dict()}")
+    print(f"achieved {args.metric} err : {result.achieved_error * 100:.5f} % "
+          f"(tolerance {result.tolerance * 100:.5f} %)")
+    print(f"compression rate : {result.compression_rate_percent:.2f} %")
+    print(f"evaluations      : {result.evaluations}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import os
+
+    from .ckpt.manifest import CheckpointManifest, array_key, manifest_key
+    from .ckpt.store import DirectoryStore
+
+    if not os.path.isdir(args.directory):
+        raise ReproError(f"not a directory: {args.directory!r}")
+    store = DirectoryStore(args.directory)
+    steps = []
+    for key in store.list_keys("ckpt/"):
+        parts = key.split("/")
+        if len(parts) == 3 and parts[2] == "manifest.json":
+            steps.append(int(parts[1]))
+    if not steps:
+        print("no checkpoints found")
+        return 0
+    failures = 0
+    for step in sorted(steps):
+        manifest = CheckpointManifest.from_json(store.get(manifest_key(step)))
+        status = "ok"
+        try:
+            for entry in manifest.entries:
+                key = array_key(step, entry.name)
+                if not store.exists(key):
+                    raise ReproError(f"missing blob {key!r}")
+                entry.verify(store.get(key))
+        except ReproError as exc:
+            status = f"CORRUPT ({exc})"
+            failures += 1
+        print(
+            f"step {step:10d}: {len(manifest.entries)} arrays, "
+            f"{manifest.total_stored_bytes} bytes, "
+            f"rate {manifest.compression_rate_percent:.1f} % ... {status}"
+        )
+    return 1 if failures else 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "inspect": _cmd_inspect,
+    "evaluate": _cmd_evaluate,
+    "tune": _cmd_tune,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Configuration objects for the lossy checkpoint compressor.
+
+:class:`CompressionConfig` bundles every knob of the four-stage pipeline
+described in the paper (wavelet transform -> quantization -> encoding ->
+formatting + gzip).  The object is immutable, validates itself eagerly and
+serializes to/from a plain dict so it can be embedded in container headers
+and checkpoint manifests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "CompressionConfig",
+    "QUANTIZER_SIMPLE",
+    "QUANTIZER_PROPOSED",
+    "QUANTIZER_BOUNDED",
+    "QUANTIZER_NONE",
+    "MAX_LEVELS",
+]
+
+#: Quantizer that bins *every* high-frequency coefficient (paper SIII-B1).
+QUANTIZER_SIMPLE = "simple"
+#: Spike-detecting quantizer that bins only dense partitions (paper SIII-B2).
+QUANTIZER_PROPOSED = "proposed"
+#: Error-targeted quantizer honouring ``error_bound`` (paper's future work).
+QUANTIZER_BOUNDED = "bounded"
+#: Disable quantization entirely -- the pipeline becomes lossless.
+QUANTIZER_NONE = "none"
+
+_QUANTIZERS = (QUANTIZER_SIMPLE, QUANTIZER_PROPOSED, QUANTIZER_BOUNDED, QUANTIZER_NONE)
+
+#: Sentinel accepted by ``levels`` meaning "recurse until no axis can halve".
+MAX_LEVELS = "max"
+
+_BACKENDS_HINT = (
+    "known backends are registered in repro.lossless (e.g. 'zlib', 'gzip', "
+    "'tempfile-gzip', 'rle', 'xor-delta', 'none')"
+)
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Parameters of the wavelet lossy compression pipeline.
+
+    Parameters
+    ----------
+    n_bins:
+        The *division number* ``n`` from the paper: how many partitions the
+        quantizer collapses high-frequency values into.  The paper sweeps
+        ``n`` over powers of two from 1 to 128; encoding stores one byte per
+        quantized value, so ``1 <= n_bins <= 256``.
+    quantizer:
+        ``"simple"``, ``"proposed"`` (spike detection, the paper's
+        contribution) or ``"none"`` (lossless pipeline).
+    spike_partitions:
+        The parameter ``d`` from paper Eq. (4): the high-frequency value
+        range is cut into ``d`` partitions and only partitions holding at
+        least ``N_total / d`` values are quantized.  The paper fixes
+        ``d = 64``.  Ignored by the simple quantizer.
+    levels:
+        Wavelet recursion depth.  ``1`` reproduces a single decomposition;
+        ``"max"`` recurses until every axis of the low band is shorter
+        than 2.  Deeper levels concentrate more coefficients in high bands
+        and typically improve the compression rate.
+    backend:
+        Name of the lossless codec applied to the formatted container
+        (paper SIII-D applies gzip).  ``"zlib"`` deflates in memory;
+        ``"tempfile-gzip"`` reproduces the paper's measured temp-file path.
+    backend_level:
+        Compression level forwarded to the backend when it supports one.
+    error_bound:
+        Only for ``quantizer="bounded"``: the guaranteed maximum *absolute*
+        error of any reconstructed element.  The pipeline derives the
+        per-coefficient bound from it (dividing by the number of unit-weight
+        error terms in the inverse transform) so the guarantee holds after
+        the inverse wavelet transform, not just per coefficient.  Requires
+        ``wavelet="haar"`` (the derivation rests on Haar's unit synthesis
+        weights).
+    wavelet:
+        Transform family: ``"haar"`` reproduces the paper; ``"cdf53"`` is
+        the JPEG 2000 LeGall lifting wavelet, whose linear prediction
+        leaves smaller high bands on smooth data (lower error at a similar
+        rate -- see the wavelet ablation bench).
+    """
+
+    n_bins: int = 128
+    quantizer: str = QUANTIZER_PROPOSED
+    spike_partitions: int = 64
+    levels: int | str = 3
+    backend: str = "zlib"
+    backend_level: int = 6
+    error_bound: float | None = None
+    wavelet: str = "haar"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_bins, int) or isinstance(self.n_bins, bool):
+            raise ConfigurationError(
+                f"n_bins must be an int, got {type(self.n_bins).__name__}"
+            )
+        if not 1 <= self.n_bins <= 256:
+            raise ConfigurationError(
+                f"n_bins must be in [1, 256] (one byte per index), got {self.n_bins}"
+            )
+        if self.quantizer not in _QUANTIZERS:
+            raise ConfigurationError(
+                f"unknown quantizer {self.quantizer!r}; expected one of {_QUANTIZERS}"
+            )
+        if not isinstance(self.spike_partitions, int) or isinstance(
+            self.spike_partitions, bool
+        ):
+            raise ConfigurationError(
+                "spike_partitions must be an int, got "
+                f"{type(self.spike_partitions).__name__}"
+            )
+        if self.spike_partitions < 1:
+            raise ConfigurationError(
+                f"spike_partitions must be >= 1, got {self.spike_partitions}"
+            )
+        if self.levels != MAX_LEVELS:
+            if not isinstance(self.levels, int) or isinstance(self.levels, bool):
+                raise ConfigurationError(
+                    f"levels must be an int or 'max', got {self.levels!r}"
+                )
+            if self.levels < 1:
+                raise ConfigurationError(f"levels must be >= 1, got {self.levels}")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(f"backend must be a non-empty str; {_BACKENDS_HINT}")
+        if not isinstance(self.backend_level, int) or isinstance(
+            self.backend_level, bool
+        ):
+            raise ConfigurationError("backend_level must be an int")
+        if not 0 <= self.backend_level <= 9:
+            raise ConfigurationError(
+                f"backend_level must be in [0, 9], got {self.backend_level}"
+            )
+        if self.quantizer == QUANTIZER_BOUNDED:
+            if not isinstance(self.error_bound, (int, float)) or isinstance(
+                self.error_bound, bool
+            ) or not self.error_bound > 0:
+                raise ConfigurationError(
+                    "quantizer='bounded' requires a positive error_bound, "
+                    f"got {self.error_bound!r}"
+                )
+        elif self.error_bound is not None:
+            raise ConfigurationError(
+                f"error_bound only applies to quantizer='bounded', not "
+                f"{self.quantizer!r}"
+            )
+        if self.wavelet not in ("haar", "cdf53"):
+            raise ConfigurationError(
+                f"unknown wavelet {self.wavelet!r}; expected 'haar' (the "
+                "paper's transform) or 'cdf53' (JPEG 2000 LeGall lifting)"
+            )
+        if self.quantizer == QUANTIZER_BOUNDED and self.wavelet != "haar":
+            raise ConfigurationError(
+                "quantizer='bounded' requires wavelet='haar': the error "
+                "guarantee is derived from Haar's unit-weight synthesis, "
+                "which the CDF 5/3 lifting steps do not have"
+            )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-compatible dict describing this configuration."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompressionConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected so stale container headers fail loudly
+        instead of silently dropping parameters.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CompressionConfig keys: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    # -- convenience -------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "CompressionConfig":
+        """Return a copy with ``changes`` applied (validates eagerly)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def lossless(self) -> bool:
+        """True when the configuration performs no quantization."""
+        return self.quantizer == QUANTIZER_NONE

@@ -1,0 +1,182 @@
+"""Binary container for compressed checkpoints (paper Section III-D, Fig. 5).
+
+The formatted output of the pipeline holds the bitmap, the ``average[]``
+table, the byte-index stream and the raw double stream, preceded by a JSON
+header carrying everything the self-describing decoder needs (shape, dtype,
+wavelet depth, configuration).  Each section is CRC32-protected so silent
+corruption in a checkpoint store is detected at restore time instead of
+being reinterpreted as bad physics.
+
+The serialized body is then wrapped in an outer envelope naming the
+lossless backend that deflated it (gzip in the paper), so a blob can be
+decompressed without out-of-band knowledge.
+
+Layout
+------
+Envelope::
+
+    b"RPZ1" | u8 backend-name length | backend name (ascii) | deflated body
+
+Body::
+
+    b"RPWC" | u16 version | u32 header length | header JSON | u32 n sections
+    then per section: u8 name length | name | u64 payload length | u32 CRC32
+    | payload
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Mapping
+
+from ..exceptions import FormatError, IntegrityError
+from ..lossless import get_codec
+
+__all__ = [
+    "BODY_MAGIC",
+    "ENVELOPE_MAGIC",
+    "FORMAT_VERSION",
+    "write_body",
+    "read_body",
+    "wrap_envelope",
+    "unwrap_envelope",
+    "peek_header",
+]
+
+BODY_MAGIC = b"RPWC"
+ENVELOPE_MAGIC = b"RPZ1"
+FORMAT_VERSION = 1
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def write_body(header: Mapping[str, Any], sections: Mapping[str, bytes]) -> bytes:
+    """Serialize a header dict + named binary sections into a body blob."""
+    header_bytes = json.dumps(dict(header), sort_keys=True).encode("utf-8")
+    parts = [
+        BODY_MAGIC,
+        _U16.pack(FORMAT_VERSION),
+        _U32.pack(len(header_bytes)),
+        header_bytes,
+        _U32.pack(len(sections)),
+    ]
+    for name, payload in sections.items():
+        name_bytes = name.encode("ascii")
+        if not 0 < len(name_bytes) < 256:
+            raise FormatError(f"section name must be 1..255 ascii bytes: {name!r}")
+        parts.append(_U8.pack(len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(_U64.pack(len(payload)))
+        parts.append(_U32.pack(zlib.crc32(payload) & 0xFFFFFFFF))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def _need(blob: bytes, offset: int, count: int, what: str) -> int:
+    end = offset + count
+    if end > len(blob):
+        raise FormatError(f"container truncated while reading {what}")
+    return end
+
+
+def read_body(blob: bytes) -> tuple[dict[str, Any], dict[str, bytes]]:
+    """Parse :func:`write_body` output, verifying magic and every CRC."""
+    offset = _need(blob, 0, 4, "magic")
+    if blob[:4] != BODY_MAGIC:
+        raise FormatError(
+            f"bad body magic {blob[:4]!r}; not a repro compressed container"
+        )
+    end = _need(blob, offset, _U16.size, "version")
+    (version,) = _U16.unpack_from(blob, offset)
+    offset = end
+    if version != FORMAT_VERSION:
+        raise FormatError(f"unsupported container version {version}")
+    end = _need(blob, offset, _U32.size, "header length")
+    (header_len,) = _U32.unpack_from(blob, offset)
+    offset = end
+    end = _need(blob, offset, header_len, "header")
+    try:
+        header = json.loads(blob[offset:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError(f"container header is not valid JSON: {exc}") from exc
+    offset = end
+    end = _need(blob, offset, _U32.size, "section count")
+    (n_sections,) = _U32.unpack_from(blob, offset)
+    offset = end
+    sections: dict[str, bytes] = {}
+    for i in range(n_sections):
+        end = _need(blob, offset, _U8.size, f"section {i} name length")
+        (name_len,) = _U8.unpack_from(blob, offset)
+        offset = end
+        end = _need(blob, offset, name_len, f"section {i} name")
+        try:
+            name = blob[offset:end].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise FormatError(f"section {i} name is not ascii: {exc}") from exc
+        offset = end
+        end = _need(blob, offset, _U64.size, f"section {name} length")
+        (payload_len,) = _U64.unpack_from(blob, offset)
+        offset = end
+        end = _need(blob, offset, _U32.size, f"section {name} crc")
+        (crc,) = _U32.unpack_from(blob, offset)
+        offset = end
+        end = _need(blob, offset, payload_len, f"section {name} payload")
+        payload = blob[offset:end]
+        offset = end
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise IntegrityError(
+                f"CRC mismatch in section {name!r}: the stored checkpoint is corrupt"
+            )
+        sections[name] = payload
+    if offset != len(blob):
+        raise FormatError(
+            f"{len(blob) - offset} trailing bytes after the last section"
+        )
+    return header, sections
+
+
+def wrap_envelope(body: bytes, backend: str, level: int = 6) -> bytes:
+    """Deflate ``body`` with the named backend and prepend the envelope."""
+    codec = get_codec(backend, level=level)
+    name_bytes = backend.encode("ascii")
+    if not 0 < len(name_bytes) < 256:
+        raise FormatError(f"backend name must be 1..255 ascii bytes: {backend!r}")
+    return ENVELOPE_MAGIC + _U8.pack(len(name_bytes)) + name_bytes + codec.compress(body)
+
+
+def unwrap_envelope(blob: bytes) -> tuple[bytes, str]:
+    """Strip the envelope and inflate; returns ``(body, backend_name)``."""
+    offset = _need(blob, 0, 4, "envelope magic")
+    if blob[:4] != ENVELOPE_MAGIC:
+        raise FormatError(
+            f"bad envelope magic {blob[:4]!r}; not a repro compressed blob"
+        )
+    end = _need(blob, offset, _U8.size, "backend name length")
+    (name_len,) = _U8.unpack_from(blob, offset)
+    offset = end
+    end = _need(blob, offset, name_len, "backend name")
+    try:
+        backend = blob[offset:end].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise FormatError(f"backend name is not ascii: {exc}") from exc
+    offset = end
+    codec = get_codec(backend)
+    try:
+        body = codec.decompress(blob[offset:])
+    except Exception as exc:
+        if isinstance(exc, (FormatError, IntegrityError)):
+            raise
+        raise FormatError(f"backend {backend!r} failed to inflate body: {exc}") from exc
+    return body, backend
+
+
+def peek_header(blob: bytes) -> dict[str, Any]:
+    """Return the container header of an enveloped blob without decoding data."""
+    body, _ = unwrap_envelope(blob)
+    header, _ = read_body(body)
+    return header

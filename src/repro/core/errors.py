@@ -1,0 +1,113 @@
+"""Error and size metrics (paper Eqs. 5-6).
+
+The paper evaluates its compressor with two quantities:
+
+* the *compression rate* ``cr = cs_comp / cs_orig * 100`` (Eq. 5) -- lower
+  is better, it is the compressed size as a percentage of the original;
+* the *relative error* ``re_i = |x_i - x~_i| / (max_j x_j - min_j x_j)``
+  (Eq. 6) -- the per-element absolute error normalized by the value range
+  of the original array, summarized as the mean over elements and as the
+  maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "compression_rate",
+    "relative_errors",
+    "mean_relative_error",
+    "max_relative_error",
+    "rmse",
+    "value_range",
+    "ErrorReport",
+    "error_report",
+]
+
+
+def compression_rate(original_bytes: int, compressed_bytes: int) -> float:
+    """Paper Eq. 5: compressed size as a percentage of the original size."""
+    if original_bytes <= 0:
+        raise ReproError(f"original size must be positive, got {original_bytes}")
+    if compressed_bytes < 0:
+        raise ReproError(f"compressed size must be >= 0, got {compressed_bytes}")
+    return 100.0 * compressed_bytes / original_bytes
+
+
+def value_range(x: np.ndarray) -> float:
+    """``max(x) - min(x)`` of the original data (Eq. 6 denominator)."""
+    a = np.asarray(x, dtype=np.float64)
+    if a.size == 0:
+        raise ReproError("value_range of an empty array is undefined")
+    return float(a.max() - a.min())
+
+
+def relative_errors(original: np.ndarray, approx: np.ndarray) -> np.ndarray:
+    """Paper Eq. 6, element-wise.
+
+    A constant original array (range 0) yields 0 where the approximation
+    is exact and ``inf`` where it differs, so a broken round-trip cannot
+    hide behind a degenerate denominator.
+    """
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(approx, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ReproError(
+            f"shape mismatch: original {x.shape} vs approximation {y.shape}"
+        )
+    if x.size == 0:
+        return np.zeros_like(x)
+    span = value_range(x)
+    diff = np.abs(x - y)
+    if span == 0.0:
+        out = np.zeros_like(diff)
+        out[diff > 0] = np.inf
+        return out
+    return diff / span
+
+
+def mean_relative_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """Average of Eq. 6 over all elements, as a fraction (not percent)."""
+    return float(relative_errors(original, approx).mean())
+
+
+def max_relative_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """Maximum of Eq. 6 over all elements, as a fraction (not percent)."""
+    return float(relative_errors(original, approx).max())
+
+
+def rmse(original: np.ndarray, approx: np.ndarray) -> float:
+    """Root-mean-square absolute error (supplementary metric)."""
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(approx, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ReproError(
+            f"shape mismatch: original {x.shape} vs approximation {y.shape}"
+        )
+    if x.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((x - y) ** 2)))
+
+
+class ErrorReport(dict):
+    """Dict of summary metrics with attribute access for convenience."""
+
+    def __getattr__(self, key: str) -> float:
+        try:
+            return self[key]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise AttributeError(key) from exc
+
+
+def error_report(original: np.ndarray, approx: np.ndarray) -> ErrorReport:
+    """Bundle of the paper's metrics: mean/max relative error (in percent,
+    as the figures plot them) plus RMSE."""
+    errs = relative_errors(original, approx)
+    return ErrorReport(
+        mean_relative_error_pct=float(errs.mean()) * 100.0,
+        max_relative_error_pct=float(errs.max()) * 100.0,
+        rmse=rmse(original, approx),
+    )

@@ -1,0 +1,282 @@
+"""End-to-end lossy compression pipeline (paper Fig. 1).
+
+:class:`WaveletCompressor` chains the four stages -- wavelet transformation,
+quantization, encoding and formatting + lossless backend -- and their exact
+inverses.  Timings of every stage are captured per call because the paper's
+Fig. 9 reasons about the *breakdown* of compression cost, not just its sum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..config import (
+    QUANTIZER_BOUNDED,
+    QUANTIZER_NONE,
+    QUANTIZER_PROPOSED,
+    QUANTIZER_SIMPLE,
+    CompressionConfig,
+)
+from ..exceptions import CompressionError, DecompressionError, FormatError
+from ..lossless.tempfile_gzip import TempfileGzipCodec
+from ..lossless import get_codec
+from . import container
+from .bands import high_band_mask
+from .encoding import EncodedPayload, decode_coefficients, encode_coefficients
+from .quantization import bounded_quantize, proposed_quantize, simple_quantize
+from .wavelet import wavelet_forward, wavelet_inverse
+
+__all__ = ["CompressionStats", "WaveletCompressor", "compress", "decompress", "inspect"]
+
+_SUPPORTED_DTYPES = (np.float64, np.float32)
+
+_SEC_BITMAP = "bitmap"
+_SEC_AVERAGES = "averages"
+_SEC_INDICES = "indices"
+_SEC_RAW = "rawvals"
+
+
+@dataclass
+class CompressionStats:
+    """Sizes, counts and per-stage wall-clock timings of one compress call.
+
+    ``timings`` keys mirror the paper's Fig. 9 legend: ``wavelet``,
+    ``quantization``, ``encoding``, ``formatting`` and ``backend`` (the
+    gzip pass); when the temp-file backend is used, ``temp_write`` and
+    ``gzip`` additionally split the backend cost.
+    """
+
+    original_bytes: int = 0
+    formatted_bytes: int = 0
+    compressed_bytes: int = 0
+    applied_levels: int = 0
+    n_coefficients: int = 0
+    n_quantized: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+    config: CompressionConfig | None = None
+
+    @property
+    def compression_rate_percent(self) -> float:
+        """Paper Eq. 5 (compressed as % of original; lower is better)."""
+        if self.original_bytes <= 0:
+            return float("nan")
+        return 100.0 * self.compressed_bytes / self.original_bytes
+
+    @property
+    def total_compression_seconds(self) -> float:
+        return float(sum(v for k, v in self.timings.items()
+                         if k not in ("temp_write", "gzip")))
+
+    @property
+    def quantized_fraction(self) -> float:
+        if self.n_coefficients == 0:
+            return 0.0
+        return self.n_quantized / self.n_coefficients
+
+
+class WaveletCompressor:
+    """The paper's lossy compressor with a symmetric decompressor.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import WaveletCompressor, CompressionConfig
+    >>> comp = WaveletCompressor(CompressionConfig(n_bins=128))
+    >>> field = np.add.outer(np.linspace(0, 1, 64), np.linspace(0, 2, 64))
+    >>> blob = comp.compress(field)
+    >>> approx = comp.decompress(blob)
+    >>> approx.shape == field.shape
+    True
+    """
+
+    def __init__(self, config: CompressionConfig | None = None, **overrides: Any):
+        base = config if config is not None else CompressionConfig()
+        self._config = base.replace(**overrides) if overrides else base
+
+    @property
+    def config(self) -> CompressionConfig:
+        return self._config
+
+    # -- compression -------------------------------------------------------
+
+    def _check_input(self, arr: np.ndarray) -> np.ndarray:
+        a = np.asarray(arr)
+        if a.dtype not in [np.dtype(d) for d in _SUPPORTED_DTYPES]:
+            raise CompressionError(
+                f"unsupported dtype {a.dtype}; the lossy pipeline targets "
+                "floating-point mesh data (float32/float64). Use a lossless "
+                "codec from repro.lossless for other dtypes."
+            )
+        if a.ndim == 0:
+            raise CompressionError("cannot compress a 0-dimensional array")
+        if a.size and not np.isfinite(a).all():
+            raise CompressionError(
+                "input contains non-finite values; the Haar transform would "
+                "not round-trip NaN/Inf"
+            )
+        return a
+
+    def compress(self, arr: np.ndarray) -> bytes:
+        """Compress ``arr`` into a self-describing blob."""
+        blob, _ = self.compress_with_stats(arr)
+        return blob
+
+    def compress_with_stats(self, arr: np.ndarray) -> tuple[bytes, CompressionStats]:
+        """Compress and report sizes plus the per-stage cost breakdown."""
+        a = self._check_input(arr)
+        cfg = self._config
+        stats = CompressionStats(
+            original_bytes=int(a.nbytes),
+            n_coefficients=int(a.size),
+            config=cfg,
+        )
+
+        t0 = time.perf_counter()
+        coeffs, applied = wavelet_forward(a, cfg.levels, cfg.wavelet)
+        t1 = time.perf_counter()
+        stats.applied_levels = applied
+
+        hb_mask = high_band_mask(a.shape, applied)
+        if cfg.quantizer == QUANTIZER_NONE:
+            full_mask = np.zeros(a.size, dtype=bool)
+            indices = np.zeros(0, dtype=np.uint8)
+            averages = np.zeros(0, dtype=np.float64)
+        else:
+            hb_values = coeffs[hb_mask]
+            if cfg.quantizer == QUANTIZER_SIMPLE:
+                qr = simple_quantize(hb_values, cfg.n_bins)
+            elif cfg.quantizer == QUANTIZER_PROPOSED:
+                qr = proposed_quantize(hb_values, cfg.n_bins, cfg.spike_partitions)
+            elif cfg.quantizer == QUANTIZER_BOUNDED:
+                # Each reconstructed element is the deep low coefficient
+                # plus one unit-weight high coefficient per band per level,
+                # so dividing the element-level bound by that term count
+                # makes the guarantee hold after the inverse transform.
+                terms = max(1, (2**a.ndim - 1) * applied)
+                qr = bounded_quantize(
+                    hb_values, cfg.error_bound / terms, cfg.spike_partitions
+                )
+            else:  # pragma: no cover - config validates eagerly
+                raise CompressionError(f"unknown quantizer {cfg.quantizer!r}")
+            full_mask = np.zeros(a.size, dtype=bool)
+            full_mask[hb_mask.ravel()] = qr.quantized_mask
+            indices = qr.indices
+            averages = qr.averages
+        t2 = time.perf_counter()
+
+        payload = encode_coefficients(coeffs, full_mask, indices, averages)
+        stats.n_quantized = int(indices.size)
+        t3 = time.perf_counter()
+
+        header = {
+            "shape": list(a.shape),
+            "dtype": str(a.dtype),
+            "applied_levels": applied,
+            "config": cfg.to_dict(),
+            "n_coefficients": int(a.size),
+            "n_quantized": int(indices.size),
+            "index_dtype": str(payload.indices.dtype),
+        }
+        sections = {
+            _SEC_BITMAP: payload.bitmap.tobytes(),
+            _SEC_AVERAGES: payload.averages.tobytes(),
+            _SEC_INDICES: payload.indices.tobytes(),
+            _SEC_RAW: payload.raw_values.tobytes(),
+        }
+        body = container.write_body(header, sections)
+        stats.formatted_bytes = len(body)
+        t4 = time.perf_counter()
+
+        codec = get_codec(cfg.backend, level=cfg.backend_level)
+        compressed = codec.compress(body)
+        name_bytes = cfg.backend.encode("ascii")
+        blob = (
+            container.ENVELOPE_MAGIC
+            + bytes([len(name_bytes)])
+            + name_bytes
+            + compressed
+        )
+        t5 = time.perf_counter()
+
+        stats.compressed_bytes = len(blob)
+        stats.timings = {
+            "wavelet": t1 - t0,
+            "quantization": t2 - t1,
+            "encoding": t3 - t2,
+            "formatting": t4 - t3,
+            "backend": t5 - t4,
+        }
+        if isinstance(codec, TempfileGzipCodec):
+            stats.timings.update(codec.last_timings)
+        return blob, stats
+
+    # -- decompression -------------------------------------------------------
+
+    @staticmethod
+    def decompress(blob: bytes) -> np.ndarray:
+        """Decode a blob produced by any :class:`WaveletCompressor`.
+
+        The blob is self-describing, so this is a static method: the
+        configuration used for compression is read from the header.
+        """
+        body, _backend = container.unwrap_envelope(blob)
+        header, sections = container.read_body(body)
+        try:
+            shape = tuple(int(s) for s in header["shape"])
+            dtype = np.dtype(header["dtype"])
+            applied = int(header["applied_levels"])
+            size = int(header["n_coefficients"])
+            index_dtype = np.dtype(header.get("index_dtype", "uint8"))
+            wavelet = str(header.get("config", {}).get("wavelet", "haar"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"container header is missing fields: {exc}") from exc
+        if index_dtype not in (np.dtype(np.uint8), np.dtype(np.uint16)):
+            raise FormatError(f"unsupported index dtype {index_dtype}")
+        expected_size = 1
+        for s in shape:
+            expected_size *= s
+        if expected_size != size:
+            raise DecompressionError(
+                f"header shape {shape} implies {expected_size} coefficients, "
+                f"header records {size}"
+            )
+        missing = {_SEC_BITMAP, _SEC_AVERAGES, _SEC_INDICES, _SEC_RAW} - set(sections)
+        if missing:
+            raise FormatError(f"container is missing sections: {sorted(missing)}")
+        payload = EncodedPayload(
+            bitmap=np.frombuffer(sections[_SEC_BITMAP], dtype=np.uint8),
+            averages=np.frombuffer(sections[_SEC_AVERAGES], dtype=np.float64),
+            indices=np.frombuffer(sections[_SEC_INDICES], dtype=index_dtype),
+            raw_values=np.frombuffer(sections[_SEC_RAW], dtype=np.float64),
+            size=size,
+        )
+        flat = decode_coefficients(payload)
+        coeffs = flat.reshape(shape)
+        restored = wavelet_inverse(coeffs, applied, wavelet, copy=False)
+        return restored.astype(dtype, copy=False)
+
+    # -- convenience ---------------------------------------------------------
+
+    def roundtrip(self, arr: np.ndarray) -> tuple[np.ndarray, CompressionStats]:
+        """Compress then decompress; returns the lossy copy and the stats."""
+        blob, stats = self.compress_with_stats(arr)
+        return self.decompress(blob), stats
+
+
+def compress(arr: np.ndarray, config: CompressionConfig | None = None, **overrides: Any) -> bytes:
+    """Module-level convenience wrapper around :class:`WaveletCompressor`."""
+    return WaveletCompressor(config, **overrides).compress(arr)
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Decode a blob produced by :func:`compress`."""
+    return WaveletCompressor.decompress(blob)
+
+
+def inspect(blob: bytes) -> dict[str, Any]:
+    """Container header of a compressed blob (no coefficient decoding)."""
+    return container.peek_header(blob)

@@ -1,0 +1,234 @@
+"""Haar wavelet transformation (paper Section III-A, Figs. 2-3).
+
+The transform splits an array along an axis into a low-frequency band of
+pairwise averages and a high-frequency band of pairwise half-differences::
+
+    L[i] = (A[2i] + A[2i+1]) / 2
+    H[i] = (A[2i] - A[2i+1]) / 2
+
+so that ``A[2i] = L[i] + H[i]`` and ``A[2i+1] = L[i] - H[i]`` -- the
+transform is exactly invertible up to floating-point rounding of the
+sum/difference.  For a multi-dimensional array the 1D transform is applied
+along every axis in turn, yielding one low-frequency block (``LL..L``) and
+``2**ndim - 1`` high-frequency blocks per level, and the decomposition is
+recursed on the low block for deeper levels.
+
+Packed layout
+-------------
+Coefficients are stored *in place of* the original array ("packed" layout):
+after one level along an axis of length ``m``, indices ``[0, ceil(m/2))``
+hold the low band and ``[ceil(m/2), m)`` the high band.  Odd axes carry
+their unpaired trailing element into the low band unchanged (lazy-wavelet
+convention), so arbitrary shapes round-trip.
+
+All functions are pure vectorized NumPy; no Python-level loops over
+elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MAX_LEVELS
+from ..exceptions import CompressionError, DecompressionError
+
+__all__ = [
+    "haar_forward_axis",
+    "haar_inverse_axis",
+    "haar_forward",
+    "haar_inverse",
+    "wavelet_forward",
+    "wavelet_inverse",
+    "available_wavelets",
+    "plan_levels",
+    "low_band_shape",
+    "level_shapes",
+]
+
+
+def _low_len(n: int) -> int:
+    """Length of the low band produced from an axis of length ``n``."""
+    return n - n // 2
+
+
+def haar_forward_axis(arr: np.ndarray, axis: int) -> np.ndarray:
+    """One level of the Haar transform along ``axis``; returns a new array.
+
+    Axes shorter than 2 are returned as an unchanged copy.
+    """
+    a = np.moveaxis(np.asarray(arr, dtype=np.float64), axis, -1)
+    n = a.shape[-1]
+    if n < 2:
+        return np.array(arr, dtype=np.float64, copy=True)
+    m = n // 2
+    lo = n - m
+    out = np.empty_like(a)
+    even = a[..., 0 : 2 * m : 2]
+    odd = a[..., 1 : 2 * m : 2]
+    out[..., :m] = (even + odd) * 0.5
+    out[..., lo:] = (even - odd) * 0.5
+    if n % 2:
+        out[..., m] = a[..., -1]
+    return np.moveaxis(out, -1, axis)
+
+
+def haar_inverse_axis(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Invert :func:`haar_forward_axis` along ``axis``; returns a new array."""
+    a = np.moveaxis(np.asarray(arr, dtype=np.float64), axis, -1)
+    n = a.shape[-1]
+    if n < 2:
+        return np.array(arr, dtype=np.float64, copy=True)
+    m = n // 2
+    lo = n - m
+    out = np.empty_like(a)
+    low = a[..., :m]
+    high = a[..., lo:]
+    out[..., 0 : 2 * m : 2] = low + high
+    out[..., 1 : 2 * m : 2] = low - high
+    if n % 2:
+        out[..., -1] = a[..., m]
+    return np.moveaxis(out, -1, axis)
+
+
+def low_band_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Shape of the low-frequency block after one decomposition level."""
+    return tuple(_low_len(s) for s in shape)
+
+
+def plan_levels(shape: tuple[int, ...], levels: int | str) -> int:
+    """Resolve the requested recursion depth against a concrete shape.
+
+    Returns the number of levels that will actually be applied: recursion
+    stops once every axis of the running low block is shorter than 2, and
+    an explicit integer request is clamped to that natural maximum.
+    """
+    if len(shape) == 0:
+        return 0
+    natural = 0
+    cur = tuple(shape)
+    while any(s >= 2 for s in cur):
+        cur = low_band_shape(cur)
+        natural += 1
+    if levels == MAX_LEVELS:
+        return natural
+    if not isinstance(levels, int) or levels < 1:
+        raise CompressionError(f"invalid levels request: {levels!r}")
+    return min(levels, natural)
+
+
+def level_shapes(shape: tuple[int, ...], applied_levels: int) -> list[tuple[int, ...]]:
+    """Shapes of the running low block before each level (len = levels).
+
+    ``level_shapes(shape, k)[i]`` is the region the ``i``-th decomposition
+    operates on; the final low block is ``low_band_shape`` of the last entry.
+    """
+    shapes: list[tuple[int, ...]] = []
+    cur = tuple(shape)
+    for _ in range(applied_levels):
+        shapes.append(cur)
+        cur = low_band_shape(cur)
+    return shapes
+
+
+def _axis_transforms(wavelet: str):
+    from .lifting import cdf53_forward_axis, cdf53_inverse_axis
+
+    table = {
+        "haar": (haar_forward_axis, haar_inverse_axis),
+        "cdf53": (cdf53_forward_axis, cdf53_inverse_axis),
+    }
+    try:
+        return table[wavelet]
+    except KeyError:
+        raise CompressionError(
+            f"unknown wavelet {wavelet!r}; available: {sorted(table)}"
+        ) from None
+
+
+def available_wavelets() -> list[str]:
+    """Names of the supported transform families."""
+    return ["cdf53", "haar"]
+
+
+def wavelet_forward(
+    arr: np.ndarray, levels: int | str = 1, wavelet: str = "haar"
+) -> tuple[np.ndarray, int]:
+    """Multi-level, multi-dimensional wavelet transform.
+
+    Parameters
+    ----------
+    arr:
+        Array of any dimensionality; transformed in float64.
+    levels:
+        Recursion depth, or ``"max"``.
+    wavelet:
+        ``"haar"`` (the paper's transform) or ``"cdf53"`` (the JPEG 2000
+        LeGall lifting wavelet -- smaller high bands on smooth data).
+
+    Returns
+    -------
+    (coeffs, applied_levels):
+        ``coeffs`` has the same shape as ``arr`` (packed layout) and
+        ``applied_levels`` records how many levels actually ran, which
+        the inverse needs.
+    """
+    forward_axis, _ = _axis_transforms(wavelet)
+    a = np.asarray(arr)
+    if a.ndim == 0:
+        raise CompressionError("cannot wavelet-transform a 0-dimensional array")
+    applied = plan_levels(a.shape, levels)
+    out = np.array(a, dtype=np.float64, copy=True)
+    region = a.shape
+    for _ in range(applied):
+        sl = tuple(slice(0, s) for s in region)
+        block = out[sl]
+        for ax in range(a.ndim):
+            if region[ax] >= 2:
+                block = forward_axis(block, ax)
+        out[sl] = block
+        region = low_band_shape(region)
+    return out, applied
+
+
+def wavelet_inverse(
+    coeffs: np.ndarray,
+    applied_levels: int,
+    wavelet: str = "haar",
+    *,
+    copy: bool = True,
+) -> np.ndarray:
+    """Invert :func:`wavelet_forward` given the recorded level count."""
+    _, inverse_axis = _axis_transforms(wavelet)
+    a = np.asarray(coeffs, dtype=np.float64)
+    if a.ndim == 0:
+        raise DecompressionError("cannot invert a 0-dimensional coefficient array")
+    if applied_levels < 0:
+        raise DecompressionError(f"applied_levels must be >= 0, got {applied_levels}")
+    natural = plan_levels(a.shape, MAX_LEVELS)
+    if applied_levels > natural:
+        raise DecompressionError(
+            f"applied_levels={applied_levels} exceeds the maximum depth "
+            f"{natural} for shape {a.shape}"
+        )
+    out = np.array(a, copy=True) if copy else a
+    regions = level_shapes(a.shape, applied_levels)
+    for region in reversed(regions):
+        sl = tuple(slice(0, s) for s in region)
+        block = out[sl]
+        for ax in reversed(range(a.ndim)):
+            if region[ax] >= 2:
+                block = inverse_axis(block, ax)
+        out[sl] = block
+    return out
+
+
+def haar_forward(arr: np.ndarray, levels: int | str = 1) -> tuple[np.ndarray, int]:
+    """Multi-level Haar transform (see :func:`wavelet_forward`)."""
+    return wavelet_forward(arr, levels, "haar")
+
+
+def haar_inverse(
+    coeffs: np.ndarray, applied_levels: int, *, copy: bool = True
+) -> np.ndarray:
+    """Invert :func:`haar_forward` given the recorded level count."""
+    return wavelet_inverse(coeffs, applied_levels, "haar", copy=copy)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from data corruption.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CompressionError",
+    "DecompressionError",
+    "FormatError",
+    "IntegrityError",
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "RestoreError",
+    "StorageError",
+    "TuningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class CompressionError(ReproError):
+    """Compression of an array failed (unsupported dtype, shape, ...)."""
+
+
+class DecompressionError(ReproError):
+    """A compressed blob could not be decoded back into an array."""
+
+
+class FormatError(DecompressionError):
+    """A serialized container is malformed (bad magic, truncated section)."""
+
+
+class IntegrityError(DecompressionError):
+    """Stored checksums do not match the payload; the data is corrupt."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint write or bookkeeping failed."""
+
+
+class CheckpointNotFoundError(CheckpointError, KeyError):
+    """The requested checkpoint step does not exist in the store."""
+
+
+class RestoreError(CheckpointError):
+    """A checkpoint exists but could not be restored into the application."""
+
+
+class StorageError(ReproError):
+    """A storage backend failed to read or write an object."""
+
+
+class TuningError(ReproError):
+    """Parameter auto-tuning could not satisfy the requested error bound."""

@@ -1,0 +1,72 @@
+"""Failure schedules: when, exactly, the machine dies.
+
+A :class:`FailureSchedule` is an immutable sorted list of absolute failure
+times (wall-clock seconds), built either explicitly (deterministic tests,
+the related-work "inject a varying number of failures" experiment) or by
+sampling a :class:`~repro.failure.distributions.FailureDistribution`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .distributions import FailureDistribution
+
+__all__ = ["FailureSchedule"]
+
+
+class FailureSchedule:
+    """Sorted absolute failure times with lookup helpers."""
+
+    def __init__(self, times: Iterable[float]) -> None:
+        cleaned = sorted(float(t) for t in times)
+        if any(t < 0 for t in cleaned):
+            raise ConfigurationError("failure times must be >= 0")
+        if any(b - a == 0.0 for a, b in zip(cleaned, cleaned[1:])):
+            raise ConfigurationError("failure times must be distinct")
+        self._times: tuple[float, ...] = tuple(cleaned)
+
+    @classmethod
+    def from_distribution(
+        cls,
+        dist: FailureDistribution,
+        horizon: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> "FailureSchedule":
+        """Sample every failure up to ``horizon`` seconds."""
+        return cls(dist.failure_times(horizon, rng))
+
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """A failure-free run."""
+        return cls(())
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return self._times
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(self._times)
+
+    def next_after(self, t: float) -> float | None:
+        """First failure strictly after time ``t`` (None if none remain)."""
+        i = bisect_right(self._times, t)
+        return self._times[i] if i < len(self._times) else None
+
+    def count_in(self, start: float, end: float) -> int:
+        """Failures in the half-open interval ``(start, end]``."""
+        if end < start:
+            raise ConfigurationError(f"interval end {end} precedes start {start}")
+        return bisect_right(self._times, end) - bisect_right(self._times, start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview: Sequence[float] = self._times[:3]
+        suffix = ", ..." if len(self._times) > 3 else ""
+        return f"FailureSchedule({list(preview)}{suffix}, n={len(self._times)})"

@@ -1,0 +1,80 @@
+"""Analytic storage cost model (paper Section IV-D, Table I context).
+
+Fig. 9 in the paper is an *estimate*: the per-process compression cost is
+measured on a real node, and the shared-parallel-filesystem I/O time is
+modelled analytically as ``total bytes / aggregate bandwidth`` (20 GB/s in
+the paper).  :class:`StorageModel` captures that analytic half; the
+measured half lives in :mod:`repro.iomodel.breakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "StorageModel",
+    "PAPER_PFS",
+    "PAPER_NFS",
+    "PAPER_PER_PROCESS_BYTES",
+    "MB",
+    "GB",
+]
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+#: Per-process checkpoint size the paper assumes in its weak-scaling
+#: estimate: 1.5 MB -- "based on checkpoint size of a single array in NICAM".
+PAPER_PER_PROCESS_BYTES = int(1.5 * MB)
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Shared filesystem with an aggregate bandwidth and per-op latency.
+
+    All processes write to the same shared system, so the write time of a
+    weak-scaled checkpoint grows linearly with the process count -- which
+    is exactly why constant-per-process compression wins at scale.
+    """
+
+    name: str
+    bandwidth_bytes_per_sec: float
+    latency_sec: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_sec}"
+            )
+        if self.latency_sec < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency_sec}")
+
+    def write_seconds(self, nbytes: int | float) -> float:
+        """Time to write ``nbytes`` from a single writer."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency_sec + float(nbytes) / self.bandwidth_bytes_per_sec
+
+    def aggregate_write_seconds(
+        self, per_process_bytes: int | float, parallelism: int
+    ) -> float:
+        """Time for ``parallelism`` processes to each write
+        ``per_process_bytes`` through the shared system (paper's
+        ``size x P / bandwidth`` estimate)."""
+        if parallelism < 1:
+            raise ConfigurationError(f"parallelism must be >= 1, got {parallelism}")
+        if per_process_bytes < 0:
+            raise ConfigurationError(
+                f"per_process_bytes must be >= 0, got {per_process_bytes}"
+            )
+        total = float(per_process_bytes) * parallelism
+        return self.latency_sec + total / self.bandwidth_bytes_per_sec
+
+
+#: The 20 GB/s shared parallel filesystem of the paper's Fig. 9 estimate.
+PAPER_PFS = StorageModel("paper-pfs", 20.0 * 1e9)
+
+#: Table I's in-house NFS (order-of-magnitude single-server bandwidth).
+PAPER_NFS = StorageModel("paper-nfs", 100.0 * 1e6, latency_sec=1e-3)

@@ -1,0 +1,26 @@
+"""Lossless codecs used as the final pipeline stage and as baselines.
+
+Importing this package registers every built-in codec; use
+:func:`get_codec` to instantiate one by name.
+"""
+
+from .base import Codec, NullCodec, available_codecs, get_codec, register_codec
+from .fpc import XorDeltaCodec
+from .rle import RleCodec
+from .shuffle import ShuffleZlibCodec
+from .tempfile_gzip import TempfileGzipCodec
+from .zlib_codec import GzipCodec, ZlibCodec
+
+__all__ = [
+    "Codec",
+    "NullCodec",
+    "ZlibCodec",
+    "GzipCodec",
+    "TempfileGzipCodec",
+    "RleCodec",
+    "ShuffleZlibCodec",
+    "XorDeltaCodec",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+]

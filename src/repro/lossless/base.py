@@ -1,0 +1,86 @@
+"""Codec abstraction and registry for lossless backends.
+
+The paper's pipeline finishes by running the formatted output through gzip
+(Section III-D) and observes that most of the compression time is the
+temp-file gzip pass, suggesting in-memory zlib instead (Section IV-D).  To
+make that comparison (and the RLE / predictive-float ablations) first-class,
+every backend implements the tiny :class:`Codec` interface and registers
+itself by name; :class:`~repro.config.CompressionConfig` then selects one
+with a string.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Codec", "register_codec", "get_codec", "available_codecs", "NullCodec"]
+
+_REGISTRY: dict[str, Callable[..., "Codec"]] = {}
+
+
+class Codec(ABC):
+    """A reversible bytes-to-bytes transform."""
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; must be invertible by :meth:`decompress`."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def register_codec(factory: Callable[..., Codec], *, name: str | None = None) -> None:
+    """Register ``factory`` (usually the class itself) under its name."""
+    codec_name = name or getattr(factory, "name", "")
+    if not codec_name:
+        raise ConfigurationError("codec factory must define a non-empty name")
+    _REGISTRY[codec_name] = factory
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate the codec registered under ``name``.
+
+    Extra keyword arguments are forwarded to the factory; factories that do
+    not accept a given kwarg (e.g. ``level`` for RLE) ignore it via their
+    signature, so lookups stay uniform.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_codecs() -> list[str]:
+    """Sorted names of every registered codec."""
+    return sorted(_REGISTRY)
+
+
+class NullCodec(Codec):
+    """Identity codec -- useful for measuring formatting overhead alone."""
+
+    name = "none"
+
+    def __init__(self, level: int = 0):
+        self.level = level  # accepted for interface uniformity, unused
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+register_codec(NullCodec)

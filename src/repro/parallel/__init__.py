@@ -1,0 +1,21 @@
+"""Rank-parallel checkpointing over domain-decomposed global arrays."""
+
+from .decomposition import BlockDecomposition, decompose, reassemble
+from .driver import (
+    ParallelCheckpointResult,
+    RankCheckpoint,
+    SimulatedComm,
+    parallel_checkpoint,
+    parallel_restore,
+)
+
+__all__ = [
+    "BlockDecomposition",
+    "decompose",
+    "reassemble",
+    "SimulatedComm",
+    "RankCheckpoint",
+    "ParallelCheckpointResult",
+    "parallel_checkpoint",
+    "parallel_restore",
+]

@@ -1,0 +1,123 @@
+"""Domain decomposition of global mesh arrays across ranks.
+
+The paper's scaling argument (Section IV-D) assumes weak scaling: every
+process owns a fixed-size block of the global mesh and compresses it
+independently ("compression of checkpoints of each process can be done in
+an embarrassingly parallel fashion").  This module provides the block
+decomposition used by the rank-parallel checkpoint driver: split a global
+array into per-rank slabs along one axis (NICAM splits its icosahedral
+cell dimension the same way), and reassemble them exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["BlockDecomposition", "decompose", "reassemble"]
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """A 1D slab decomposition of a global shape.
+
+    Attributes
+    ----------
+    global_shape:
+        Shape of the undecomposed array.
+    axis:
+        Axis that is split across ranks.
+    n_ranks:
+        Number of ranks; the first ``global_shape[axis] % n_ranks`` ranks
+        own one extra row, so every element is owned exactly once.
+    """
+
+    global_shape: tuple[int, ...]
+    axis: int
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        if not self.global_shape:
+            raise ConfigurationError("global shape must be non-empty")
+        if any(s < 1 for s in self.global_shape):
+            raise ConfigurationError(
+                f"global shape must be positive, got {self.global_shape}"
+            )
+        if not 0 <= self.axis < len(self.global_shape):
+            raise ConfigurationError(
+                f"axis {self.axis} out of range for shape {self.global_shape}"
+            )
+        if self.n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.n_ranks > self.global_shape[self.axis]:
+            raise ConfigurationError(
+                f"cannot split axis of length {self.global_shape[self.axis]} "
+                f"across {self.n_ranks} ranks (some ranks would own nothing)"
+            )
+
+    def extent(self, rank: int) -> tuple[int, int]:
+        """Half-open ``[start, stop)`` range of ``rank`` along the axis."""
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(
+                f"rank {rank} out of range for {self.n_ranks} ranks"
+            )
+        n = self.global_shape[self.axis]
+        base = n // self.n_ranks
+        extra = n % self.n_ranks
+        start = rank * base + min(rank, extra)
+        stop = start + base + (1 if rank < extra else 0)
+        return start, stop
+
+    def slices(self, rank: int) -> tuple[slice, ...]:
+        """Index expression selecting ``rank``'s block of the global array."""
+        start, stop = self.extent(rank)
+        out = [slice(None)] * len(self.global_shape)
+        out[self.axis] = slice(start, stop)
+        return tuple(out)
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        start, stop = self.extent(rank)
+        shape = list(self.global_shape)
+        shape[self.axis] = stop - start
+        return tuple(shape)
+
+    def local_nbytes(self, rank: int, itemsize: int = 8) -> int:
+        n = itemsize
+        for s in self.local_shape(rank):
+            n *= s
+        return n
+
+
+def decompose(
+    array: np.ndarray, n_ranks: int, axis: int = 0
+) -> tuple[BlockDecomposition, list[np.ndarray]]:
+    """Split ``array`` into per-rank blocks (views, not copies)."""
+    a = np.asarray(array)
+    decomp = BlockDecomposition(a.shape, axis, n_ranks)
+    return decomp, [a[decomp.slices(rank)] for rank in range(n_ranks)]
+
+
+def reassemble(
+    decomp: BlockDecomposition, blocks: list[np.ndarray]
+) -> np.ndarray:
+    """Invert :func:`decompose`; validates every block's shape."""
+    if len(blocks) != decomp.n_ranks:
+        raise ConfigurationError(
+            f"expected {decomp.n_ranks} blocks, got {len(blocks)}"
+        )
+    if not blocks:
+        raise ConfigurationError("no blocks to reassemble")
+    dtype = np.asarray(blocks[0]).dtype
+    out = np.empty(decomp.global_shape, dtype=dtype)
+    for rank, block in enumerate(blocks):
+        b = np.asarray(block)
+        expected = decomp.local_shape(rank)
+        if b.shape != expected:
+            raise ConfigurationError(
+                f"rank {rank} block has shape {b.shape}, expected {expected}"
+            )
+        out[decomp.slices(rank)] = b
+    return out

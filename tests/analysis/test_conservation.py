@@ -1,0 +1,121 @@
+"""Unit tests for post-restart conservation adjustment (paper IV-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.analysis.conservation import (
+    adjust_energy,
+    adjust_mean,
+    adjust_sum,
+    conservation_report,
+    symmetrize,
+)
+from repro.exceptions import ReproError
+
+
+class TestAdjustSum:
+    def test_restores_sum_exactly(self, rng):
+        a = rng.standard_normal(100)
+        out = adjust_sum(a, 42.0)
+        assert out.sum() == pytest.approx(42.0, abs=1e-9)
+
+    def test_uniform_shift_is_minimal(self, rng):
+        a = rng.standard_normal(50)
+        out = adjust_sum(a, a.sum() + 5.0)
+        np.testing.assert_allclose(out - a, 0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            adjust_sum(np.zeros(0), 1.0)
+
+
+class TestAdjustMean:
+    def test_restores_mean(self, rng):
+        out = adjust_mean(rng.standard_normal((8, 8)), 3.5)
+        assert out.mean() == pytest.approx(3.5)
+
+
+class TestAdjustEnergy:
+    def test_restores_energy(self, rng):
+        a = rng.standard_normal(64)
+        out = adjust_energy(a, 10.0)
+        assert np.sum(out**2) == pytest.approx(10.0)
+
+    def test_preserves_shape_direction(self, rng):
+        a = rng.standard_normal(16)
+        out = adjust_energy(a, 2.0 * np.sum(a**2))
+        np.testing.assert_allclose(out / a, np.sqrt(2.0))
+
+    def test_zero_target(self, rng):
+        out = adjust_energy(rng.standard_normal(4), 0.0)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_zero_field_positive_target(self):
+        with pytest.raises(ReproError):
+            adjust_energy(np.zeros(4), 1.0)
+
+    def test_negative_target(self, rng):
+        with pytest.raises(ReproError):
+            adjust_energy(rng.standard_normal(4), -1.0)
+
+
+class TestSymmetrize:
+    def test_result_symmetric(self, rng):
+        out = symmetrize(rng.standard_normal((9, 4)), axis=0)
+        np.testing.assert_allclose(out, np.flip(out, axis=0))
+
+    def test_symmetric_input_unchanged(self):
+        a = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        np.testing.assert_allclose(symmetrize(a), a)
+
+    def test_l2_projection_property(self, rng):
+        """The symmetrization is the closest symmetric array: the residual
+        is orthogonal to every symmetric array (it is antisymmetric)."""
+        a = rng.standard_normal(10)
+        s = symmetrize(a)
+        residual = a - s
+        np.testing.assert_allclose(residual, -residual[::-1], atol=1e-12)
+
+    def test_bad_axis(self, rng):
+        with pytest.raises(ReproError):
+            symmetrize(rng.standard_normal(4), axis=3)
+
+
+class TestConservationReport:
+    def test_zero_for_identical(self, rng):
+        a = rng.standard_normal(32)
+        report = conservation_report(a, a)
+        assert all(v == 0.0 for v in report.values())
+
+    def test_pipeline_preserves_sums_by_construction(self, smooth3d):
+        """A pleasant structural fact: the Haar high bands contribute
+        ``+H - H`` to each reconstructed pair, so quantization errors in
+        them cancel pairwise and the *global sum* survives a lossy
+        roundtrip to fp precision (mean-based bin averages likewise
+        preserve coefficient sums)."""
+        comp = WaveletCompressor(CompressionConfig(n_bins=8, quantizer="simple"))
+        restored = comp.decompress(comp.compress(smooth3d))
+        report = conservation_report(smooth3d, restored)
+        assert report["sum_drift"] < 1e-10
+
+    def test_detects_lossy_breakage_and_adjustment_fixes_it(self, smooth3d):
+        """End-to-end IV-E story: a lossy roundtrip breaks the quadratic
+        (energy-like) invariant, adjust_energy restores it."""
+        comp = WaveletCompressor(CompressionConfig(n_bins=8, quantizer="simple"))
+        restored = comp.decompress(comp.compress(smooth3d))
+        broken = conservation_report(smooth3d, restored)
+        assert broken["energy_drift"] > 0
+        fixed = adjust_energy(restored, float(np.sum(smooth3d**2)))
+        repaired = conservation_report(smooth3d, fixed)
+        assert repaired["energy_drift"] < broken["energy_drift"] / 10 + 1e-15
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ReproError):
+            conservation_report(rng.standard_normal(4), rng.standard_normal(5))
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            conservation_report(np.zeros(0), np.zeros(0))

@@ -1,0 +1,54 @@
+"""Unit tests for the asynchronous-checkpointing runtime model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckpt.interval import expected_runtime, expected_runtime_async
+from repro.exceptions import ConfigurationError
+
+
+class TestAsyncModel:
+    ARGS = (10_000.0, 300.0, 30.0, 60.0, 3600.0)
+
+    def test_full_overlap_hides_checkpoint_cost(self):
+        work, tau, c, r, m = self.ARGS
+        fully_hidden = expected_runtime_async(work, tau, c, r, m, 1.0)
+        free_ckpt = expected_runtime(work, tau, 0.0, r, m)
+        assert fully_hidden == pytest.approx(free_ckpt)
+
+    def test_zero_overlap_is_blocking_model(self):
+        work, tau, c, r, m = self.ARGS
+        blocking = expected_runtime_async(work, tau, c, r, m, 0.0)
+        assert blocking == pytest.approx(expected_runtime(work, tau, c, r, m))
+
+    def test_monotone_in_overlap(self):
+        work, tau, c, r, m = self.ARGS
+        runtimes = [
+            expected_runtime_async(work, tau, c, r, m, f)
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a >= b for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_async_always_helps(self):
+        work, tau, c, r, m = self.ARGS
+        assert expected_runtime_async(work, tau, c, r, m, 0.8) < expected_runtime(
+            work, tau, c, r, m
+        )
+
+    def test_overlap_validation(self):
+        work, tau, c, r, m = self.ARGS
+        with pytest.raises(ConfigurationError):
+            expected_runtime_async(work, tau, c, r, m, -0.1)
+        with pytest.raises(ConfigurationError):
+            expected_runtime_async(work, tau, c, r, m, 1.1)
+
+    def test_compression_and_async_compose(self):
+        """Compression shrinks C; async hides what remains -- the paper's
+        Section VI 'combine with other efforts' direction quantified."""
+        work, tau, _c, r, m = self.ARGS
+        c_plain = 60.0
+        c_lossy = 3.0 + 60.0 * 0.19
+        plain_sync = expected_runtime(work, tau, c_plain, r, m)
+        lossy_async = expected_runtime_async(work, tau, c_lossy, r, m, 0.9)
+        assert lossy_async < plain_sync

@@ -1,0 +1,117 @@
+"""Unit tests for the incremental checkpointing baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.incremental import IncrementalArrayStore
+from repro.exceptions import CheckpointError, DecompressionError
+
+
+@pytest.fixture
+def drifting_arrays(rng):
+    """A sequence where every value changes slightly each step (the mesh
+    scenario the paper says defeats incremental checkpointing)."""
+    arrays = []
+    a = rng.standard_normal((32, 16))
+    for _ in range(7):
+        a = a + 1e-3 * rng.standard_normal(a.shape)
+        arrays.append(a.copy())
+    return arrays
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("differencer", ["xor", "subtract"])
+    def test_restore_latest(self, drifting_arrays, differencer):
+        store = IncrementalArrayStore(differencer=differencer, full_every=3)
+        for step, arr in enumerate(drifting_arrays):
+            store.append(step, arr)
+        back = store.restore()
+        if differencer == "xor":
+            np.testing.assert_array_equal(back, drifting_arrays[-1])
+        else:
+            np.testing.assert_allclose(back, drifting_arrays[-1], rtol=1e-12)
+
+    def test_restore_every_step_xor_exact(self, drifting_arrays):
+        store = IncrementalArrayStore(differencer="xor", full_every=4)
+        for step, arr in enumerate(drifting_arrays):
+            store.append(step, arr)
+        for step, arr in enumerate(drifting_arrays):
+            np.testing.assert_array_equal(store.restore(step), arr)
+
+    def test_integer_arrays(self, rng):
+        store = IncrementalArrayStore()
+        a = rng.integers(0, 100, (16, 8)).astype(np.int64)
+        store.append(0, a)
+        b = a.copy()
+        b[3, 4] += 1
+        store.append(1, b)
+        np.testing.assert_array_equal(store.restore(1), b)
+
+
+class TestChainStructure:
+    def test_full_every(self, drifting_arrays):
+        store = IncrementalArrayStore(full_every=3)
+        for step, arr in enumerate(drifting_arrays):
+            store.append(step, arr)
+        fulls = [r.is_full for r in store.records()]
+        assert fulls == [True, False, False, True, False, False, True]
+
+    def test_chain_length(self, drifting_arrays):
+        store = IncrementalArrayStore(full_every=3)
+        for step, arr in enumerate(drifting_arrays):
+            store.append(step, arr)
+        assert store.chain_length(0) == 1
+        assert store.chain_length(2) == 3  # full at 0 plus two deltas
+        assert store.chain_length(3) == 1  # fresh full image
+        assert store.chain_length() == 1  # step 6 is a full image
+
+    def test_identical_checkpoints_store_tiny_deltas(self, rng):
+        """Unchanged state is incremental checkpointing's best case."""
+        store = IncrementalArrayStore(full_every=10)
+        a = rng.standard_normal((64, 64))
+        store.append(0, a)
+        rec = store.append(1, a)
+        assert not rec.is_full
+        assert rec.stored_bytes < rec.raw_bytes / 100
+
+    def test_fully_changed_state_barely_shrinks(self, rng):
+        """...and the paper's mesh scenario is its worst case: when every
+        double changes, the XOR delta is noise."""
+        store = IncrementalArrayStore(full_every=10)
+        store.append(0, rng.standard_normal((64, 64)))
+        rec = store.append(1, rng.standard_normal((64, 64)))
+        assert rec.stored_bytes > rec.raw_bytes / 2
+
+
+class TestValidation:
+    def test_bad_differencer(self):
+        with pytest.raises(CheckpointError):
+            IncrementalArrayStore(differencer="diff")
+
+    def test_bad_full_every(self):
+        with pytest.raises(CheckpointError):
+            IncrementalArrayStore(full_every=0)
+
+    def test_shape_change_rejected(self, rng):
+        store = IncrementalArrayStore()
+        store.append(0, rng.standard_normal((4, 4)))
+        with pytest.raises(CheckpointError, match="shape"):
+            store.append(1, rng.standard_normal((4, 5)))
+
+    def test_non_monotone_step_rejected(self, rng):
+        store = IncrementalArrayStore()
+        store.append(5, rng.standard_normal(4))
+        with pytest.raises(CheckpointError):
+            store.append(5, rng.standard_normal(4))
+
+    def test_restore_empty(self):
+        with pytest.raises(DecompressionError):
+            IncrementalArrayStore().restore()
+
+    def test_restore_unknown_step(self, rng):
+        store = IncrementalArrayStore()
+        store.append(0, rng.standard_normal(4))
+        with pytest.raises(DecompressionError):
+            store.restore(99)

@@ -1,0 +1,131 @@
+"""Unit tests for Young/Daly checkpoint interval models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ckpt.interval import (
+    checkpoint_overhead_fraction,
+    compare_compression_intervals,
+    daly_interval,
+    expected_runtime,
+    optimal_interval_with_compression,
+    young_interval,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_interval(50.0, 3600.0) == pytest.approx(math.sqrt(2 * 50 * 3600))
+
+    def test_monotone_in_cost(self):
+        assert young_interval(10, 1000) < young_interval(40, 1000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            young_interval(0, 100)
+        with pytest.raises(ConfigurationError):
+            young_interval(10, -1)
+
+
+class TestDaly:
+    def test_close_to_young_for_small_cost(self):
+        c, m = 1.0, 1e6
+        assert daly_interval(c, m) == pytest.approx(young_interval(c, m), rel=1e-2)
+
+    def test_below_young_for_big_cost(self):
+        # the -C correction bites when C is non-negligible
+        assert daly_interval(500.0, 3600.0) < young_interval(500.0, 3600.0)
+
+    def test_degenerate_regime(self):
+        assert daly_interval(250.0, 100.0) == 100.0  # C >= 2M
+
+    def test_minimizes_expected_runtime(self):
+        """Daly's tau should (approximately) minimize the full model."""
+        c, r, m, work = 30.0, 15.0, 1800.0, 100000.0
+        tau_opt = daly_interval(c, m)
+        best = expected_runtime(work, tau_opt, c, r, m)
+        for tau in np.linspace(tau_opt * 0.3, tau_opt * 3.0, 25):
+            assert best <= expected_runtime(work, tau, c, r, m) * 1.01
+
+
+class TestExpectedRuntime:
+    def test_reduces_to_overhead_only_without_failures(self):
+        # As MTBF -> infinity, wall -> work * (1 + C/tau)
+        work, tau, c = 1000.0, 100.0, 10.0
+        wall = expected_runtime(work, tau, c, 5.0, 1e9)
+        assert wall == pytest.approx(work * (1 + c / tau), rel=1e-4)
+
+    def test_grows_when_mtbf_shrinks(self):
+        args = (1000.0, 100.0, 10.0, 5.0)
+        assert expected_runtime(*args, 500.0) > expected_runtime(*args, 5000.0)
+
+    def test_restart_cost_multiplies(self):
+        base = expected_runtime(1000, 100, 10, 0.0, 500)
+        with_restart = expected_runtime(1000, 100, 10, 50.0, 500)
+        assert with_restart == pytest.approx(base * math.exp(50 / 500))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_runtime(-1, 10, 1, 1, 100)
+        with pytest.raises(ConfigurationError):
+            expected_runtime(10, 10, -1, 1, 100)
+
+
+class TestOverheadFraction:
+    def test_formula(self):
+        assert checkpoint_overhead_fraction(100.0, 10.0, 1000.0) == pytest.approx(
+            10 / 100 + 100 / 2000
+        )
+
+    def test_minimized_at_young(self):
+        c, m = 20.0, 2000.0
+        tau_star = young_interval(c, m)
+        best = checkpoint_overhead_fraction(tau_star, c, m)
+        for tau in np.linspace(tau_star / 3, tau_star * 3, 31):
+            assert best <= checkpoint_overhead_fraction(tau, c, m) + 1e-12
+
+
+class TestCompressionCoupling:
+    def test_cheaper_checkpoints_mean_shorter_intervals(self):
+        tau_without, tau_with = optimal_interval_with_compression(
+            io_seconds=100.0,
+            compression_seconds=2.0,
+            compression_rate_fraction=0.19,
+            mtbf=3600.0,
+        )
+        assert tau_with < tau_without
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_interval_with_compression(100, 1, 0.0, 3600)
+        with pytest.raises(ConfigurationError):
+            optimal_interval_with_compression(100, 1, 1.5, 3600)
+
+    def test_comparison_saving_positive_when_compression_cheap(self):
+        cmp_result = compare_compression_intervals(
+            work=1_000_000.0,
+            io_seconds=120.0,
+            compression_seconds=3.0,
+            compression_rate_fraction=0.19,
+            restart_cost=60.0,
+            mtbf=3600.0,
+        )
+        assert cmp_result.checkpoint_cost_with < cmp_result.checkpoint_cost_without
+        assert cmp_result.runtime_with < cmp_result.runtime_without
+        assert 0 < cmp_result.runtime_saving_fraction < 1
+
+    def test_comparison_harmful_when_compression_expensive(self):
+        cmp_result = compare_compression_intervals(
+            work=1_000_000.0,
+            io_seconds=1.0,
+            compression_seconds=50.0,
+            compression_rate_fraction=0.9,
+            restart_cost=10.0,
+            mtbf=3600.0,
+        )
+        assert cmp_result.runtime_saving_fraction < 0

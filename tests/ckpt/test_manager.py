@@ -1,0 +1,195 @@
+"""Unit tests for the checkpoint manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig
+from repro.ckpt.manager import (
+    CheckpointManager,
+    deserialize_array,
+    serialize_array_lossless,
+)
+from repro.ckpt.manifest import array_key
+from repro.ckpt.protocol import ArrayRegistry
+from repro.ckpt.store import MemoryStore
+from repro.exceptions import (
+    CheckpointError,
+    CheckpointNotFoundError,
+    FormatError,
+)
+
+
+@pytest.fixture
+def registry(smooth3d):
+    reg = ArrayRegistry()
+    reg.register("temperature", smooth3d.copy())
+    reg.register("counter", np.array([7, 8, 9], dtype=np.int64))
+    return reg
+
+
+@pytest.fixture
+def manager(registry):
+    return CheckpointManager(registry, MemoryStore())
+
+
+class TestLosslessSerialization:
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32, np.int64, np.int8, np.uint32, np.bool_]
+    )
+    def test_bit_exact_roundtrip(self, dtype):
+        rng = np.random.default_rng(1)
+        arr = (rng.standard_normal((5, 3)) * 10).astype(dtype)
+        blob = serialize_array_lossless(arr, "zlib")
+        out = deserialize_array(blob)
+        assert out.dtype == arr.dtype
+        np.testing.assert_array_equal(out, arr)
+
+    def test_fortran_order_input(self):
+        arr = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        out = deserialize_array(serialize_array_lossless(arr, "zlib"))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_dispatch_to_lossy_decoder(self, smooth2d):
+        from repro.core.pipeline import WaveletCompressor
+
+        blob = WaveletCompressor().compress(smooth2d)
+        out = deserialize_array(blob)
+        assert out.shape == smooth2d.shape
+
+
+class TestCheckpointWrite:
+    def test_manifest_contents(self, manager, smooth3d):
+        manifest = manager.checkpoint(5, {"note": "hi"})
+        assert manifest.step == 5
+        assert manifest.names() == ["counter", "temperature"]
+        assert manifest.app_meta == {"note": "hi"}
+        temp = manifest.entry("temperature")
+        assert temp.codec == "wavelet-lossy"
+        assert temp.raw_bytes == smooth3d.nbytes
+        assert manifest.entry("counter").codec == "lossless:zlib"
+
+    def test_duplicate_step_rejected(self, manager):
+        manager.checkpoint(1)
+        with pytest.raises(CheckpointError, match="already exists"):
+            manager.checkpoint(1)
+
+    @pytest.mark.parametrize("step", [-1, 1.5, "3", True])
+    def test_bad_step(self, manager, step):
+        with pytest.raises(CheckpointError):
+            manager.checkpoint(step)
+
+    def test_steps_listing(self, manager):
+        for step in (3, 1, 7):
+            manager.checkpoint(step)
+        assert manager.steps() == [1, 3, 7]
+        assert manager.latest_step() == 7
+
+    def test_empty_store(self, manager):
+        assert manager.steps() == []
+        assert manager.latest_step() is None
+
+    def test_retention_prunes_oldest(self, registry):
+        manager = CheckpointManager(registry, MemoryStore(), retention=2)
+        for step in (1, 2, 3, 4):
+            manager.checkpoint(step)
+        assert manager.steps() == [3, 4]
+
+    def test_retention_validation(self, registry):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(registry, MemoryStore(), retention=0)
+
+    def test_unknown_codec_fails_fast(self, registry):
+        with pytest.raises(Exception):
+            CheckpointManager(registry, MemoryStore(), lossless_codec="bogus")
+
+    def test_bad_policy_value(self, registry):
+        with pytest.raises(CheckpointError, match="policy"):
+            CheckpointManager(registry, MemoryStore(), policy={"temperature": 42})
+
+
+class TestRestore:
+    def test_roundtrip_lossy_within_bound(self, manager, registry, smooth3d):
+        manager.checkpoint(1)
+        live = registry.get("temperature")
+        live[:] = 0.0
+        manager.restore(1)
+        from repro.core.errors import mean_relative_error
+
+        assert mean_relative_error(smooth3d, registry.get("temperature")) < 1e-2
+
+    def test_int_arrays_bit_exact(self, manager, registry):
+        manager.checkpoint(1)
+        registry.get("counter")[:] = 0
+        manager.restore()
+        np.testing.assert_array_equal(registry.get("counter"), [7, 8, 9])
+
+    def test_lossless_policy_bit_exact(self, registry, smooth3d):
+        manager = CheckpointManager(
+            registry, MemoryStore(), policy={"temperature": "lossless"}
+        )
+        manager.checkpoint(1)
+        registry.get("temperature")[:] = 0.0
+        manager.restore()
+        np.testing.assert_array_equal(registry.get("temperature"), smooth3d)
+
+    def test_per_array_config_policy(self, registry):
+        manager = CheckpointManager(
+            registry,
+            MemoryStore(),
+            policy={"temperature": CompressionConfig(n_bins=2, quantizer="simple")},
+        )
+        manifest = manager.checkpoint(1)
+        assert manifest.entry("temperature").codec_params["n_bins"] == 2
+
+    def test_restore_latest_by_default(self, manager, registry):
+        manager.checkpoint(1)
+        registry.get("counter")[:] = 100
+        manager.checkpoint(2)
+        registry.get("counter")[:] = 0
+        manifest = manager.restore()
+        assert manifest.step == 2
+        assert registry.get("counter")[0] == 100
+
+    def test_restore_empty_store(self, manager):
+        with pytest.raises(CheckpointNotFoundError):
+            manager.restore()
+
+    def test_restore_unknown_step(self, manager):
+        manager.checkpoint(1)
+        with pytest.raises(CheckpointNotFoundError):
+            manager.restore(99)
+
+    def test_corruption_detected(self, manager):
+        manager.checkpoint(1)
+        key = array_key(1, "temperature")
+        blob = bytearray(manager.store.get(key))
+        blob[-1] ^= 0xFF
+        manager.store.put(key, bytes(blob))
+        with pytest.raises(FormatError, match="CRC"):
+            manager.restore(1)
+
+    def test_verify(self, manager):
+        manager.checkpoint(1)
+        manifest = manager.verify(1)
+        assert manifest.step == 1
+
+    def test_verify_missing_blob(self, manager):
+        manager.checkpoint(1)
+        manager.store.delete(array_key(1, "counter"))
+        with pytest.raises(FormatError, match="missing"):
+            manager.verify(1)
+
+    def test_delete(self, manager):
+        manager.checkpoint(1)
+        manager.delete(1)
+        assert manager.steps() == []
+        assert manager.store.list_keys("ckpt/0000000001/") == []
+
+    def test_load_arrays_without_registry_touch(self, manager, registry):
+        manager.checkpoint(1)
+        before = registry.snapshot()
+        arrays = manager.load_arrays(1)
+        assert set(arrays) == {"temperature", "counter"}
+        np.testing.assert_array_equal(registry.get("counter"), before["counter"])

@@ -1,0 +1,106 @@
+"""Unit tests for checkpoint manifests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckpt.manifest import (
+    ArrayEntry,
+    CheckpointManifest,
+    array_key,
+    manifest_key,
+    validate_app_meta,
+)
+from repro.exceptions import FormatError
+
+
+def make_entry(name="temperature", payload=b"blob-bytes"):
+    return ArrayEntry(
+        name=name,
+        shape=(4, 2),
+        dtype="float64",
+        codec="wavelet-lossy",
+        codec_params={"n_bins": 128},
+        raw_bytes=64,
+        stored_bytes=len(payload),
+        crc32=ArrayEntry.checksum(payload),
+    )
+
+
+class TestKeys:
+    def test_manifest_key_zero_padded(self):
+        assert manifest_key(7) == "ckpt/0000000007/manifest.json"
+
+    def test_array_key(self):
+        assert array_key(7, "pressure") == "ckpt/0000000007/pressure.bin"
+
+    def test_lexicographic_equals_numeric_order(self):
+        keys = [manifest_key(s) for s in (9, 10, 100, 2)]
+        assert sorted(keys) == [manifest_key(s) for s in (2, 9, 10, 100)]
+
+
+class TestArrayEntry:
+    def test_rate(self):
+        entry = make_entry(payload=b"x" * 16)
+        assert entry.compression_rate_percent == pytest.approx(25.0)
+
+    def test_rate_nan_for_empty(self):
+        entry = ArrayEntry("e", (0,), "float64", "c", {}, 0, 0, 0)
+        assert entry.compression_rate_percent != entry.compression_rate_percent
+
+    def test_verify_ok(self):
+        make_entry(payload=b"abc").verify(b"abc")
+
+    def test_verify_length_mismatch(self):
+        with pytest.raises(FormatError, match="bytes"):
+            make_entry(payload=b"abc").verify(b"abcd")
+
+    def test_verify_crc_mismatch(self):
+        with pytest.raises(FormatError, match="CRC"):
+            make_entry(payload=b"abc").verify(b"abd")
+
+
+class TestManifest:
+    def test_json_roundtrip(self):
+        manifest = CheckpointManifest(
+            step=42,
+            entries=(make_entry("a"), make_entry("b", b"other")),
+            app_meta={"reason": "interval", "sim_time": 1.5},
+        )
+        back = CheckpointManifest.from_json(manifest.to_json())
+        assert back == manifest
+
+    def test_totals_and_rate(self):
+        manifest = CheckpointManifest(
+            step=0, entries=(make_entry(payload=b"x" * 32),)
+        )
+        assert manifest.total_raw_bytes == 64
+        assert manifest.total_stored_bytes == 32
+        assert manifest.compression_rate_percent == pytest.approx(50.0)
+
+    def test_entry_lookup(self):
+        manifest = CheckpointManifest(step=0, entries=(make_entry("t"),))
+        assert manifest.entry("t").name == "t"
+        with pytest.raises(KeyError):
+            manifest.entry("missing")
+        assert manifest.names() == ["t"]
+
+    def test_from_json_malformed(self):
+        with pytest.raises(FormatError):
+            CheckpointManifest.from_json(b"not json")
+        with pytest.raises(FormatError):
+            CheckpointManifest.from_json(b"{}")
+
+    def test_empty_rate_is_nan(self):
+        manifest = CheckpointManifest(step=0, entries=())
+        assert manifest.compression_rate_percent != manifest.compression_rate_percent
+
+
+class TestAppMeta:
+    def test_passthrough(self):
+        assert validate_app_meta({"a": 1}) == {"a": 1}
+        assert validate_app_meta(None) == {}
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(FormatError):
+            validate_app_meta({"f": object()})

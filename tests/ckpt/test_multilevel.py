@@ -1,0 +1,104 @@
+"""Unit tests for multi-level checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig
+from repro.ckpt.multilevel import CheckpointLevel, MultiLevelCheckpointManager
+from repro.ckpt.protocol import ArrayRegistry
+from repro.ckpt.store import MemoryStore
+from repro.exceptions import CheckpointError, CheckpointNotFoundError
+
+
+@pytest.fixture
+def registry(smooth2d):
+    reg = ArrayRegistry()
+    reg.register("field", smooth2d.copy())
+    return reg
+
+
+def make_mlm(registry, fast_interval=1, slow_interval=5):
+    fast = CheckpointLevel("local", MemoryStore(), interval=fast_interval, retention=1)
+    slow = CheckpointLevel("pfs", MemoryStore(), interval=slow_interval, retention=2)
+    return MultiLevelCheckpointManager(registry, [fast, slow])
+
+
+class TestScheduling:
+    def test_due_levels(self, registry):
+        mlm = make_mlm(registry)
+        assert [lv.name for lv in mlm.due_levels(5)] == ["local", "pfs"]
+        assert [lv.name for lv in mlm.due_levels(3)] == ["local"]
+
+    def test_maybe_checkpoint_writes_due_only(self, registry):
+        mlm = make_mlm(registry)
+        written = mlm.maybe_checkpoint(3)
+        assert set(written) == {"local"}
+        written = mlm.maybe_checkpoint(10)
+        assert set(written) == {"local", "pfs"}
+
+    def test_checkpoint_all_ignores_intervals(self, registry):
+        mlm = make_mlm(registry)
+        written = mlm.checkpoint_all(3)
+        assert set(written) == {"local", "pfs"}
+
+    def test_retention_per_level(self, registry):
+        mlm = make_mlm(registry)
+        for step in range(1, 12):
+            mlm.maybe_checkpoint(step)
+        assert mlm.managers["local"].steps() == [11]
+        assert mlm.managers["pfs"].steps() == [5, 10]
+
+
+class TestRestore:
+    def test_newest_across_levels(self, registry):
+        mlm = make_mlm(registry)
+        for step in range(1, 8):
+            mlm.maybe_checkpoint(step)
+        # local has 7, pfs has 5
+        assert mlm.newest() == ("local", 7)
+
+    def test_tie_prefers_first_level(self, registry):
+        mlm = make_mlm(registry)
+        mlm.checkpoint_all(4)
+        assert mlm.newest() == ("local", 4)
+
+    def test_restore_newest(self, registry, smooth2d):
+        mlm = make_mlm(registry)
+        mlm.maybe_checkpoint(1)
+        registry.get("field")[:] = 0.0
+        name, manifest = mlm.restore_newest()
+        assert name == "local" and manifest.step == 1
+        assert np.abs(registry.get("field")).max() > 0
+
+    def test_restore_empty(self, registry):
+        mlm = make_mlm(registry)
+        with pytest.raises(CheckpointNotFoundError):
+            mlm.restore_newest()
+
+    def test_newest_none(self, registry):
+        assert make_mlm(registry).newest() is None
+
+
+class TestConfiguration:
+    def test_no_levels(self, registry):
+        with pytest.raises(CheckpointError):
+            MultiLevelCheckpointManager(registry, [])
+
+    def test_duplicate_names(self, registry):
+        lv = CheckpointLevel("x", MemoryStore(), interval=1)
+        lv2 = CheckpointLevel("x", MemoryStore(), interval=2)
+        with pytest.raises(CheckpointError, match="unique"):
+            MultiLevelCheckpointManager(registry, [lv, lv2])
+
+    def test_bad_interval(self):
+        with pytest.raises(CheckpointError):
+            CheckpointLevel("x", MemoryStore(), interval=0)
+
+    def test_per_level_config(self, registry):
+        aggressive = CompressionConfig(n_bins=1, quantizer="simple")
+        lv = CheckpointLevel("pfs", MemoryStore(), interval=1, config=aggressive)
+        mlm = MultiLevelCheckpointManager(registry, [lv])
+        manifest = mlm.maybe_checkpoint(1)["pfs"]
+        assert manifest.entry("field").codec_params["n_bins"] == 1

@@ -1,0 +1,148 @@
+"""Unit tests for storage backends."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ckpt.store import (
+    CountingStore,
+    DirectoryStore,
+    MemoryStore,
+    ThrottledStore,
+)
+from repro.exceptions import StorageError
+
+
+@pytest.fixture(params=["memory", "directory"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return DirectoryStore(str(tmp_path / "store"))
+
+
+class TestStoreContract:
+    def test_put_get(self, store):
+        store.put("a/b", b"payload")
+        assert store.get("a/b") == b"payload"
+
+    def test_overwrite(self, store):
+        store.put("k", b"one")
+        store.put("k", b"two")
+        assert store.get("k") == b"two"
+
+    def test_exists(self, store):
+        assert not store.exists("k")
+        store.put("k", b"")
+        assert store.exists("k")
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(StorageError, match="no object"):
+            store.get("missing")
+
+    def test_delete(self, store):
+        store.put("k", b"x")
+        store.delete("k")
+        assert not store.exists("k")
+        store.delete("k")  # idempotent
+
+    def test_list_keys_sorted_prefix(self, store):
+        for key in ("b/2", "a/1", "a/2", "c"):
+            store.put(key, b"")
+        assert store.list_keys() == ["a/1", "a/2", "b/2", "c"]
+        assert store.list_keys("a/") == ["a/1", "a/2"]
+
+    @pytest.mark.parametrize("key", ["", "/abs", "a//b", "a/../b", ".", 42])
+    def test_bad_keys(self, store, key):
+        with pytest.raises(StorageError):
+            store.put(key, b"")
+
+    def test_empty_payload(self, store):
+        store.put("empty", b"")
+        assert store.get("empty") == b""
+
+    def test_binary_payload(self, store):
+        data = bytes(range(256))
+        store.put("bin", data)
+        assert store.get("bin") == data
+
+
+class TestMemoryStore:
+    def test_total_bytes(self):
+        store = MemoryStore()
+        store.put("a", b"12345")
+        store.put("b", b"12")
+        assert store.total_bytes == 7
+
+    def test_put_copies(self):
+        store = MemoryStore()
+        data = bytearray(b"abc")
+        store.put("k", bytes(data))
+        data[0] = 0
+        assert store.get("k") == b"abc"
+
+
+class TestDirectoryStore:
+    def test_creates_root(self, tmp_path):
+        root = tmp_path / "deep" / "nested"
+        DirectoryStore(str(root))
+        assert root.is_dir()
+
+    def test_no_temp_files_left(self, tmp_path):
+        store = DirectoryStore(str(tmp_path))
+        store.put("a/b/c", b"x" * 100)
+        leftovers = [
+            f for _, _, files in os.walk(tmp_path) for f in files
+            if f.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_keys_map_to_nested_paths(self, tmp_path):
+        store = DirectoryStore(str(tmp_path))
+        store.put("ckpt/0000000001/x.bin", b"d")
+        assert (tmp_path / "ckpt" / "0000000001" / "x.bin").is_file()
+
+    def test_two_stores_share_root(self, tmp_path):
+        a = DirectoryStore(str(tmp_path))
+        b = DirectoryStore(str(tmp_path))
+        a.put("k", b"shared")
+        assert b.get("k") == b"shared"
+
+
+class TestCountingStore:
+    def test_counters(self):
+        store = CountingStore(MemoryStore())
+        store.put("a", b"1234")
+        store.put("b", b"56")
+        store.get("a")
+        store.delete("b")
+        store.exists("a")
+        store.list_keys()
+        assert store.puts == 2
+        assert store.gets == 1
+        assert store.deletes == 1
+        assert store.bytes_written == 6
+        assert store.bytes_read == 4
+
+
+class TestThrottledStore:
+    def test_accounts_simulated_time(self):
+        store = ThrottledStore(MemoryStore(), bandwidth_bytes_per_sec=100.0, latency_sec=0.5)
+        store.put("k", b"x" * 200)  # 0.5 + 2.0
+        store.get("k")  # another 2.5
+        assert store.simulated_seconds == pytest.approx(5.0)
+
+    def test_passthrough_data(self):
+        store = ThrottledStore(MemoryStore(), 1e9)
+        store.put("k", b"data")
+        assert store.get("k") == b"data"
+        assert store.list_keys() == ["k"]
+        store.delete("k")
+        assert not store.exists("k")
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            ThrottledStore(MemoryStore(), 0.0)
+        with pytest.raises(StorageError):
+            ThrottledStore(MemoryStore(), 10.0, latency_sec=-1)

@@ -1,0 +1,109 @@
+"""Unit tests for sub-band bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bands import (
+    band_summary,
+    final_low_shape,
+    high_band_mask,
+    iter_bands,
+)
+from repro.core.wavelet import haar_forward
+
+
+class TestFinalLowShape:
+    def test_even(self):
+        assert final_low_shape((16, 8), 2) == (4, 2)
+
+    def test_odd_carries_tail(self):
+        # 5 -> 3 -> 2
+        assert final_low_shape((5,), 2) == (2,)
+
+    def test_zero_levels(self):
+        assert final_low_shape((6, 7), 0) == (6, 7)
+
+    def test_short_axes_stay(self):
+        assert final_low_shape((1, 8), 2) == (1, 2)
+
+
+class TestHighBandMask:
+    def test_complement_is_low_corner(self):
+        mask = high_band_mask((8, 8), 1)
+        assert not mask[:4, :4].any()
+        assert mask[4:, :].all() and mask[:, 4:].all()
+
+    def test_count(self):
+        mask = high_band_mask((8, 6, 4), 2)
+        low = final_low_shape((8, 6, 4), 2)
+        assert (~mask).sum() == np.prod(low)
+
+    def test_zero_levels_all_low(self):
+        assert not high_band_mask((4, 4), 0).any()
+
+    def test_matches_transform_of_constant(self):
+        """High-band positions of a constant array carry zero coefficients."""
+        a = np.full((12, 6), 3.0)
+        coeffs, applied = haar_forward(a, "max")
+        mask = high_band_mask(a.shape, applied)
+        np.testing.assert_allclose(coeffs[mask], 0.0, atol=1e-12)
+        assert np.all(np.abs(coeffs[~mask]) > 0)
+
+
+class TestIterBands:
+    def test_1d_codes(self):
+        bands = iter_bands((8,), 2)
+        codes = [(b.level, b.code) for b in bands]
+        assert codes == [(1, "H"), (2, "H"), (2, "L")]
+
+    def test_2d_level1_codes(self):
+        bands = iter_bands((8, 8), 1)
+        assert {b.code for b in bands} == {"LH", "HL", "HH", "LL"}
+
+    def test_3d_band_count(self):
+        bands = iter_bands((8, 8, 8), 1)
+        # 2^3 - 1 high bands + final low block
+        assert len(bands) == 8
+
+    def test_sizes_tile_array(self):
+        shape = (12, 7, 3)
+        bands = iter_bands(shape, 2)
+        assert sum(b.size() for b in bands) == np.prod(shape)
+
+    def test_bands_disjoint(self):
+        shape = (8, 6)
+        hit = np.zeros(shape, dtype=int)
+        for b in iter_bands(shape, 2):
+            hit[b.slices] += 1
+        np.testing.assert_array_equal(hit, 1)
+
+    def test_is_low_only_final(self):
+        bands = iter_bands((8, 8), 2)
+        lows = [b for b in bands if b.is_low]
+        assert len(lows) == 1
+        assert lows[0].code == "LL"
+        assert lows[0].shape() == (2, 2)
+
+    def test_short_axis_never_splits(self):
+        bands = iter_bands((8, 1), 1)
+        assert {b.code for b in bands} == {"HL", "LL"}
+
+
+class TestBandSummary:
+    def test_rows_and_stats(self, rng):
+        a = rng.standard_normal((16, 8))
+        coeffs, applied = haar_forward(a, 2)
+        rows = band_summary(coeffs, applied)
+        assert sum(r["size"] for r in rows) == a.size
+        for row in rows:
+            assert row["min"] <= row["mean"] <= row["max"]
+            assert row["std"] >= 0
+
+    def test_high_bands_smaller_than_low_for_smooth(self, smooth2d):
+        coeffs, applied = haar_forward(smooth2d, 2)
+        rows = band_summary(coeffs, applied)
+        low = [r for r in rows if set(r["code"]) <= {"L"}][0]
+        highs = [r for r in rows if not set(r["code"]) <= {"L"}]
+        assert all(abs(r["mean"]) < abs(low["mean"]) for r in highs)

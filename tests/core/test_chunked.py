@@ -1,0 +1,93 @@
+"""Unit tests for chunked (streaming) compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import CompressionConfig
+from repro.core.chunked import (
+    chunked_compress,
+    chunked_decompress,
+    iter_chunks,
+)
+from repro.exceptions import CompressionError, FormatError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 64, 1000])
+    def test_shapes(self, smooth3d, chunk_rows):
+        blob = chunked_compress(smooth3d, chunk_rows=chunk_rows)
+        back = chunked_decompress(blob)
+        assert back.shape == smooth3d.shape
+        assert repro.mean_relative_error(smooth3d, back) < 1e-2
+
+    def test_lossless_config_tight(self, smooth3d):
+        blob = chunked_compress(
+            smooth3d, CompressionConfig(quantizer="none"), chunk_rows=16
+        )
+        np.testing.assert_allclose(
+            chunked_decompress(blob), smooth3d, rtol=1e-12, atol=1e-9
+        )
+
+    def test_bounded_guarantee_survives_chunking(self, smooth3d):
+        bound = 0.05
+        blob = chunked_compress(
+            smooth3d,
+            CompressionConfig(quantizer="bounded", error_bound=bound),
+            chunk_rows=10,
+        )
+        back = chunked_decompress(blob)
+        assert float(np.abs(smooth3d - back).max()) <= bound
+
+    def test_1d(self, rng):
+        a = rng.standard_normal(500)
+        back = chunked_decompress(chunked_compress(a, chunk_rows=100))
+        assert back.shape == a.shape
+
+    def test_chunk_count(self, smooth3d):
+        blob = chunked_compress(smooth3d, chunk_rows=16)
+        chunks = list(iter_chunks(blob))
+        assert len(chunks) == (smooth3d.shape[0] + 15) // 16
+
+    def test_single_chunk_matches_pipeline_rate_regime(self, smooth3d):
+        whole = chunked_compress(smooth3d, chunk_rows=10**9)
+        small = chunked_compress(smooth3d, chunk_rows=8)
+        # chunking costs some rate (per-chunk headers, shallower stats)
+        # but stays in the same regime
+        assert len(whole) < len(small) < 3 * len(whole)
+
+
+class TestValidation:
+    def test_0d_rejected(self):
+        with pytest.raises(CompressionError):
+            chunked_compress(np.float64(1.0))
+
+    def test_bad_chunk_rows(self, smooth2d):
+        with pytest.raises(CompressionError):
+            chunked_compress(smooth2d, chunk_rows=0)
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            chunked_decompress(b"XXXX" + bytes(20))
+
+    def test_truncations(self, smooth2d):
+        blob = chunked_compress(smooth2d, chunk_rows=16)
+        for cut in (len(blob) - 3, 10, 5):
+            with pytest.raises(FormatError):
+                chunked_decompress(blob[:cut])
+
+    def test_trailing_bytes(self, smooth2d):
+        blob = chunked_compress(smooth2d, chunk_rows=16)
+        with pytest.raises(FormatError):
+            list(iter_chunks(blob + b"\x00"))
+
+    def test_row_count_mismatch(self, smooth2d):
+        import struct
+
+        blob = bytearray(chunked_compress(smooth2d, chunk_rows=16))
+        # corrupt the recorded leading-axis length
+        struct.pack_into("<Q", blob, 4 + 2 + 8, 999)
+        with pytest.raises(FormatError, match="rows"):
+            chunked_decompress(bytes(blob))

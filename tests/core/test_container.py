@@ -1,0 +1,118 @@
+"""Unit tests for the binary container format (paper Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import container
+from repro.exceptions import ConfigurationError, FormatError, IntegrityError
+
+
+HEADER = {"shape": [4, 2], "dtype": "float64", "n": 7}
+SECTIONS = {"bitmap": b"\x01\x02", "averages": b"", "rawvals": bytes(range(64))}
+
+
+class TestBody:
+    def test_roundtrip(self):
+        body = container.write_body(HEADER, SECTIONS)
+        header, sections = container.read_body(body)
+        assert header == HEADER
+        assert sections == SECTIONS
+
+    def test_empty_sections(self):
+        body = container.write_body({}, {})
+        header, sections = container.read_body(body)
+        assert header == {} and sections == {}
+
+    def test_bad_magic(self):
+        body = container.write_body(HEADER, SECTIONS)
+        with pytest.raises(FormatError, match="magic"):
+            container.read_body(b"XXXX" + body[4:])
+
+    def test_unsupported_version(self):
+        body = bytearray(container.write_body(HEADER, SECTIONS))
+        body[4] = 99
+        with pytest.raises(FormatError, match="version"):
+            container.read_body(bytes(body))
+
+    @pytest.mark.parametrize("cut", [2, 5, 8, 20])
+    def test_truncation_detected(self, cut):
+        body = container.write_body(HEADER, SECTIONS)
+        with pytest.raises(FormatError):
+            container.read_body(body[: len(body) - cut])
+
+    def test_trailing_bytes_detected(self):
+        body = container.write_body(HEADER, SECTIONS)
+        with pytest.raises(FormatError, match="trailing"):
+            container.read_body(body + b"\x00")
+
+    def test_crc_corruption_detected(self):
+        body = bytearray(container.write_body(HEADER, SECTIONS))
+        # flip a bit in the last payload byte
+        body[-1] ^= 0xFF
+        with pytest.raises(IntegrityError, match="CRC"):
+            container.read_body(bytes(body))
+
+    def test_header_not_json(self):
+        # build a body manually with garbage header bytes
+        import struct
+
+        raw = (
+            container.BODY_MAGIC
+            + struct.pack("<H", container.FORMAT_VERSION)
+            + struct.pack("<I", 3)
+            + b"\xff\xfe\x00"
+            + struct.pack("<I", 0)
+        )
+        with pytest.raises(FormatError, match="JSON"):
+            container.read_body(raw)
+
+    def test_section_name_too_long(self):
+        with pytest.raises(FormatError):
+            container.write_body({}, {"x" * 300: b""})
+
+    def test_large_payload(self):
+        payload = bytes(1_000_000)
+        body = container.write_body({}, {"big": payload})
+        _, sections = container.read_body(body)
+        assert sections["big"] == payload
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize("backend", ["zlib", "gzip", "none", "rle", "xor-delta"])
+    def test_roundtrip_all_backends(self, backend):
+        body = container.write_body(HEADER, SECTIONS)
+        blob = container.wrap_envelope(body, backend)
+        out, name = container.unwrap_envelope(blob)
+        assert out == body
+        assert name == backend
+
+    def test_bad_envelope_magic(self):
+        blob = container.wrap_envelope(b"data", "zlib")
+        with pytest.raises(FormatError, match="magic"):
+            container.unwrap_envelope(b"ZZZZ" + blob[4:])
+
+    def test_unknown_backend_on_unwrap(self):
+        blob = bytearray(container.wrap_envelope(b"data", "zlib"))
+        blob[5:9] = b"zzzz"  # overwrite codec name
+        with pytest.raises(ConfigurationError):
+            container.unwrap_envelope(bytes(blob))
+
+    def test_corrupt_deflate_stream(self):
+        blob = container.wrap_envelope(b"data" * 100, "zlib")
+        with pytest.raises(FormatError, match="inflate"):
+            container.unwrap_envelope(blob[:-5])
+
+    def test_truncated_envelope(self):
+        with pytest.raises(FormatError):
+            container.unwrap_envelope(b"RP")
+
+    def test_peek_header(self):
+        body = container.write_body(HEADER, SECTIONS)
+        blob = container.wrap_envelope(body, "zlib")
+        assert container.peek_header(blob) == HEADER
+
+    def test_compression_actually_shrinks(self):
+        body = container.write_body({}, {"zeros": bytes(10_000)})
+        blob = container.wrap_envelope(body, "zlib")
+        assert len(blob) < len(body) / 10

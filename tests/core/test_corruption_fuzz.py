@@ -1,0 +1,93 @@
+"""Failure-injection fuzzing of the decode path.
+
+A checkpoint store can hand back truncated or bit-flipped blobs; the one
+unacceptable outcome is *silently wrong data*.  These tests mutate valid
+compressed blobs thousands of ways and assert every decode either
+round-trips to the expected array or raises a library error -- never
+crashes with a foreign exception, never returns garbage undetected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.core.chunked import chunked_compress, chunked_decompress
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module")
+def reference_blob():
+    rng = np.random.default_rng(0)
+    arr = np.cumsum(rng.standard_normal((32, 16)), axis=0)
+    comp = WaveletCompressor(CompressionConfig(n_bins=32))
+    return arr, comp.compress(arr)
+
+
+def _decode_outcome(blob: bytes, expected: np.ndarray) -> str:
+    """'ok' (bit-identical to the valid decode), 'rejected', or 'silent'."""
+    try:
+        out = WaveletCompressor.decompress(blob)
+    except ReproError:
+        return "rejected"
+    if out.shape == expected.shape and np.array_equal(out, expected):
+        return "ok"
+    return "silent"
+
+
+class TestTruncationFuzz:
+    def test_every_truncation_rejected(self, reference_blob):
+        arr, blob = reference_blob
+        expected = WaveletCompressor.decompress(blob)
+        for cut in range(0, len(blob), max(1, len(blob) // 200)):
+            outcome = _decode_outcome(blob[:cut], expected)
+            assert outcome == "rejected", f"truncation at {cut}: {outcome}"
+
+
+class TestBitflipFuzz:
+    def test_no_crash_and_mostly_detected(self, reference_blob):
+        """Flip one byte at many positions.  Anything that still decodes
+        bit-identically (flips in dead header padding) is fine; anything
+        else must be *rejected* -- the deflate layer's checksum plus the
+        per-section CRC32s make silent corruption essentially impossible."""
+        arr, blob = reference_blob
+        expected = WaveletCompressor.decompress(blob)
+        silent = 0
+        for pos in range(5, len(blob), max(1, len(blob) // 300)):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0x5A
+            outcome = _decode_outcome(bytes(mutated), expected)
+            if outcome == "silent":
+                silent += 1
+        assert silent == 0
+
+    def test_envelope_magic_flips_rejected(self, reference_blob):
+        arr, blob = reference_blob
+        expected = WaveletCompressor.decompress(blob)
+        for pos in range(4):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0xFF
+            assert _decode_outcome(bytes(mutated), expected) == "rejected"
+
+
+class TestChunkedFuzz:
+    def test_chunked_truncations_rejected(self, rng):
+        arr = rng.standard_normal((64, 8))
+        blob = chunked_compress(arr, chunk_rows=16)
+        for cut in range(0, len(blob), max(1, len(blob) // 100)):
+            with pytest.raises(ReproError):
+                chunked_decompress(blob[:cut])
+
+    def test_chunked_bitflips_never_silent(self, rng):
+        arr = rng.standard_normal((64, 8))
+        blob = chunked_compress(arr, chunk_rows=16)
+        expected = chunked_decompress(blob)
+        for pos in range(4, len(blob), max(1, len(blob) // 150)):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0xA5
+            try:
+                out = chunked_decompress(bytes(mutated))
+            except ReproError:
+                continue
+            assert out.shape == expected.shape and np.array_equal(out, expected)

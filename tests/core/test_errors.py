@@ -1,0 +1,122 @@
+"""Unit tests for the paper's metrics (Eqs. 5-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    compression_rate,
+    error_report,
+    max_relative_error,
+    mean_relative_error,
+    relative_errors,
+    rmse,
+    value_range,
+)
+from repro.exceptions import ReproError
+
+
+class TestCompressionRate:
+    def test_eq5(self):
+        assert compression_rate(1000, 190) == pytest.approx(19.0)
+
+    def test_identity(self):
+        assert compression_rate(512, 512) == pytest.approx(100.0)
+
+    def test_expansion_over_100(self):
+        assert compression_rate(100, 150) == pytest.approx(150.0)
+
+    def test_zero_compressed(self):
+        assert compression_rate(10, 0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            compression_rate(0, 5)
+        with pytest.raises(ReproError):
+            compression_rate(10, -1)
+
+
+class TestValueRange:
+    def test_basic(self):
+        assert value_range(np.array([2.0, -1.0, 5.0])) == 6.0
+
+    def test_constant(self):
+        assert value_range(np.full(4, 3.0)) == 0.0
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            value_range(np.zeros(0))
+
+
+class TestRelativeErrors:
+    def test_eq6(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([1.0, 10.0])
+        np.testing.assert_allclose(relative_errors(x, y), [0.1, 0.0])
+
+    def test_normalized_by_original_range(self):
+        x = np.array([0.0, 100.0])
+        y = np.array([5.0, 100.0])
+        assert mean_relative_error(x, y) == pytest.approx(0.025)
+
+    def test_constant_original_exact(self):
+        x = np.full(3, 7.0)
+        np.testing.assert_array_equal(relative_errors(x, x), 0.0)
+
+    def test_constant_original_inexact_is_inf(self):
+        x = np.full(3, 7.0)
+        y = np.array([7.0, 8.0, 7.0])
+        errs = relative_errors(x, y)
+        assert errs[1] == np.inf and errs[0] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            relative_errors(np.zeros(3), np.zeros(4))
+
+    def test_mean_and_max(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 1.5, 2.0])
+        assert mean_relative_error(x, y) == pytest.approx(0.25 / 3)
+        assert max_relative_error(x, y) == pytest.approx(0.25)
+
+    def test_symmetric_in_sign_of_diff(self):
+        x = np.array([0.0, 4.0])
+        assert max_relative_error(x, np.array([1.0, 4.0])) == max_relative_error(
+            x, np.array([-1.0, 4.0])
+        )
+
+    def test_empty_arrays(self):
+        assert relative_errors(np.zeros(0), np.zeros(0)).size == 0
+
+
+class TestRmse:
+    def test_value(self):
+        x = np.array([0.0, 0.0])
+        y = np.array([3.0, 4.0])
+        assert rmse(x, y) == pytest.approx(np.sqrt(12.5))
+
+    def test_zero(self):
+        assert rmse(np.ones(5), np.ones(5)) == 0.0
+
+    def test_empty(self):
+        assert rmse(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            rmse(np.zeros(2), np.zeros(3))
+
+
+class TestErrorReport:
+    def test_percent_units(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([1.0, 10.0])
+        rep = error_report(x, y)
+        assert rep.mean_relative_error_pct == pytest.approx(5.0)
+        assert rep.max_relative_error_pct == pytest.approx(10.0)
+        assert rep["rmse"] == pytest.approx(rmse(x, y))
+
+    def test_attribute_error(self):
+        rep = error_report(np.zeros(2), np.zeros(2))
+        with pytest.raises(AttributeError):
+            rep.nonexistent

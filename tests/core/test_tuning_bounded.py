@@ -1,0 +1,47 @@
+"""Unit tests for the bounded-mode relative-error tuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig
+from repro.core.errors import max_relative_error, value_range
+from repro.core.pipeline import WaveletCompressor
+from repro.core.tuning import bounded_config_for_relative_error
+from repro.exceptions import TuningError
+
+
+class TestBoundedTuner:
+    def test_single_evaluation_guaranteed(self, smooth3d):
+        result = bounded_config_for_relative_error(smooth3d, 1e-3)
+        assert result.evaluations == 1
+        assert result.achieved_error <= 1e-3
+        assert result.config.quantizer == "bounded"
+        assert result.config.error_bound == pytest.approx(
+            1e-3 * value_range(smooth3d)
+        )
+
+    def test_guarantee_holds_on_fresh_compression(self, smooth3d):
+        result = bounded_config_for_relative_error(smooth3d, 5e-4)
+        comp = WaveletCompressor(result.config)
+        approx = comp.decompress(comp.compress(smooth3d))
+        assert max_relative_error(smooth3d, approx) <= 5e-4
+
+    def test_tighter_tolerance_worse_rate(self, smooth3d):
+        loose = bounded_config_for_relative_error(smooth3d, 1e-2)
+        tight = bounded_config_for_relative_error(smooth3d, 1e-4)
+        assert tight.compression_rate_percent >= loose.compression_rate_percent
+
+    def test_constant_array_rejected(self):
+        with pytest.raises(TuningError, match="constant"):
+            bounded_config_for_relative_error(np.full((8, 8), 2.0), 1e-3)
+
+    def test_bad_tolerance(self, smooth3d):
+        with pytest.raises(TuningError):
+            bounded_config_for_relative_error(smooth3d, 0.0)
+
+    def test_base_config_respected(self, smooth3d):
+        base = CompressionConfig(levels=1)
+        result = bounded_config_for_relative_error(smooth3d, 1e-3, base=base)
+        assert result.config.levels == 1

@@ -1,0 +1,205 @@
+"""Unit tests for the Haar wavelet transform (paper Section III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wavelet import (
+    haar_forward,
+    haar_forward_axis,
+    haar_inverse,
+    haar_inverse_axis,
+    level_shapes,
+    low_band_shape,
+    plan_levels,
+)
+from repro.exceptions import CompressionError, DecompressionError
+
+RT_KW = dict(rtol=1e-12, atol=1e-12)
+
+
+class TestAxisTransform:
+    def test_paper_formulas_1d(self):
+        # L[i] = (A[2i] + A[2i+1]) / 2, H[i] = (A[2i] - A[2i+1]) / 2
+        a = np.array([1.0, 3.0, 10.0, 4.0])
+        out = haar_forward_axis(a, 0)
+        np.testing.assert_allclose(out[:2], [2.0, 7.0])
+        np.testing.assert_allclose(out[2:], [-1.0, 3.0])
+
+    def test_reconstruction_formulas(self):
+        # A[2i] = L[i] + H[i], A[2i+1] = L[i] - H[i]
+        a = np.array([5.0, 1.0, -2.0, 8.0])
+        back = haar_inverse_axis(haar_forward_axis(a, 0), 0)
+        np.testing.assert_allclose(back, a, **RT_KW)
+
+    def test_odd_length_keeps_tail_in_low_band(self):
+        a = np.array([1.0, 3.0, 42.0])
+        out = haar_forward_axis(a, 0)
+        assert out[1] == 42.0  # low band = [mean, tail]
+        np.testing.assert_allclose(haar_inverse_axis(out, 0), a, **RT_KW)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 17, 64, 101])
+    def test_roundtrip_lengths(self, rng, n):
+        a = rng.standard_normal(n)
+        np.testing.assert_allclose(
+            haar_inverse_axis(haar_forward_axis(a, 0), 0), a, **RT_KW
+        )
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_roundtrip_each_axis_3d(self, rng, axis):
+        a = rng.standard_normal((6, 5, 4))
+        np.testing.assert_allclose(
+            haar_inverse_axis(haar_forward_axis(a, axis), axis), a, **RT_KW
+        )
+
+    def test_short_axis_returns_copy(self):
+        a = np.array([[1.0], [2.0]])
+        out = haar_forward_axis(a, 1)  # axis of length 1
+        np.testing.assert_array_equal(out, a)
+        out[0, 0] = 99.0
+        assert a[0, 0] == 1.0  # a copy, not a view
+
+    def test_input_not_mutated(self, rng):
+        a = rng.standard_normal(16)
+        backup = a.copy()
+        haar_forward_axis(a, 0)
+        np.testing.assert_array_equal(a, backup)
+
+    def test_non_contiguous_input(self, rng):
+        base = rng.standard_normal((10, 8))
+        view = base[::2, ::2]  # strided view
+        out = haar_forward_axis(view, 1)
+        np.testing.assert_allclose(haar_inverse_axis(out, 1), view, **RT_KW)
+
+    def test_smooth_data_has_small_high_band(self):
+        a = np.linspace(0.0, 1.0, 64)  # maximally smooth
+        out = haar_forward_axis(a, 0)
+        assert np.abs(out[32:]).max() < np.abs(np.diff(a)).max()
+
+
+class TestLowBandShape:
+    @pytest.mark.parametrize(
+        "shape,expected",
+        [((4,), (2,)), ((5,), (3,)), ((1,), (1,)), ((4, 6, 2), (2, 3, 1)), ((3, 5), (2, 3))],
+    )
+    def test_values(self, shape, expected):
+        assert low_band_shape(shape) == expected
+
+
+class TestPlanLevels:
+    def test_natural_depth_power_of_two(self):
+        assert plan_levels((8,), "max") == 3
+
+    def test_natural_depth_odd(self):
+        # 5 -> 3 -> 2 -> 1
+        assert plan_levels((5,), "max") == 3
+
+    def test_clamps_request(self):
+        assert plan_levels((8,), 99) == 3
+
+    def test_exact_request(self):
+        assert plan_levels((8,), 2) == 2
+
+    def test_multidim_uses_longest_axis(self):
+        # (2, 16): axis 1 keeps halving after axis 0 bottoms out
+        assert plan_levels((2, 16), "max") == 4
+
+    def test_all_short_axes(self):
+        assert plan_levels((1, 1), "max") == 0
+
+    def test_invalid_levels(self):
+        with pytest.raises(CompressionError):
+            plan_levels((8,), 0)
+        with pytest.raises(CompressionError):
+            plan_levels((8,), -1)
+
+    def test_empty_shape(self):
+        assert plan_levels((), "max") == 0
+
+
+class TestLevelShapes:
+    def test_sequence(self):
+        assert level_shapes((8, 6), 2) == [(8, 6), (4, 3)]
+
+    def test_zero_levels(self):
+        assert level_shapes((8,), 0) == []
+
+
+class TestMultiLevel:
+    @pytest.mark.parametrize(
+        "shape",
+        [(16,), (15,), (8, 8), (7, 9), (4, 6, 2), (5, 3, 7), (1, 17), (13, 1, 2)],
+    )
+    @pytest.mark.parametrize("levels", [1, 2, "max"])
+    def test_roundtrip(self, rng, shape, levels):
+        a = rng.standard_normal(shape)
+        coeffs, applied = haar_forward(a, levels)
+        np.testing.assert_allclose(haar_inverse(coeffs, applied), a, **RT_KW)
+
+    def test_applied_levels_reported(self):
+        a = np.zeros((8, 8))
+        _, applied = haar_forward(a, "max")
+        assert applied == 3
+        _, applied = haar_forward(a, 2)
+        assert applied == 2
+
+    def test_constant_array_high_bands_zero(self):
+        a = np.full((16, 8), 7.5)
+        coeffs, applied = haar_forward(a, "max")
+        # the final low block keeps the constant; everything else is 0
+        assert applied == 4
+        assert coeffs[0, 0] == pytest.approx(7.5)
+        coeffs_flat = coeffs.ravel().copy()
+        coeffs_flat[0] = 0.0
+        np.testing.assert_allclose(coeffs_flat, 0.0, atol=1e-12)
+
+    def test_level1_high_band_of_linear_ramp_constant(self):
+        a = np.arange(16, dtype=np.float64)
+        coeffs, _ = haar_forward(a, 1)
+        high = coeffs[8:]
+        np.testing.assert_allclose(high, -0.5)  # (a[2i]-a[2i+1])/2 = -0.5
+
+    def test_preserves_shape(self, rng):
+        a = rng.standard_normal((6, 10, 3))
+        coeffs, _ = haar_forward(a, 2)
+        assert coeffs.shape == a.shape
+
+    def test_float32_input_upcast(self):
+        a = np.linspace(0, 1, 32, dtype=np.float32)
+        coeffs, applied = haar_forward(a, 1)
+        assert coeffs.dtype == np.float64
+        np.testing.assert_allclose(haar_inverse(coeffs, applied), a, atol=1e-6)
+
+    def test_0d_raises(self):
+        with pytest.raises(CompressionError):
+            haar_forward(np.float64(3.0), 1)
+        with pytest.raises(DecompressionError):
+            haar_inverse(np.float64(3.0), 0)
+
+    def test_inverse_validates_levels(self):
+        a = np.zeros(8)
+        with pytest.raises(DecompressionError):
+            haar_inverse(a, 4)  # natural max is 3
+        with pytest.raises(DecompressionError):
+            haar_inverse(a, -1)
+
+    def test_inverse_zero_levels_identity(self, rng):
+        a = rng.standard_normal(8)
+        np.testing.assert_array_equal(haar_inverse(a, 0), a)
+
+    def test_inverse_copy_flag(self, rng):
+        a = rng.standard_normal(8)
+        coeffs, applied = haar_forward(a, 1)
+        out = haar_inverse(coeffs, applied, copy=False)
+        assert out is coeffs  # in-place inversion returns the same buffer
+
+    def test_energy_concentration(self, smooth1d):
+        """For smooth data the high bands carry a tiny share of the total
+        energy -- the mechanism behind the compression rate."""
+        c3, _ = haar_forward(smooth1d, 3)
+        n = smooth1d.size
+        total = np.sum(c3 ** 2)
+        tail3 = np.sum(c3[n // 8 :] ** 2)
+        assert tail3 < 0.05 * total
+        assert np.abs(c3[: n // 8]).max() > np.abs(c3[n // 8 :]).max()

@@ -1,0 +1,56 @@
+"""Unit tests for failure schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.failure.distributions import ExponentialFailures
+from repro.failure.injector import FailureSchedule
+
+
+class TestConstruction:
+    def test_sorts_input(self):
+        s = FailureSchedule([5.0, 1.0, 3.0])
+        assert s.times == (1.0, 3.0, 5.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule([-1.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule([1.0, 1.0])
+
+    def test_none(self):
+        s = FailureSchedule.none()
+        assert len(s) == 0
+        assert s.next_after(0.0) is None
+
+    def test_from_distribution(self):
+        s = FailureSchedule.from_distribution(ExponentialFailures(5.0), 50.0, rng=0)
+        assert all(t < 50.0 for t in s)
+
+    def test_iter_and_len(self):
+        s = FailureSchedule([2.0, 1.0])
+        assert list(s) == [1.0, 2.0]
+        assert len(s) == 2
+
+
+class TestLookup:
+    def test_next_after(self):
+        s = FailureSchedule([1.0, 5.0, 9.0])
+        assert s.next_after(0.0) == 1.0
+        assert s.next_after(1.0) == 5.0  # strictly after
+        assert s.next_after(8.9) == 9.0
+        assert s.next_after(9.0) is None
+
+    def test_count_in(self):
+        s = FailureSchedule([1.0, 5.0, 9.0])
+        assert s.count_in(0.0, 10.0) == 3
+        assert s.count_in(1.0, 5.0) == 1  # half-open (start, end]
+        assert s.count_in(9.0, 9.0) == 0
+
+    def test_count_in_invalid(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule([]).count_in(5.0, 1.0)

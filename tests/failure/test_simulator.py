@@ -1,0 +1,165 @@
+"""Unit tests for the run-with-failures simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig
+from repro.apps.heat import HeatDiffusionProxy
+from repro.ckpt.interval import expected_runtime
+from repro.ckpt.manager import CheckpointManager
+from repro.ckpt.protocol import registry_from_checkpointable
+from repro.ckpt.store import MemoryStore
+from repro.exceptions import ConfigurationError
+from repro.failure.distributions import ExponentialFailures
+from repro.failure.injector import FailureSchedule
+from repro.failure.simulator import (
+    monte_carlo_expected_runtime,
+    run_app_with_failures,
+    simulate_run,
+)
+
+
+class TestSimulateRunNoFailures:
+    def test_wall_is_work_plus_checkpoints(self):
+        r = simulate_run(100.0, 10.0, 1.0, 5.0, FailureSchedule.none())
+        # 10 segments, 9 interior checkpoints (no checkpoint after the last)
+        assert r.wall_seconds == pytest.approx(100.0 + 9 * 1.0)
+        assert r.n_checkpoints == 9
+        assert r.n_failures == 0
+        assert r.lost_work_seconds == 0.0
+
+    def test_partial_final_segment(self):
+        r = simulate_run(25.0, 10.0, 1.0, 5.0, FailureSchedule.none())
+        assert r.wall_seconds == pytest.approx(25.0 + 2 * 1.0)
+
+    def test_zero_work(self):
+        r = simulate_run(0.0, 10.0, 1.0, 5.0, FailureSchedule.none())
+        assert r.wall_seconds == 0.0
+
+
+class TestSimulateRunWithFailures:
+    def test_failure_mid_segment_retries(self):
+        # segment [0,10) fails at t=4: lose 4s, restart 2s, redo from 6
+        r = simulate_run(10.0, 10.0, 1.0, 2.0, FailureSchedule([4.0]))
+        assert r.n_failures == 1
+        assert r.lost_work_seconds == pytest.approx(4.0)
+        assert r.wall_seconds == pytest.approx(4.0 + 2.0 + 10.0)
+
+    def test_failure_during_checkpoint_discards_segment(self):
+        # work [0,10], ckpt [10,11] fails at 10.5
+        r = simulate_run(20.0, 10.0, 1.0, 2.0, FailureSchedule([10.5]))
+        assert r.n_failures == 1
+        assert r.lost_work_seconds == pytest.approx(10.0)
+        # 10.5 (failed attempt) + 2 restart + 10 work + 1 ckpt + 10 work
+        assert r.wall_seconds == pytest.approx(10.5 + 2.0 + 10.0 + 1.0 + 10.0)
+
+    def test_failure_during_restart_chains(self):
+        r = simulate_run(10.0, 10.0, 1.0, 5.0, FailureSchedule([2.0, 4.0]))
+        assert r.n_failures == 2
+        # fail at 2, restart would end 7 but fails at 4, restart ends 9, work 10
+        assert r.wall_seconds == pytest.approx(4.0 + 5.0 + 10.0)
+
+    def test_events_timeline_contiguous(self):
+        r = simulate_run(
+            30.0, 10.0, 1.0, 2.0, FailureSchedule([4.0, 15.0]), record_events=True
+        )
+        assert r.events, "expected a recorded timeline"
+        for a, b in zip(r.events, r.events[1:]):
+            assert b.start == pytest.approx(a.end)
+        assert r.events[-1].end == pytest.approx(r.wall_seconds)
+
+    def test_work_accounting(self):
+        r = simulate_run(50.0, 10.0, 1.0, 2.0, FailureSchedule([12.0, 33.0]))
+        assert r.work_seconds == 50.0
+        assert r.overhead_fraction > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_run(-1, 10, 1, 1, FailureSchedule.none())
+        with pytest.raises(ConfigurationError):
+            simulate_run(10, 0, 1, 1, FailureSchedule.none())
+        with pytest.raises(ConfigurationError):
+            simulate_run(10, 10, -1, 1, FailureSchedule.none())
+
+
+class TestMonteCarloAgreement:
+    def test_matches_daly_model(self):
+        """The discrete-event simulator and the analytic expectation agree
+        (validates both implementations against each other)."""
+        work, tau, c, r, m = 2000.0, 120.0, 10.0, 20.0, 600.0
+        analytic = expected_runtime(work, tau, c, r, m)
+        mc = monte_carlo_expected_runtime(
+            work, tau, c, r, ExponentialFailures(m), trials=150, seed=42
+        )
+        assert mc == pytest.approx(analytic, rel=0.15)
+
+    def test_trials_validation(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_expected_runtime(1, 1, 0, 0, ExponentialFailures(1), trials=0)
+
+
+class TestExecutedRuns:
+    def make_setup(self, config=None):
+        app = HeatDiffusionProxy(shape=(8, 4, 2), seed=5)
+        registry = registry_from_checkpointable(app)
+        manager = CheckpointManager(
+            registry,
+            MemoryStore(),
+            config=config or CompressionConfig(quantizer="none"),
+            policy={"temperature": "lossless"} if config is None else None,
+        )
+        return app, manager
+
+    def test_no_failures_matches_plain_run(self):
+        app, manager = self.make_setup()
+        result = run_app_with_failures(app, manager, 20, 5)
+        assert result.final_step == 20
+        assert result.n_failures == 0
+        assert result.rework_steps == 0
+        reference = HeatDiffusionProxy(shape=(8, 4, 2), seed=5)
+        for _ in range(20):
+            reference.step()
+        np.testing.assert_array_equal(app.temperature, reference.temperature)
+
+    def test_lossless_failure_recovery_is_exact(self):
+        """Deterministic app + bit-exact checkpoints: the recovered run must
+        land on the identical final state despite failures."""
+        app, manager = self.make_setup()
+        result = run_app_with_failures(app, manager, 30, 5, fail_at_steps=[12, 23])
+        assert result.n_failures == 2
+        assert result.rework_steps > 0
+        reference = HeatDiffusionProxy(shape=(8, 4, 2), seed=5)
+        for _ in range(30):
+            reference.step()
+        np.testing.assert_array_equal(app.temperature, reference.temperature)
+
+    def test_lossy_failure_recovery_differs(self):
+        app, manager = self.make_setup(
+            CompressionConfig(n_bins=4, quantizer="simple")
+        )
+        run_app_with_failures(app, manager, 30, 5, fail_at_steps=[12])
+        reference = HeatDiffusionProxy(shape=(8, 4, 2), seed=5)
+        for _ in range(30):
+            reference.step()
+        assert not np.array_equal(app.temperature, reference.temperature)
+
+    def test_rollback_goes_to_latest_checkpoint(self):
+        app, manager = self.make_setup()
+        result = run_app_with_failures(app, manager, 20, 5, fail_at_steps=[13])
+        assert result.restored_from == [10]
+
+    def test_failure_before_current_step_rejected(self):
+        app, manager = self.make_setup()
+        for _ in range(5):
+            app.step()
+        with pytest.raises(ConfigurationError):
+            run_app_with_failures(app, manager, 10, 2, fail_at_steps=[3])
+
+    def test_validation(self):
+        app, manager = self.make_setup()
+        with pytest.raises(ConfigurationError):
+            run_app_with_failures(app, manager, -1, 5)
+        with pytest.raises(ConfigurationError):
+            run_app_with_failures(app, manager, 10, 0)

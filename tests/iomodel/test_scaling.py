@@ -1,0 +1,124 @@
+"""Unit tests for the Fig. 9 weak-scaling estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.iomodel.breakdown import PhaseBreakdown
+from repro.iomodel.scaling import (
+    PAPER_PARALLELISMS,
+    asymptotic_saving_fraction,
+    crossover_parallelism,
+    estimate_point,
+    estimate_series,
+)
+from repro.iomodel.storage import MB, StorageModel
+
+
+@pytest.fixture
+def breakdown():
+    """A synthetic measured breakdown: 10 ms total per process, 19 % rate,
+    1.5 MB per process -- the paper's Fig. 9 inputs."""
+    return PhaseBreakdown(
+        wavelet=0.001,
+        quantization_encoding=0.001,
+        temp_write=0.003,
+        gzip=0.004,
+        other=0.001,
+        compression_rate_percent=19.0,
+        per_process_bytes=int(1.5 * MB),
+    )
+
+
+@pytest.fixture
+def pfs():
+    return StorageModel("pfs", 20e9)
+
+
+class TestEstimatePoint:
+    def test_compression_constant_io_linear(self, breakdown, pfs):
+        p1 = estimate_point(256, breakdown, pfs)
+        p2 = estimate_point(512, breakdown, pfs)
+        assert p1.compression_seconds == p2.compression_seconds
+        assert p2.io_without_compression_seconds == pytest.approx(
+            2 * p1.io_without_compression_seconds
+        )
+
+    def test_io_reduced_by_rate(self, breakdown, pfs):
+        pt = estimate_point(1024, breakdown, pfs)
+        assert pt.io_with_compression_seconds == pytest.approx(
+            pt.io_without_compression_seconds * 0.19
+        )
+
+    def test_components_for_stacked_bars(self, breakdown, pfs):
+        pt = estimate_point(256, breakdown, pfs)
+        assert set(pt.components) == {
+            "wavelet", "quantization_encoding", "temp_write", "gzip", "other", "io",
+        }
+        assert sum(pt.components.values()) == pytest.approx(
+            pt.with_compression_seconds
+        )
+
+    def test_rate_override(self, breakdown, pfs):
+        pt = estimate_point(256, breakdown, pfs, rate_fraction=0.5)
+        assert pt.io_with_compression_seconds == pytest.approx(
+            pt.io_without_compression_seconds * 0.5
+        )
+
+    def test_validation(self, breakdown, pfs):
+        with pytest.raises(ConfigurationError):
+            estimate_point(0, breakdown, pfs)
+        with pytest.raises(ConfigurationError):
+            estimate_point(4, breakdown, pfs, rate_fraction=0.0)
+
+
+class TestSeries:
+    def test_paper_axis(self):
+        assert PAPER_PARALLELISMS == (256, 512, 768, 1024, 1280, 1536, 1792, 2048)
+
+    def test_flatter_slope_with_compression(self, breakdown, pfs):
+        """Paper: 'the slope of the total checkpoint time with our proposed
+        method is more flat than one without compression'."""
+        series = estimate_series(PAPER_PARALLELISMS, breakdown, pfs)
+        slope_with = (
+            series[-1].with_compression_seconds - series[0].with_compression_seconds
+        )
+        slope_without = (
+            series[-1].without_compression_seconds
+            - series[0].without_compression_seconds
+        )
+        assert slope_with < slope_without
+
+    def test_crossover_behaviour(self, breakdown, pfs):
+        """Below the crossover compression loses, above it wins."""
+        p_star = crossover_parallelism(breakdown, pfs)
+        below = estimate_point(max(1, int(p_star * 0.5)), breakdown, pfs)
+        above = estimate_point(int(p_star * 2), breakdown, pfs)
+        assert below.saving_fraction < 0
+        assert above.saving_fraction > 0
+
+    def test_times_equal_at_crossover(self, breakdown, pfs):
+        p_star = crossover_parallelism(breakdown, pfs)
+        pt = estimate_point(max(1, round(p_star)), breakdown, pfs)
+        assert pt.with_compression_seconds == pytest.approx(
+            pt.without_compression_seconds, rel=0.05
+        )
+
+    def test_saving_approaches_asymptote(self, breakdown, pfs):
+        huge = estimate_point(10_000_000, breakdown, pfs)
+        assert huge.saving_fraction == pytest.approx(
+            asymptotic_saving_fraction(0.19), abs=0.01
+        )
+
+
+class TestAsymptote:
+    def test_paper_value(self):
+        """(1 - 0.19) * 100 = 81 % -- the headline number."""
+        assert asymptotic_saving_fraction(0.19) == pytest.approx(0.81)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            asymptotic_saving_fraction(0.0)
+        with pytest.raises(ConfigurationError):
+            asymptotic_saving_fraction(1.5)

@@ -1,0 +1,73 @@
+"""Unit tests for the analytic storage model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.iomodel.storage import (
+    GB,
+    MB,
+    PAPER_NFS,
+    PAPER_PER_PROCESS_BYTES,
+    PAPER_PFS,
+    StorageModel,
+)
+
+
+class TestConstants:
+    def test_paper_sizes(self):
+        assert PAPER_PER_PROCESS_BYTES == int(1.5 * MB)
+        assert PAPER_PFS.bandwidth_bytes_per_sec == pytest.approx(20e9)
+        assert PAPER_NFS.bandwidth_bytes_per_sec < PAPER_PFS.bandwidth_bytes_per_sec
+
+    def test_units(self):
+        assert GB == 1024 * MB == 1024 * 1024 * 1024
+
+
+class TestWriteSeconds:
+    def test_linear_in_bytes(self):
+        model = StorageModel("m", 100.0)
+        assert model.write_seconds(200) == pytest.approx(2.0)
+        assert model.write_seconds(400) == pytest.approx(4.0)
+
+    def test_latency_added(self):
+        model = StorageModel("m", 100.0, latency_sec=0.25)
+        assert model.write_seconds(100) == pytest.approx(1.25)
+
+    def test_zero_bytes(self):
+        assert StorageModel("m", 1.0).write_seconds(0) == 0.0
+
+    def test_negative_bytes(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel("m", 1.0).write_seconds(-1)
+
+
+class TestAggregate:
+    def test_paper_formula(self):
+        """1.5 MB x P / 20 GB/s (paper Section IV-D's estimate)."""
+        t = PAPER_PFS.aggregate_write_seconds(PAPER_PER_PROCESS_BYTES, 2048)
+        assert t == pytest.approx(1.5 * MB * 2048 / 20e9)
+
+    def test_linear_in_parallelism(self):
+        model = StorageModel("m", 1000.0)
+        t1 = model.aggregate_write_seconds(10, 100)
+        t2 = model.aggregate_write_seconds(10, 200)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_validation(self):
+        model = StorageModel("m", 1.0)
+        with pytest.raises(ConfigurationError):
+            model.aggregate_write_seconds(10, 0)
+        with pytest.raises(ConfigurationError):
+            model.aggregate_write_seconds(-1, 4)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel("m", 0.0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel("m", 1.0, latency_sec=-0.1)

@@ -1,0 +1,191 @@
+"""Unit tests for the lossless codec layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DecompressionError, StorageError
+from repro.lossless import (
+    GzipCodec,
+    NullCodec,
+    RleCodec,
+    TempfileGzipCodec,
+    XorDeltaCodec,
+    ZlibCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.lossless.base import Codec
+
+ALL_NAMES = ["none", "zlib", "gzip", "tempfile-gzip", "rle", "xor-delta"]
+
+SAMPLES = [
+    b"",
+    b"a",
+    b"hello world" * 100,
+    bytes(range(256)) * 10,
+    bytes(1000),
+    np.random.default_rng(3).bytes(4096),
+]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(ALL_NAMES) <= set(available_codecs())
+
+    def test_get_codec(self):
+        assert isinstance(get_codec("zlib"), ZlibCodec)
+        assert isinstance(get_codec("none"), NullCodec)
+
+    def test_get_codec_forwards_level(self):
+        assert get_codec("zlib", level=9).level == 9
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            get_codec("lz77-imaginary")
+
+    def test_register_requires_name(self):
+        class Anon(Codec):
+            def compress(self, data):  # pragma: no cover
+                return data
+
+            def decompress(self, data):  # pragma: no cover
+                return data
+
+        with pytest.raises(ConfigurationError):
+            register_codec(Anon)
+
+    def test_register_custom(self):
+        class Upper(Codec):
+            name = "test-upper"
+
+            def compress(self, data):
+                return data.upper()
+
+            def decompress(self, data):
+                return data.lower()
+
+        register_codec(Upper)
+        assert get_codec("test-upper").compress(b"ab") == b"AB"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("sample", SAMPLES, ids=[f"s{i}" for i in range(len(SAMPLES))])
+def test_roundtrip_every_codec(name, sample):
+    codec = get_codec(name)
+    assert codec.decompress(codec.compress(sample)) == sample
+
+
+class TestZlibFamily:
+    def test_deterministic(self):
+        data = b"payload" * 50
+        assert ZlibCodec().compress(data) == ZlibCodec().compress(data)
+        assert GzipCodec().compress(data) == GzipCodec().compress(data)
+
+    def test_compresses_redundant_data(self):
+        data = bytes(10_000)
+        assert len(ZlibCodec(6).compress(data)) < 100
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(10)
+        with pytest.raises(ValueError):
+            GzipCodec(-1)
+
+    def test_level_zero_stores(self):
+        data = np.random.default_rng(1).bytes(1000)
+        assert len(ZlibCodec(0).compress(data)) >= len(data)
+
+
+class TestRle:
+    def test_long_run_chunked(self):
+        data = b"\xaa" * 1000  # forces multiple 255-byte chunks
+        codec = RleCodec()
+        out = codec.compress(data)
+        assert codec.decompress(out) == data
+        assert len(out) < 30
+
+    def test_alternating_worst_case(self):
+        data = b"ab" * 100
+        codec = RleCodec()
+        out = codec.compress(data)
+        assert codec.decompress(out) == data
+        assert len(out) > len(data)  # RLE expands non-runs; that's the point
+
+    def test_truncated_header(self):
+        with pytest.raises(DecompressionError):
+            RleCodec().decompress(b"\x01")
+
+    def test_dangling_half_pair(self):
+        good = RleCodec().compress(b"xx")
+        with pytest.raises(DecompressionError):
+            RleCodec().decompress(good + b"\x05")
+
+    def test_length_mismatch(self):
+        blob = bytearray(RleCodec().compress(b"abc"))
+        blob[0] ^= 0xFF  # corrupt the total-length header
+        with pytest.raises(DecompressionError):
+            RleCodec().decompress(bytes(blob))
+
+
+class TestXorDelta:
+    def test_smooth_doubles_compress(self):
+        data = np.linspace(0.0, 1.0, 2048).tobytes()
+        codec = XorDeltaCodec()
+        out = codec.compress(data)
+        assert codec.decompress(out) == data
+        assert len(out) < len(data)
+
+    def test_non_multiple_of_8_tail(self):
+        data = np.linspace(0, 1, 16).tobytes() + b"xyz"
+        codec = XorDeltaCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_tiny_inputs(self):
+        codec = XorDeltaCodec()
+        for data in (b"", b"1", b"1234567", b"12345678"):
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_truncated_header(self):
+        with pytest.raises(DecompressionError):
+            XorDeltaCodec().decompress(b"\x00\x01")
+
+    def test_payload_size_mismatch(self):
+        good = XorDeltaCodec().compress(np.arange(4.0).tobytes())
+        with pytest.raises(DecompressionError):
+            XorDeltaCodec().decompress(good[:-1])
+
+    def test_random_doubles_roundtrip(self):
+        data = np.random.default_rng(9).standard_normal(333).tobytes()
+        codec = XorDeltaCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestTempfileGzip:
+    def test_roundtrip_and_timings(self, tmp_path):
+        codec = TempfileGzipCodec(scratch_dir=str(tmp_path))
+        data = b"checkpoint" * 1000
+        out = codec.compress(data)
+        assert codec.decompress(out) == data
+        assert codec.last_timings["temp_write"] > 0
+        assert codec.last_timings["gzip"] > 0
+
+    def test_scratch_cleaned_up(self, tmp_path):
+        codec = TempfileGzipCodec(scratch_dir=str(tmp_path))
+        codec.decompress(codec.compress(b"data" * 100))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_missing_scratch_dir(self):
+        with pytest.raises(StorageError):
+            TempfileGzipCodec(scratch_dir="/nonexistent/place")
+
+    def test_matches_in_memory_gzip(self, tmp_path):
+        data = b"same bytes" * 200
+        via_files = TempfileGzipCodec(scratch_dir=str(tmp_path)).compress(data)
+        assert GzipCodec().decompress(via_files) == data
+
+    def test_level_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            TempfileGzipCodec(level=11, scratch_dir=str(tmp_path))

@@ -1,0 +1,97 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def npy(tmp_path, smooth2d):
+    path = tmp_path / "field.npy"
+    np.save(path, smooth2d)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_defaults_match_paper(self):
+        args = build_parser().parse_args(["evaluate", "x.npy"])
+        assert args.n_bins == 128
+        assert args.quantizer == "proposed"
+        assert args.spike_partitions == 64
+
+
+class TestCompressDecompress:
+    def test_roundtrip_via_files(self, tmp_path, npy, smooth2d, capsys):
+        rpz = str(tmp_path / "field.rpz")
+        out_npy = str(tmp_path / "restored.npy")
+        assert main(["compress", npy, rpz]) == 0
+        assert "rate" in capsys.readouterr().out
+        assert main(["decompress", rpz, out_npy]) == 0
+        restored = np.load(out_npy)
+        assert restored.shape == smooth2d.shape
+
+    def test_compress_options_forwarded(self, tmp_path, npy):
+        rpz = str(tmp_path / "f.rpz")
+        main([
+            "compress", npy, rpz,
+            "--n-bins", "4", "--quantizer", "simple", "--levels", "max",
+        ])
+        assert main(["inspect", rpz]) == 0
+
+    def test_inspect_prints_json(self, tmp_path, npy, smooth2d, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        main(["compress", npy, rpz])
+        capsys.readouterr()
+        main(["inspect", rpz])
+        header = json.loads(capsys.readouterr().out)
+        assert tuple(header["shape"]) == smooth2d.shape
+
+
+class TestEvaluate:
+    def test_reports_metrics(self, npy, capsys):
+        assert main(["evaluate", npy]) == 0
+        out = capsys.readouterr().out
+        assert "compression rate" in out
+        assert "mean rel. error" in out
+        assert "max rel. error" in out
+
+    def test_lossless_quantizer(self, npy, capsys):
+        assert main(["evaluate", npy, "--quantizer", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "0/" in out  # zero quantized coefficients
+
+
+class TestTune:
+    def test_finds_config(self, npy, capsys):
+        assert main(["tune", npy, "--tolerance", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out
+
+    def test_unreachable_is_an_error(self, npy, capsys):
+        assert main(["tune", npy, "--tolerance", "1e-18"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    def test_missing_input_file(self, tmp_path, capsys):
+        assert main(["evaluate", str(tmp_path / "nope.npy")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_garbage_blob(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rpz"
+        bad.write_bytes(b"garbage")
+        assert main(["decompress", str(bad), str(tmp_path / "o.npy")]) == 1

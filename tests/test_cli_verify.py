@@ -1,0 +1,56 @@
+"""Unit tests for the ``repro-ckpt verify`` subcommand."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.ckpt.manager import CheckpointManager
+from repro.ckpt.manifest import array_key
+from repro.ckpt.protocol import ArrayRegistry
+from repro.ckpt.store import DirectoryStore
+
+
+@pytest.fixture
+def ckpt_dir(tmp_path, smooth2d):
+    root = tmp_path / "ckpts"
+    registry = ArrayRegistry()
+    registry.register("field", smooth2d.copy())
+    manager = CheckpointManager(registry, DirectoryStore(str(root)))
+    manager.checkpoint(1)
+    manager.checkpoint(2)
+    return root
+
+
+class TestVerify:
+    def test_healthy_store(self, ckpt_dir, capsys):
+        assert main(["verify", str(ckpt_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") == 2
+        assert "step          1" in out
+
+    def test_corruption_detected(self, ckpt_dir, capsys):
+        path = ckpt_dir.joinpath(*array_key(2, "field").split("/"))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["verify", str(ckpt_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert out.count("ok") == 1  # step 1 still healthy
+
+    def test_missing_blob_detected(self, ckpt_dir, capsys):
+        ckpt_dir.joinpath(*array_key(1, "field").split("/")).unlink()
+        assert main(["verify", str(ckpt_dir)]) == 1
+        assert "missing blob" in capsys.readouterr().out
+
+    def test_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["verify", str(empty)]) == 0
+        assert "no checkpoints" in capsys.readouterr().out
+
+    def test_not_a_directory(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""Unit tests for CompressionConfig validation and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompressionConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = CompressionConfig()
+        assert cfg.n_bins == 128  # the paper's largest swept n
+        assert cfg.quantizer == "proposed"
+        assert cfg.spike_partitions == 64  # paper fixes d = 64
+        assert cfg.backend == "zlib"
+
+    def test_frozen(self):
+        cfg = CompressionConfig()
+        with pytest.raises(AttributeError):
+            cfg.n_bins = 4
+
+    def test_lossless_property(self):
+        assert CompressionConfig(quantizer="none").lossless
+        assert not CompressionConfig(quantizer="simple").lossless
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [1, 2, 128, 256])
+    def test_valid_n_bins(self, n):
+        assert CompressionConfig(n_bins=n).n_bins == n
+
+    @pytest.mark.parametrize("n", [0, -1, 257, 1000])
+    def test_invalid_n_bins_range(self, n):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(n_bins=n)
+
+    @pytest.mark.parametrize("n", [1.5, "128", None, True])
+    def test_invalid_n_bins_type(self, n):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(n_bins=n)
+
+    def test_invalid_quantizer(self):
+        with pytest.raises(ConfigurationError, match="quantizer"):
+            CompressionConfig(quantizer="fancy")
+
+    @pytest.mark.parametrize("d", [0, -5, 2.5, True])
+    def test_invalid_spike_partitions(self, d):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(spike_partitions=d)
+
+    @pytest.mark.parametrize("levels", [1, 5, "max"])
+    def test_valid_levels(self, levels):
+        assert CompressionConfig(levels=levels).levels == levels
+
+    @pytest.mark.parametrize("levels", [0, -2, "deep", 1.5, True])
+    def test_invalid_levels(self, levels):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(levels=levels)
+
+    @pytest.mark.parametrize("backend", ["", None, 42])
+    def test_invalid_backend(self, backend):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(backend=backend)
+
+    @pytest.mark.parametrize("level", [-1, 10, "6", True])
+    def test_invalid_backend_level(self, level):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(backend_level=level)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        cfg = CompressionConfig(n_bins=32, quantizer="simple", levels="max")
+        assert CompressionConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CompressionConfig.from_dict({"n_bins": 8, "bogus": 1})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig.from_dict({"n_bins": 0})
+
+
+class TestReplace:
+    def test_returns_new_validated(self):
+        cfg = CompressionConfig()
+        other = cfg.replace(n_bins=8)
+        assert other.n_bins == 8 and cfg.n_bins == 128
+        with pytest.raises(ConfigurationError):
+            cfg.replace(n_bins=0)

@@ -1,0 +1,167 @@
+"""Unit tests for the rank-parallel checkpoint layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import CompressionConfig
+from repro.exceptions import ConfigurationError
+from repro.iomodel.storage import StorageModel
+from repro.parallel import (
+    BlockDecomposition,
+    SimulatedComm,
+    decompose,
+    parallel_checkpoint,
+    parallel_restore,
+    reassemble,
+)
+
+
+class TestBlockDecomposition:
+    def test_even_split(self):
+        d = BlockDecomposition((8, 4), axis=0, n_ranks=4)
+        assert [d.extent(r) for r in range(4)] == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loaded(self):
+        d = BlockDecomposition((10,), axis=0, n_ranks=3)
+        assert [d.extent(r) for r in range(3)] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_extents_tile_axis(self):
+        d = BlockDecomposition((17, 3), axis=0, n_ranks=5)
+        stops = [d.extent(r) for r in range(5)]
+        assert stops[0][0] == 0 and stops[-1][1] == 17
+        for (a, b), (c, _) in zip(stops, stops[1:]):
+            assert b == c
+
+    def test_local_shape_and_bytes(self):
+        d = BlockDecomposition((10, 4), axis=0, n_ranks=3)
+        assert d.local_shape(0) == (4, 4)
+        assert d.local_nbytes(0) == 4 * 4 * 8
+
+    def test_axis1(self):
+        d = BlockDecomposition((3, 8), axis=1, n_ranks=2)
+        assert d.slices(1) == (slice(None), slice(4, 8))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"global_shape": (), "axis": 0, "n_ranks": 1},
+        {"global_shape": (4,), "axis": 1, "n_ranks": 1},
+        {"global_shape": (4,), "axis": 0, "n_ranks": 0},
+        {"global_shape": (4,), "axis": 0, "n_ranks": 5},
+        {"global_shape": (0,), "axis": 0, "n_ranks": 1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(**kwargs)
+
+    def test_rank_range_checked(self):
+        d = BlockDecomposition((4,), axis=0, n_ranks=2)
+        with pytest.raises(ConfigurationError):
+            d.extent(2)
+
+
+class TestDecomposeReassemble:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 7])
+    def test_roundtrip(self, rng, n_ranks):
+        a = rng.standard_normal((13, 5, 2))
+        decomp, blocks = decompose(a, n_ranks)
+        back = reassemble(decomp, blocks)
+        np.testing.assert_array_equal(back, a)
+
+    def test_blocks_are_views(self, rng):
+        a = rng.standard_normal((8, 4))
+        _, blocks = decompose(a, 2)
+        blocks[0][0, 0] = 42.0
+        assert a[0, 0] == 42.0
+
+    def test_reassemble_validates_count(self, rng):
+        decomp, blocks = decompose(rng.standard_normal((8,)), 4)
+        with pytest.raises(ConfigurationError):
+            reassemble(decomp, blocks[:-1])
+
+    def test_reassemble_validates_shapes(self, rng):
+        decomp, blocks = decompose(rng.standard_normal((8,)), 2)
+        blocks[0] = np.zeros(3)
+        with pytest.raises(ConfigurationError):
+            reassemble(decomp, blocks)
+
+
+class TestSimulatedComm:
+    def test_rank_size(self):
+        comm = SimulatedComm(4, 2)
+        assert comm.rank == 2 and comm.size == 4
+        assert comm.Get_rank() == 2 and comm.Get_size() == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedComm(0)
+        with pytest.raises(ConfigurationError):
+            SimulatedComm(2, 2)
+
+    def test_gather_root_last(self):
+        world = SimulatedComm(3)
+        comms = world.split_ranks()
+        # non-root ranks first, root last: gather returns at the root call
+        assert comms[1].gather("b") is None
+        assert comms[2].gather("c") is None
+        assert comms[0].gather("a") == ["a", "b", "c"]
+
+    def test_gather_root_first_then_drain(self):
+        world = SimulatedComm(3)
+        for comm in world.split_ranks():
+            comm.gather(f"r{comm.rank}")
+        assert world.drain_gather() == ["r0", "r1", "r2"]
+
+    def test_drain_incomplete_raises(self):
+        world = SimulatedComm(2)
+        world.split_ranks()[0].gather("x")
+        with pytest.raises(ConfigurationError, match="not contributed"):
+            world.drain_gather()
+
+
+class TestParallelCheckpoint:
+    def test_restore_roundtrip(self, smooth3d):
+        result = parallel_checkpoint(smooth3d, 4)
+        back = parallel_restore(result)
+        assert back.shape == smooth3d.shape
+        assert repro.mean_relative_error(smooth3d, back) < 1e-2
+
+    def test_lossless_roundtrip_exact_per_rank(self, smooth3d):
+        result = parallel_checkpoint(
+            smooth3d, 4, config=CompressionConfig(quantizer="none")
+        )
+        back = parallel_restore(result)
+        np.testing.assert_allclose(back, smooth3d, rtol=1e-12, atol=1e-9)
+
+    def test_accounting(self, smooth3d):
+        storage = StorageModel("pfs", 1000.0)
+        result = parallel_checkpoint(smooth3d, 4, storage=storage)
+        assert result.total_raw_bytes == smooth3d.nbytes
+        assert 0 < result.total_stored_bytes < smooth3d.nbytes
+        assert result.io_seconds_with == pytest.approx(
+            result.total_stored_bytes / 1000.0
+        )
+        assert result.io_seconds_without == pytest.approx(
+            smooth3d.nbytes / 1000.0
+        )
+        assert result.compute_seconds > 0
+        assert result.compression_rate_percent < 100
+
+    def test_compression_wins_when_io_slow(self, smooth3d):
+        slow = StorageModel("slow", 1e6)  # 1 MB/s: I/O dominates
+        result = parallel_checkpoint(smooth3d, 2, storage=slow)
+        assert result.saving_fraction > 0.3
+
+    def test_single_rank(self, smooth2d):
+        result = parallel_checkpoint(smooth2d, 1)
+        back = parallel_restore(result)
+        assert back.shape == smooth2d.shape
+
+    def test_rank_blocks_independent_blobs(self, smooth3d):
+        """Each rank's blob is self-describing and decodable alone."""
+        from repro.core.pipeline import WaveletCompressor
+
+        result = parallel_checkpoint(smooth3d, 3)
+        block = WaveletCompressor.decompress(result.ranks[1].blob)
+        assert block.shape == result.decomposition.local_shape(1)
