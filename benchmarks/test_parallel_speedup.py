@@ -1,0 +1,73 @@
+"""Serial vs process-parallel chunked compression throughput.
+
+The paper's Section IV-D scaling estimate assumes per-rank compression is
+embarrassingly parallel.  The executor layer makes that real on one node:
+this benchmark compresses the same >= 64 MiB array through
+``chunked_compress`` serially and with a 4-worker process pool, reports
+both throughputs, and checks the streams are byte-identical.  The
+speedup assertion only runs on multi-core machines -- on a single core
+the pool adds pickling overhead with nothing to overlap.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import CompressionConfig
+from repro.core.chunked import chunked_compress
+
+from _util import FAST, save_and_print
+
+WORKERS = 4
+TARGET_MIB = 16 if FAST else 64
+COLS = 2048
+
+
+def _workload() -> np.ndarray:
+    rows = TARGET_MIB * 1024 * 1024 // (COLS * 8)
+    x = np.linspace(0.0, 8.0 * np.pi, rows)
+    y = np.linspace(0.0, 2.0 * np.pi, COLS)
+    # smooth 2D field, the regime the paper compresses
+    return np.add.outer(np.sin(x), np.cos(y)) + 300.0
+
+
+def test_parallel_speedup():
+    arr = _workload()
+    cfg = CompressionConfig()
+    chunk_rows = max(1, arr.shape[0] // (WORKERS * 4))
+
+    # warm up imports/allocators outside the timed region
+    chunked_compress(arr[:chunk_rows], cfg, chunk_rows=chunk_rows)
+
+    t0 = time.perf_counter()
+    serial = chunked_compress(arr, cfg, chunk_rows=chunk_rows)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = chunked_compress(arr, cfg, chunk_rows=chunk_rows, workers=WORKERS)
+    parallel_s = time.perf_counter() - t0
+
+    assert parallel == serial, "parallel stream must be byte-identical"
+
+    mib = arr.nbytes / 2**20
+    serial_tput = mib / serial_s
+    parallel_tput = mib / parallel_s
+    cores = os.cpu_count() or 1
+    lines = [
+        f"array: {arr.shape} float64 = {mib:.0f} MiB, chunk_rows={chunk_rows}, "
+        f"workers={WORKERS}, cores={cores}",
+        f"serial   : {serial_s:8.2f} s   {serial_tput:8.1f} MiB/s",
+        f"parallel : {parallel_s:8.2f} s   {parallel_tput:8.1f} MiB/s",
+        f"speedup  : {serial_s / parallel_s:8.2f} x",
+        "streams byte-identical: yes",
+    ]
+    save_and_print("parallel_speedup", "\n".join(lines))
+
+    if cores >= 2:
+        assert parallel_tput >= serial_tput, (
+            f"parallel throughput {parallel_tput:.1f} MiB/s fell below "
+            f"serial {serial_tput:.1f} MiB/s on a {cores}-core machine"
+        )

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..config import CompressionConfig
 from ..core import container
+from ..core.chunked import CHUNK_MAGIC, chunked_compress, chunked_decompress
 from ..core.pipeline import WaveletCompressor
 from ..exceptions import (
     CheckpointError,
@@ -56,8 +57,10 @@ def serialize_array_lossless(arr: np.ndarray, codec_name: str, level: int = 6) -
 
 
 def deserialize_array(blob: bytes) -> np.ndarray:
-    """Decode a blob written by either the lossy pipeline or
-    :func:`serialize_array_lossless` (dispatch on the container header)."""
+    """Decode a blob written by the lossy pipeline, the chunked container
+    or :func:`serialize_array_lossless` (dispatch on magic / header)."""
+    if blob[:4] == CHUNK_MAGIC:
+        return chunked_decompress(blob)
     body, _backend = container.unwrap_envelope(blob)
     header, sections = container.read_body(body)
     if header.get("kind") == _LOSSLESS_KIND:
@@ -103,6 +106,14 @@ class CheckpointManager:
     retention:
         Keep only the newest ``retention`` checkpoints; older ones are
         pruned after every successful write.  ``None`` keeps everything.
+    workers:
+        When ``> 1``, lossy arrays with more than one leading-axis row are
+        written through the chunked container with slab compression fanned
+        out to that many worker processes (byte-identical to the serial
+        stream; degrades to serial execution when a pool cannot start).
+        ``1`` (the default) keeps the single-blob pipeline format.
+    chunk_rows:
+        Leading-axis slab height used for the chunked path.
     """
 
     def __init__(
@@ -114,6 +125,8 @@ class CheckpointManager:
         lossless_codec: str = "zlib",
         policy: Mapping[str, Any] | None = None,
         retention: int | None = None,
+        workers: int = 1,
+        chunk_rows: int = 256,
     ) -> None:
         self.registry = registry
         self.store = store
@@ -132,6 +145,35 @@ class CheckpointManager:
         if retention is not None and retention < 1:
             raise CheckpointError(f"retention must be >= 1 or None, got {retention}")
         self.retention = retention
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise CheckpointError(f"workers must be an int >= 1, got {workers!r}")
+        if chunk_rows < 1:
+            raise CheckpointError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.workers = workers
+        self.chunk_rows = chunk_rows
+        self._executor = None  # lazily-started pool, shared across writes
+
+    # -- worker pool -----------------------------------------------------------
+
+    def _slab_executor(self):
+        """The shared multiprocess executor (created on first use)."""
+        if self._executor is None:
+            from ..parallel.executor import MultiprocessExecutor
+
+            self._executor = MultiprocessExecutor(self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started.  Idempotent."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "CheckpointManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- write ---------------------------------------------------------------
 
@@ -164,10 +206,20 @@ class CheckpointManager:
             arr = np.asarray(self.registry.get(name))
             mode, how = self._resolve_policy(name, arr)
             if mode == "lossy":
-                compressor = WaveletCompressor(how)
-                blob = compressor.compress(arr)
-                codec = "wavelet-lossy"
-                params = how.to_dict()
+                if self.workers > 1 and arr.ndim >= 1 and arr.shape[0] > 1:
+                    blob = chunked_compress(
+                        arr,
+                        how,
+                        chunk_rows=self.chunk_rows,
+                        executor=self._slab_executor(),
+                    )
+                    codec = "wavelet-lossy-chunked"
+                    params = dict(how.to_dict(), chunk_rows=self.chunk_rows)
+                else:
+                    compressor = WaveletCompressor(how)
+                    blob = compressor.compress(arr)
+                    codec = "wavelet-lossy"
+                    params = how.to_dict()
             else:
                 blob = serialize_array_lossless(arr, how, self.config.backend_level)
                 codec = f"lossless:{how}"

@@ -36,6 +36,7 @@ from ..lossless import get_codec
 
 __all__ = [
     "BODY_MAGIC",
+    "CHUNK_MAGIC",
     "ENVELOPE_MAGIC",
     "FORMAT_VERSION",
     "write_body",
@@ -47,6 +48,9 @@ __all__ = [
 
 BODY_MAGIC = b"RPWC"
 ENVELOPE_MAGIC = b"RPZ1"
+# Multi-chunk streams (repro.core.chunked) carry their own magic; defined
+# here so the envelope parser can tell "chunked stream" apart from garbage.
+CHUNK_MAGIC = b"RPCK"
 FORMAT_VERSION = 1
 
 _U8 = struct.Struct("<B")
@@ -153,6 +157,12 @@ def unwrap_envelope(blob: bytes) -> tuple[bytes, str]:
     """Strip the envelope and inflate; returns ``(body, backend_name)``."""
     offset = _need(blob, 0, 4, "envelope magic")
     if blob[:4] != ENVELOPE_MAGIC:
+        if blob[:4] == CHUNK_MAGIC:
+            raise FormatError(
+                "this is a chunked stream (magic b'RPCK'), not a single "
+                "pipeline blob; use repro.core.chunked.chunked_decompress "
+                "or inspect_chunked"
+            )
         raise FormatError(
             f"bad envelope magic {blob[:4]!r}; not a repro compressed blob"
         )

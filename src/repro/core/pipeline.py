@@ -278,5 +278,14 @@ def decompress(blob: bytes) -> np.ndarray:
 
 
 def inspect(blob: bytes) -> dict[str, Any]:
-    """Container header of a compressed blob (no coefficient decoding)."""
+    """Container header of a compressed blob (no coefficient decoding).
+
+    Accepts both single pipeline blobs and chunked streams; the latter
+    report chunk-level metadata (chunk count, rows, per-chunk sizes and
+    the first chunk's self-describing header).
+    """
+    if blob[:4] == container.CHUNK_MAGIC:
+        from .chunked import inspect_chunked  # here to avoid an import cycle
+
+        return inspect_chunked(blob)
     return container.peek_header(blob)

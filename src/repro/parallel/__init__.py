@@ -8,6 +8,14 @@ from .driver import (
     parallel_checkpoint,
     parallel_restore,
 )
+from .executor import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    SlabExecutor,
+    aggregate_stats,
+    default_worker_count,
+    resolve_executor,
+)
 
 __all__ = [
     "BlockDecomposition",
@@ -18,4 +26,10 @@ __all__ = [
     "ParallelCheckpointResult",
     "parallel_checkpoint",
     "parallel_restore",
+    "SlabExecutor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "resolve_executor",
+    "aggregate_stats",
+    "default_worker_count",
 ]

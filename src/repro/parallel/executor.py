@@ -1,0 +1,234 @@
+"""Process-parallel slab compression executors.
+
+The paper's scaling argument (Section IV-D, Fig. 9) rests on every rank
+compressing its slab independently -- "compression of checkpoints of each
+process can be done in an embarrassingly parallel fashion".  The simulated
+driver *models* that parallelism (total time = max over ranks) but executes
+sequentially.  This module makes the parallelism real on one node: a
+:class:`SlabExecutor` maps a list of slabs through the wavelet pipeline and
+returns ``(blob, CompressionStats)`` per slab, either in-process
+(:class:`SerialExecutor`) or fanned out to worker processes
+(:class:`MultiprocessExecutor`, built on
+:class:`concurrent.futures.ProcessPoolExecutor`).
+
+Two guarantees shape the design:
+
+* **Determinism** -- the pipeline is a pure function of ``(slab, config)``,
+  so executors return results in submission order and the bytes are
+  identical no matter how many workers ran.  ``chunked_compress(...,
+  workers=N)`` therefore produces byte-identical streams for every ``N``.
+* **Graceful degradation** -- sandboxes, restricted containers and
+  single-core boxes may refuse to start a process pool.  When that happens
+  (or a started pool breaks mid-flight) the multiprocess executor falls
+  back to serial execution instead of failing the checkpoint, recording
+  why in :attr:`MultiprocessExecutor.fallback_reason`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..config import CompressionConfig
+from ..core.pipeline import CompressionStats, WaveletCompressor
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "SlabExecutor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "resolve_executor",
+    "aggregate_stats",
+    "default_worker_count",
+]
+
+
+def default_worker_count() -> int:
+    """Worker count used when a pool size is not given: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _compress_slab(
+    config: CompressionConfig, slab: np.ndarray
+) -> tuple[bytes, CompressionStats]:
+    """Worker-side unit of work; module-level so it pickles."""
+    return WaveletCompressor(config).compress_with_stats(slab)
+
+
+class SlabExecutor(ABC):
+    """Maps slabs through the compression pipeline, preserving order.
+
+    Implementations are context managers; :meth:`close` releases any
+    worker processes and is idempotent.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress_slabs(
+        self, slabs: Sequence[np.ndarray], config: CompressionConfig
+    ) -> list[tuple[bytes, CompressionStats]]:
+        """Compress every slab; result ``i`` corresponds to ``slabs[i]``."""
+
+    def close(self) -> None:
+        """Release worker resources (no-op for in-process executors)."""
+
+    def __enter__(self) -> "SlabExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(SlabExecutor):
+    """Compress slabs one after another in the calling process."""
+
+    name = "serial"
+
+    def compress_slabs(
+        self, slabs: Sequence[np.ndarray], config: CompressionConfig
+    ) -> list[tuple[bytes, CompressionStats]]:
+        compressor = WaveletCompressor(config)
+        return [compressor.compress_with_stats(slab) for slab in slabs]
+
+
+class MultiprocessExecutor(SlabExecutor):
+    """Fan slab compression out to a :class:`ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to one worker per core.
+    fallback:
+        When True (the default), any failure to start or keep a pool --
+        ``PermissionError`` in sandboxes, a fork bomb limit, a worker
+        killed by the OOM killer -- downgrades to serial execution for
+        the affected call instead of raising.  The reason is recorded in
+        :attr:`fallback_reason` so callers can report it.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        fallback: bool = True,
+        _pool_factory: Callable[..., object] | None = None,
+    ) -> None:
+        if workers is None:
+            workers = default_worker_count()
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ConfigurationError(f"workers must be an int >= 1, got {workers!r}")
+        self.workers = workers
+        self._fallback = fallback
+        self._pool_factory = _pool_factory
+        self._pool: object | None = None
+        self.fallback_reason: str | None = None
+
+    def _make_pool(self) -> object:
+        if self._pool_factory is not None:
+            return self._pool_factory(max_workers=self.workers)
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _ensure_pool(self) -> object | None:
+        """Start (or reuse) the pool; None means 'run serially'."""
+        if self._pool is not None:
+            return self._pool
+        try:
+            self._pool = self._make_pool()
+        except Exception as exc:  # sandboxed/locked-down environments
+            if not self._fallback:
+                raise ConfigurationError(
+                    f"cannot start a {self.workers}-worker process pool: {exc}"
+                ) from exc
+            self.fallback_reason = f"pool start failed: {exc}"
+            self._pool = None
+        return self._pool
+
+    def compress_slabs(
+        self, slabs: Sequence[np.ndarray], config: CompressionConfig
+    ) -> list[tuple[bytes, CompressionStats]]:
+        if len(slabs) <= 1:
+            # Nothing to overlap; skip pickling the slab to a worker.
+            return SerialExecutor().compress_slabs(slabs, config)
+        pool = self._ensure_pool()
+        if pool is not None:
+            futures = [pool.submit(_compress_slab, config, slab) for slab in slabs]
+            try:
+                return [f.result() for f in futures]
+            except Exception as exc:  # BrokenProcessPool and friends
+                for f in futures:
+                    f.cancel()
+                self.close()
+                if not self._fallback:
+                    raise ConfigurationError(
+                        f"process pool failed while compressing slabs: {exc}"
+                    ) from exc
+                self.fallback_reason = f"pool broke mid-flight: {exc}"
+        # Determinism makes the serial fallback transparent: same bytes.
+        return SerialExecutor().compress_slabs(slabs, config)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def resolve_executor(
+    workers: int | None, executor: SlabExecutor | None = None
+) -> tuple[SlabExecutor, bool]:
+    """Pick an executor for a ``workers=N`` request.
+
+    Returns ``(executor, owned)`` where ``owned`` tells the caller whether
+    it created the executor (and must close it) or borrowed one.
+    ``workers`` of ``None`` or ``1`` means serial; ``N > 1`` builds a
+    multiprocess executor with graceful serial fallback.
+    """
+    if executor is not None:
+        if not isinstance(executor, SlabExecutor):
+            raise ConfigurationError(f"not a SlabExecutor: {executor!r}")
+        return executor, False
+    if workers is None:
+        return SerialExecutor(), True
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ConfigurationError(f"workers must be an int >= 1, got {workers!r}")
+    if workers == 1:
+        return SerialExecutor(), True
+    return MultiprocessExecutor(workers), True
+
+
+def aggregate_stats(
+    per_slab: Sequence[CompressionStats],
+    *,
+    stream_bytes: int | None = None,
+) -> CompressionStats:
+    """Combine per-slab stats into one Fig. 9-style breakdown.
+
+    Sizes and counts are summed; per-stage timings are summed key-wise, so
+    the aggregate ``timings`` still decomposes total cost into the paper's
+    wavelet/quantization/encoding/formatting/backend bars.  When
+    ``stream_bytes`` is given it overrides the summed compressed size
+    (accounting for chunk framing overhead of the enclosing container).
+    """
+    agg = CompressionStats()
+    for stats in per_slab:
+        agg.original_bytes += stats.original_bytes
+        agg.formatted_bytes += stats.formatted_bytes
+        agg.compressed_bytes += stats.compressed_bytes
+        agg.n_coefficients += stats.n_coefficients
+        agg.n_quantized += stats.n_quantized
+        agg.applied_levels = max(agg.applied_levels, stats.applied_levels)
+        for key, seconds in stats.timings.items():
+            agg.timings[key] = agg.timings.get(key, 0.0) + seconds
+        if agg.config is None:
+            agg.config = stats.config
+    if stream_bytes is not None:
+        agg.compressed_bytes = int(stream_bytes)
+    return agg

@@ -61,6 +61,37 @@ class TestCompressDecompress:
         assert tuple(header["shape"]) == smooth2d.shape
 
 
+class TestWorkers:
+    def test_workers_roundtrip(self, tmp_path, npy, smooth2d, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        out_npy = str(tmp_path / "restored.npy")
+        assert main(["compress", npy, rpz, "--workers", "2", "--chunk-rows", "16"]) == 0
+        assert "rate" in capsys.readouterr().out
+        assert main(["decompress", rpz, out_npy]) == 0
+        assert np.load(out_npy).shape == smooth2d.shape
+
+    def test_workers_write_chunked_stream(self, tmp_path, npy):
+        from repro.core.chunked import CHUNK_MAGIC
+
+        rpz = tmp_path / "f.rpz"
+        main(["compress", npy, str(rpz), "--workers", "2", "--chunk-rows", "16"])
+        assert rpz.read_bytes()[:4] == CHUNK_MAGIC
+
+    def test_inspect_chunked_stream(self, tmp_path, npy, smooth2d, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        main(["compress", npy, rpz, "--workers", "2", "--chunk-rows", "16"])
+        capsys.readouterr()
+        assert main(["inspect", rpz]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["container"] == "chunked"
+        assert info["rows"] == smooth2d.shape[0]
+        assert tuple(info["chunk_header"]["shape"])[1:] == smooth2d.shape[1:]
+
+    def test_bad_worker_count(self, tmp_path, npy, capsys):
+        assert main(["compress", npy, str(tmp_path / "f.rpz"), "--workers", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestEvaluate:
     def test_reports_metrics(self, npy, capsys):
         assert main(["evaluate", npy]) == 0
