@@ -12,7 +12,9 @@ machines); the saved artifacts then note the reduced setting.
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "bench_results")
 
@@ -27,6 +29,24 @@ def save_and_print(name: str, text: str) -> None:
     print(body)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(body)
+
+
+def write_bench_json(name: str, data: dict[str, Any]) -> str:
+    """Persist machine-readable benchmark results as BENCH_<name>.json.
+
+    The rendered-text artifacts from :func:`save_and_print` are for humans
+    and EXPERIMENTS.md; this JSON twin is for CI artifact uploads and
+    cross-run comparison.  The FAST flag is recorded so reduced runs are
+    never mistaken for full ones.  Returns the written path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    payload = dict(data)
+    payload.setdefault("fast_mode", FAST)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def fig10_settings() -> tuple[tuple[int, int, int], int, int, int]:

@@ -44,16 +44,30 @@ _LOSSLESS_KIND = "lossless-array"
 _FLOAT_DTYPES = (np.float32, np.float64)
 
 
-def serialize_array_lossless(arr: np.ndarray, codec_name: str, level: int = 6) -> bytes:
-    """Bit-exact serialization of any ndarray through a lossless codec."""
+def serialize_array_lossless(
+    arr: np.ndarray,
+    codec_name: str,
+    level: int = 6,
+    *,
+    threads: int | None = None,
+    block_bytes: int | None = None,
+) -> bytes:
+    """Bit-exact serialization of any ndarray through a lossless codec.
+
+    The array is embedded via a zero-copy buffer view (no ``tobytes()``
+    materialization); ``threads``/``block_bytes`` reach the block-parallel
+    backends and are ignored by single-threaded ones.
+    """
     a = np.ascontiguousarray(arr)
     header = {
         "kind": _LOSSLESS_KIND,
         "shape": list(a.shape),
         "dtype": a.dtype.str,  # byte-order explicit, e.g. '<f8'
     }
-    body = container.write_body(header, {"data": a.tobytes()})
-    return container.wrap_envelope(body, codec_name, level)
+    body = container.write_body(header, {"data": memoryview(a).cast("B")})
+    return container.wrap_envelope(
+        body, codec_name, level, threads=threads, block_bytes=block_bytes
+    )
 
 
 def deserialize_array(blob: bytes) -> np.ndarray:
@@ -114,6 +128,17 @@ class CheckpointManager:
         ``1`` (the default) keeps the single-blob pipeline format.
     chunk_rows:
         Leading-axis slab height used for the chunked path.
+    backend_threads:
+        When set, overrides ``config.backend_threads`` for the default
+        lossy configuration and the lossless path: the final deflate pass
+        of each blob runs block-parallel on that many threads when the
+        backend is ``gzip-mt``/``zlib-mt``.  Composes with ``workers``
+        (process-level slab parallelism) -- each worker process deflates
+        its own slab body with this many threads.  Output bytes are
+        identical for every value.
+    backend_block_bytes:
+        When set, overrides ``config.backend_block_bytes`` (the threaded
+        backends' block size; changes the emitted bytes for them).
     """
 
     def __init__(
@@ -127,10 +152,19 @@ class CheckpointManager:
         retention: int | None = None,
         workers: int = 1,
         chunk_rows: int = 256,
+        backend_threads: int | None = None,
+        backend_block_bytes: int | None = None,
     ) -> None:
         self.registry = registry
         self.store = store
         self.config = config if config is not None else CompressionConfig()
+        overrides: dict[str, Any] = {}
+        if backend_threads is not None:
+            overrides["backend_threads"] = backend_threads
+        if backend_block_bytes is not None:
+            overrides["backend_block_bytes"] = backend_block_bytes
+        if overrides:
+            self.config = self.config.replace(**overrides)
         self.lossless_codec = lossless_codec
         get_codec(lossless_codec)  # fail fast on unknown codec
         self.policy = dict(policy or {})
@@ -221,7 +255,13 @@ class CheckpointManager:
                     codec = "wavelet-lossy"
                     params = how.to_dict()
             else:
-                blob = serialize_array_lossless(arr, how, self.config.backend_level)
+                blob = serialize_array_lossless(
+                    arr,
+                    how,
+                    self.config.backend_level,
+                    threads=self.config.backend_threads,
+                    block_bytes=self.config.backend_block_bytes,
+                )
                 codec = f"lossless:{how}"
                 params = {}
             self.store.put(array_key(step, name), blob)

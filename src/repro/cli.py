@@ -5,7 +5,9 @@ Subcommands
 compress
     Compress a ``.npy`` array into a ``.rpz`` blob.  ``--workers N``
     compresses leading-axis slabs in ``N`` worker processes (chunked
-    stream format, byte-identical to the serial stream).
+    stream format, byte-identical to the serial stream);
+    ``--backend gzip-mt --backend-threads T`` additionally deflates each
+    body block-parallel on ``T`` threads (composes with ``--workers``).
 decompress
     Decode a ``.rpz`` blob back into a ``.npy`` array (single pipeline
     blobs and chunked streams are auto-detected).
@@ -60,11 +62,22 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend", default="zlib",
-        help="lossless backend applied to the container [default: zlib]",
+        help="lossless backend applied to the container; 'gzip-mt'/'zlib-mt' "
+             "deflate fixed-size blocks on a thread pool [default: zlib]",
     )
     parser.add_argument(
         "--backend-level", type=int, default=6, metavar="LVL",
         help="backend compression level 0-9 [default: 6]",
+    )
+    parser.add_argument(
+        "--backend-threads", type=int, default=None, metavar="T",
+        help="thread count for the block-parallel backends (gzip-mt/zlib-mt); "
+             "output bytes are identical for every T [default: one per core]",
+    )
+    parser.add_argument(
+        "--backend-block-bytes", type=int, default=None, metavar="B",
+        help="block size the threaded backends split the body into "
+             "[default: 1 MiB]",
     )
     parser.add_argument(
         "--error-bound", type=float, default=None, metavar="E",
@@ -80,6 +93,9 @@ def _config_from_args(args: argparse.Namespace) -> CompressionConfig:
     levels: int | str = args.levels
     if levels != "max":
         levels = int(levels)
+    extra = {}
+    if args.backend_block_bytes is not None:
+        extra["backend_block_bytes"] = args.backend_block_bytes
     return CompressionConfig(
         n_bins=args.n_bins,
         quantizer=args.quantizer,
@@ -89,6 +105,8 @@ def _config_from_args(args: argparse.Namespace) -> CompressionConfig:
         backend_level=args.backend_level,
         error_bound=args.error_bound,
         wavelet=args.wavelet,
+        backend_threads=args.backend_threads,
+        **extra,
     )
 
 

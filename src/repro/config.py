@@ -17,6 +17,7 @@ from .exceptions import ConfigurationError
 
 __all__ = [
     "CompressionConfig",
+    "DEFAULT_BACKEND_BLOCK_BYTES",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",
     "QUANTIZER_BOUNDED",
@@ -40,8 +41,12 @@ MAX_LEVELS = "max"
 
 _BACKENDS_HINT = (
     "known backends are registered in repro.lossless (e.g. 'zlib', 'gzip', "
-    "'tempfile-gzip', 'rle', 'xor-delta', 'none')"
+    "'gzip-mt', 'zlib-mt', 'tempfile-gzip', 'rle', 'xor-delta', 'none')"
 )
+
+#: Default block size of the thread-parallel backends (1 MiB), mirrored
+#: from :mod:`repro.lossless.parallel_deflate` to avoid an import cycle.
+DEFAULT_BACKEND_BLOCK_BYTES = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,18 @@ class CompressionConfig:
         ``"tempfile-gzip"`` reproduces the paper's measured temp-file path.
     backend_level:
         Compression level forwarded to the backend when it supports one.
+    backend_threads:
+        Thread count for the block-parallel backends (``gzip-mt`` /
+        ``zlib-mt``); ``None`` lets the codec pick one thread per core and
+        single-threaded backends ignore it.  Purely an execution knob: the
+        emitted stream is byte-identical for every thread count, so it is
+        never recorded in headers/manifests (see :meth:`to_dict`).
+    backend_block_bytes:
+        Block size the thread-parallel backends split the formatted body
+        into (default 1 MiB).  Unlike ``backend_threads`` this *does*
+        change the emitted bytes for those backends; it is serialized only
+        when it differs from the default so existing v1 container headers
+        stay byte-stable.
     error_bound:
         Only for ``quantizer="bounded"``: the guaranteed maximum *absolute*
         error of any reconstructed element.  The pipeline derives the
@@ -97,6 +114,8 @@ class CompressionConfig:
     backend_level: int = 6
     error_bound: float | None = None
     wavelet: str = "haar"
+    backend_threads: int | None = None
+    backend_block_bytes: int = DEFAULT_BACKEND_BLOCK_BYTES
 
     def __post_init__(self) -> None:
         if not isinstance(self.n_bins, int) or isinstance(self.n_bins, bool):
@@ -139,6 +158,25 @@ class CompressionConfig:
             raise ConfigurationError(
                 f"backend_level must be in [0, 9], got {self.backend_level}"
             )
+        if self.backend_threads is not None:
+            if (
+                not isinstance(self.backend_threads, int)
+                or isinstance(self.backend_threads, bool)
+                or self.backend_threads < 1
+            ):
+                raise ConfigurationError(
+                    "backend_threads must be an int >= 1 or None (auto), "
+                    f"got {self.backend_threads!r}"
+                )
+        if (
+            not isinstance(self.backend_block_bytes, int)
+            or isinstance(self.backend_block_bytes, bool)
+            or self.backend_block_bytes < 1
+        ):
+            raise ConfigurationError(
+                f"backend_block_bytes must be an int >= 1, got "
+                f"{self.backend_block_bytes!r}"
+            )
         if self.quantizer == QUANTIZER_BOUNDED:
             if not isinstance(self.error_bound, (int, float)) or isinstance(
                 self.error_bound, bool
@@ -167,8 +205,22 @@ class CompressionConfig:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """Return a JSON-compatible dict describing this configuration."""
-        return dataclasses.asdict(self)
+        """Return a JSON-compatible dict describing this configuration.
+
+        ``backend_threads`` is *never* included: it is a pure execution
+        knob that cannot change the emitted stream, and serializing it
+        into container headers would make otherwise-identical blobs differ
+        by thread count.  ``backend_block_bytes`` (which *does* shape the
+        threaded backends' output) is included only when it differs from
+        the default, so default-valued configs serialize exactly as they
+        did before these fields existed -- container headers (and the
+        golden-blob format test) remain byte-stable.
+        """
+        data = dataclasses.asdict(self)
+        del data["backend_threads"]
+        if self.backend_block_bytes == DEFAULT_BACKEND_BLOCK_BYTES:
+            del data["backend_block_bytes"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CompressionConfig":

@@ -59,26 +59,67 @@ _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 
 
-def write_body(header: Mapping[str, Any], sections: Mapping[str, bytes]) -> bytes:
-    """Serialize a header dict + named binary sections into a body blob."""
+def _byte_view(payload: Any, name: str) -> memoryview:
+    """A flat uint8 view over any buffer-protocol payload (no copy for
+    contiguous buffers -- bytes, bytearray, memoryview, NumPy arrays)."""
+    try:
+        mv = memoryview(payload)
+    except TypeError:
+        raise FormatError(
+            f"section {name!r} payload must support the buffer protocol, "
+            f"got {type(payload).__name__}"
+        ) from None
+    if mv.format != "B" or mv.ndim != 1:
+        try:
+            mv = mv.cast("B")
+        except TypeError:  # non-contiguous: fall back to one copy
+            mv = memoryview(bytes(mv))
+    return mv
+
+
+def write_body(header: Mapping[str, Any], sections: Mapping[str, Any]) -> bytearray:
+    """Serialize a header dict + named binary sections into a body blob.
+
+    Section payloads may be any buffer-protocol object (``bytes``,
+    ``memoryview``, a contiguous NumPy array) and are copied exactly once,
+    into the single preallocated output buffer -- no per-section
+    ``tobytes()`` materialization.  The returned ``bytearray`` is
+    bytes-like everywhere downstream (codecs, :func:`read_body`, file
+    writes) without a further copy.
+    """
     header_bytes = json.dumps(dict(header), sort_keys=True).encode("utf-8")
-    parts = [
-        BODY_MAGIC,
-        _U16.pack(FORMAT_VERSION),
-        _U32.pack(len(header_bytes)),
-        header_bytes,
-        _U32.pack(len(sections)),
-    ]
+    views: list[tuple[bytes, memoryview]] = []
+    total = 4 + _U16.size + _U32.size + len(header_bytes) + _U32.size
     for name, payload in sections.items():
         name_bytes = name.encode("ascii")
         if not 0 < len(name_bytes) < 256:
             raise FormatError(f"section name must be 1..255 ascii bytes: {name!r}")
-        parts.append(_U8.pack(len(name_bytes)))
-        parts.append(name_bytes)
-        parts.append(_U64.pack(len(payload)))
-        parts.append(_U32.pack(zlib.crc32(payload) & 0xFFFFFFFF))
-        parts.append(payload)
-    return b"".join(parts)
+        mv = _byte_view(payload, name)
+        views.append((name_bytes, mv))
+        total += _U8.size + len(name_bytes) + _U64.size + _U32.size + mv.nbytes
+    buf = bytearray(total)
+    buf[0:4] = BODY_MAGIC
+    offset = 4
+    _U16.pack_into(buf, offset, FORMAT_VERSION)
+    offset += _U16.size
+    _U32.pack_into(buf, offset, len(header_bytes))
+    offset += _U32.size
+    buf[offset : offset + len(header_bytes)] = header_bytes
+    offset += len(header_bytes)
+    _U32.pack_into(buf, offset, len(views))
+    offset += _U32.size
+    for name_bytes, mv in views:
+        _U8.pack_into(buf, offset, len(name_bytes))
+        offset += _U8.size
+        buf[offset : offset + len(name_bytes)] = name_bytes
+        offset += len(name_bytes)
+        _U64.pack_into(buf, offset, mv.nbytes)
+        offset += _U64.size
+        _U32.pack_into(buf, offset, zlib.crc32(mv) & 0xFFFFFFFF)
+        offset += _U32.size
+        buf[offset : offset + mv.nbytes] = mv
+        offset += mv.nbytes
+    return buf
 
 
 def _need(blob: bytes, offset: int, count: int, what: str) -> int:
@@ -90,7 +131,12 @@ def _need(blob: bytes, offset: int, count: int, what: str) -> int:
 
 def read_body(blob: bytes) -> tuple[dict[str, Any], dict[str, bytes]]:
     """Parse :func:`write_body` output, verifying magic and every CRC."""
-    offset = _need(blob, 0, 4, "magic")
+    if len(blob) < 4:
+        raise FormatError(
+            f"body blob is only {len(blob)} bytes -- too short to hold the "
+            f"{BODY_MAGIC!r} magic; empty, truncated, or not a repro container"
+        )
+    offset = 4
     if blob[:4] != BODY_MAGIC:
         raise FormatError(
             f"bad body magic {blob[:4]!r}; not a repro compressed container"
@@ -144,18 +190,42 @@ def read_body(blob: bytes) -> tuple[dict[str, Any], dict[str, bytes]]:
     return header, sections
 
 
-def wrap_envelope(body: bytes, backend: str, level: int = 6) -> bytes:
-    """Deflate ``body`` with the named backend and prepend the envelope."""
-    codec = get_codec(backend, level=level)
+def wrap_envelope(
+    body: bytes,
+    backend: str,
+    level: int = 6,
+    *,
+    threads: int | None = None,
+    block_bytes: int | None = None,
+) -> bytes:
+    """Deflate ``body`` with the named backend and prepend the envelope.
+
+    ``body`` may be any bytes-like object (e.g. the ``bytearray`` returned
+    by :func:`write_body`).  ``threads`` and ``block_bytes`` reach the
+    block-parallel backends (``gzip-mt``/``zlib-mt``); single-threaded
+    codecs ignore them.
+    """
+    kwargs: dict[str, Any] = {"level": level, "threads": threads}
+    if block_bytes is not None:
+        kwargs["block_bytes"] = block_bytes
+    codec = get_codec(backend, **kwargs)
     name_bytes = backend.encode("ascii")
     if not 0 < len(name_bytes) < 256:
         raise FormatError(f"backend name must be 1..255 ascii bytes: {backend!r}")
-    return ENVELOPE_MAGIC + _U8.pack(len(name_bytes)) + name_bytes + codec.compress(body)
+    return b"".join(
+        (ENVELOPE_MAGIC, _U8.pack(len(name_bytes)), name_bytes, codec.compress(body))
+    )
 
 
 def unwrap_envelope(blob: bytes) -> tuple[bytes, str]:
     """Strip the envelope and inflate; returns ``(body, backend_name)``."""
-    offset = _need(blob, 0, 4, "envelope magic")
+    if len(blob) < 4 + _U8.size:
+        raise FormatError(
+            f"blob is only {len(blob)} bytes -- too short to hold the "
+            f"{ENVELOPE_MAGIC!r} envelope magic and backend-name length; "
+            "empty, truncated, or not a repro compressed blob"
+        )
+    offset = 4
     if blob[:4] != ENVELOPE_MAGIC:
         if blob[:4] == CHUNK_MAGIC:
             raise FormatError(
@@ -186,7 +256,11 @@ def unwrap_envelope(blob: bytes) -> tuple[bytes, str]:
 
 
 def peek_header(blob: bytes) -> dict[str, Any]:
-    """Return the container header of an enveloped blob without decoding data."""
+    """Return the container header of an enveloped blob without decoding data.
+
+    Truncated or empty blobs raise :class:`FormatError` with a message
+    naming what was missing, never a raw ``IndexError``/``struct.error``.
+    """
     body, _ = unwrap_envelope(blob)
     header, _ = read_body(body)
     return header

@@ -27,15 +27,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from .wavelet import _resolve_out
+
 __all__ = ["cdf53_forward_axis", "cdf53_inverse_axis"]
 
 
-def cdf53_forward_axis(arr: np.ndarray, axis: int) -> np.ndarray:
-    """One CDF 5/3 decomposition level along ``axis`` (new array)."""
+def cdf53_forward_axis(
+    arr: np.ndarray, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """One CDF 5/3 decomposition level along ``axis``.
+
+    ``out`` (same shape as ``arr``, float64, non-overlapping) receives the
+    coefficients instead of a fresh allocation, matching the Haar axis
+    transforms' scratch-buffer contract.
+    """
     a = np.moveaxis(np.asarray(arr, dtype=np.float64), axis, -1)
     n = a.shape[-1]
+    o = _resolve_out(arr, a, out, axis)
     if n < 2:
-        return np.array(arr, dtype=np.float64, copy=True)
+        o[...] = a
+        return np.moveaxis(o, -1, axis)
     even = a[..., 0::2]  # length ne = ceil(n/2)
     odd = a[..., 1::2]   # length m  = floor(n/2)
     m = odd.shape[-1]
@@ -57,18 +68,21 @@ def cdf53_forward_axis(arr: np.ndarray, axis: int) -> np.ndarray:
     )[..., :ne]
     s = even + 0.25 * (d_left[..., :ne] + d_right[..., :ne])
 
-    out = np.empty_like(a)
-    out[..., :ne] = s
-    out[..., ne:] = d
-    return np.moveaxis(out, -1, axis)
+    o[..., :ne] = s
+    o[..., ne:] = d
+    return np.moveaxis(o, -1, axis)
 
 
-def cdf53_inverse_axis(arr: np.ndarray, axis: int) -> np.ndarray:
-    """Invert :func:`cdf53_forward_axis` along ``axis`` (new array)."""
+def cdf53_inverse_axis(
+    arr: np.ndarray, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Invert :func:`cdf53_forward_axis` along ``axis``."""
     a = np.moveaxis(np.asarray(arr, dtype=np.float64), axis, -1)
     n = a.shape[-1]
+    o = _resolve_out(arr, a, out, axis)
     if n < 2:
-        return np.array(arr, dtype=np.float64, copy=True)
+        o[...] = a
+        return np.moveaxis(o, -1, axis)
     m = n // 2
     ne = n - m
     s = a[..., :ne]
@@ -88,7 +102,6 @@ def cdf53_inverse_axis(arr: np.ndarray, axis: int) -> np.ndarray:
         right = np.concatenate([right, even[..., -1:]], axis=-1)
     odd = d + 0.5 * (even[..., :m] + right)
 
-    out = np.empty_like(a)
-    out[..., 0::2] = even
-    out[..., 1::2] = odd
-    return np.moveaxis(out, -1, axis)
+    o[..., 0::2] = even
+    o[..., 1::2] = odd
+    return np.moveaxis(o, -1, axis)

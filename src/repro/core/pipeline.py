@@ -40,6 +40,11 @@ _SEC_INDICES = "indices"
 _SEC_RAW = "rawvals"
 
 
+def _section_view(arr: np.ndarray) -> memoryview:
+    """Zero-copy flat byte view of a (contiguous) section array."""
+    return memoryview(np.ascontiguousarray(arr)).cast("B")
+
+
 @dataclass
 class CompressionStats:
     """Sizes, counts and per-stage wall-clock timings of one compress call.
@@ -65,6 +70,18 @@ class CompressionStats:
         if self.original_bytes <= 0:
             return float("nan")
         return 100.0 * self.compressed_bytes / self.original_bytes
+
+    @property
+    def backend_mb_s(self) -> float:
+        """Backend-stage throughput in MB/s (formatted body in / second).
+
+        The number the thread-parallel backends move: serial gzip on one
+        core versus ``gzip-mt``/``zlib-mt`` across all of them.
+        """
+        seconds = self.timings.get("backend", 0.0)
+        if seconds <= 0.0 or self.formatted_bytes <= 0:
+            return float("nan")
+        return self.formatted_bytes / seconds / 1e6
 
     @property
     def total_compression_seconds(self) -> float:
@@ -96,10 +113,20 @@ class WaveletCompressor:
     def __init__(self, config: CompressionConfig | None = None, **overrides: Any):
         base = config if config is not None else CompressionConfig()
         self._config = base.replace(**overrides) if overrides else base
+        # Wavelet work buffer, reused across same-shaped compress calls
+        # (e.g. the slabs of a chunked stream).  Because of it a single
+        # compressor instance is not safe for concurrent use from multiple
+        # threads; worker *processes* each hold their own instance.
+        self._scratch: np.ndarray | None = None
 
     @property
     def config(self) -> CompressionConfig:
         return self._config
+
+    def _wavelet_scratch(self, shape: tuple[int, ...]) -> np.ndarray:
+        if self._scratch is None or self._scratch.shape != shape:
+            self._scratch = np.empty(shape, dtype=np.float64)
+        return self._scratch
 
     # -- compression -------------------------------------------------------
 
@@ -136,7 +163,9 @@ class WaveletCompressor:
         )
 
         t0 = time.perf_counter()
-        coeffs, applied = wavelet_forward(a, cfg.levels, cfg.wavelet)
+        coeffs, applied = wavelet_forward(
+            a, cfg.levels, cfg.wavelet, scratch=self._wavelet_scratch(a.shape)
+        )
         t1 = time.perf_counter()
         stats.applied_levels = applied
 
@@ -181,24 +210,29 @@ class WaveletCompressor:
             "n_quantized": int(indices.size),
             "index_dtype": str(payload.indices.dtype),
         }
+        # Buffer-protocol views over the encoded streams: write_body copies
+        # each exactly once, into its single preallocated body buffer --
+        # no .tobytes() materialization per section.
         sections = {
-            _SEC_BITMAP: payload.bitmap.tobytes(),
-            _SEC_AVERAGES: payload.averages.tobytes(),
-            _SEC_INDICES: payload.indices.tobytes(),
-            _SEC_RAW: payload.raw_values.tobytes(),
+            _SEC_BITMAP: _section_view(payload.bitmap),
+            _SEC_AVERAGES: _section_view(payload.averages),
+            _SEC_INDICES: _section_view(payload.indices),
+            _SEC_RAW: _section_view(payload.raw_values),
         }
         body = container.write_body(header, sections)
         stats.formatted_bytes = len(body)
         t4 = time.perf_counter()
 
-        codec = get_codec(cfg.backend, level=cfg.backend_level)
+        codec = get_codec(
+            cfg.backend,
+            level=cfg.backend_level,
+            threads=cfg.backend_threads,
+            block_bytes=cfg.backend_block_bytes,
+        )
         compressed = codec.compress(body)
         name_bytes = cfg.backend.encode("ascii")
-        blob = (
-            container.ENVELOPE_MAGIC
-            + bytes([len(name_bytes)])
-            + name_bytes
-            + compressed
+        blob = b"".join(
+            (container.ENVELOPE_MAGIC, bytes([len(name_bytes)]), name_bytes, compressed)
         )
         t5 = time.perf_counter()
 

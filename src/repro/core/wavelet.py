@@ -51,43 +51,75 @@ def _low_len(n: int) -> int:
     return n - n // 2
 
 
-def haar_forward_axis(arr: np.ndarray, axis: int) -> np.ndarray:
+def _resolve_out(
+    arr: np.ndarray, a: np.ndarray, out: np.ndarray | None, axis: int
+) -> np.ndarray:
+    """The moved-axis destination for an axis transform.
+
+    ``out`` (same shape as ``arr``) must not share memory with the source:
+    both bands are computed from views of the source after parts of the
+    destination have been written, so aliasing would corrupt the result.
+    """
+    if out is None:
+        return np.empty_like(a)
+    if out.shape != np.shape(arr):
+        raise ValueError(
+            f"out has shape {out.shape}, expected {np.shape(arr)}"
+        )
+    if np.may_share_memory(out, np.asarray(arr)):
+        raise ValueError("out must not share memory with the input array")
+    return np.moveaxis(out, axis, -1)
+
+
+def haar_forward_axis(
+    arr: np.ndarray, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """One level of the Haar transform along ``axis``; returns a new array.
 
-    Axes shorter than 2 are returned as an unchanged copy.
+    Axes shorter than 2 are returned as an unchanged copy.  ``out`` (same
+    shape as ``arr``, float64, non-overlapping) receives the coefficients
+    in place of a fresh allocation; the return value is then a view of it.
     """
     a = np.moveaxis(np.asarray(arr, dtype=np.float64), axis, -1)
     n = a.shape[-1]
+    o = _resolve_out(arr, a, out, axis)
     if n < 2:
-        return np.array(arr, dtype=np.float64, copy=True)
+        o[...] = a
+        return np.moveaxis(o, -1, axis)
     m = n // 2
     lo = n - m
-    out = np.empty_like(a)
     even = a[..., 0 : 2 * m : 2]
     odd = a[..., 1 : 2 * m : 2]
-    out[..., :m] = (even + odd) * 0.5
-    out[..., lo:] = (even - odd) * 0.5
+    low = o[..., :m]
+    high = o[..., lo:]
+    np.add(even, odd, out=low)
+    low *= 0.5
+    np.subtract(even, odd, out=high)
+    high *= 0.5
     if n % 2:
-        out[..., m] = a[..., -1]
-    return np.moveaxis(out, -1, axis)
+        o[..., m] = a[..., -1]
+    return np.moveaxis(o, -1, axis)
 
 
-def haar_inverse_axis(arr: np.ndarray, axis: int) -> np.ndarray:
+def haar_inverse_axis(
+    arr: np.ndarray, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Invert :func:`haar_forward_axis` along ``axis``; returns a new array."""
     a = np.moveaxis(np.asarray(arr, dtype=np.float64), axis, -1)
     n = a.shape[-1]
+    o = _resolve_out(arr, a, out, axis)
     if n < 2:
-        return np.array(arr, dtype=np.float64, copy=True)
+        o[...] = a
+        return np.moveaxis(o, -1, axis)
     m = n // 2
     lo = n - m
-    out = np.empty_like(a)
     low = a[..., :m]
     high = a[..., lo:]
-    out[..., 0 : 2 * m : 2] = low + high
-    out[..., 1 : 2 * m : 2] = low - high
+    np.add(low, high, out=o[..., 0 : 2 * m : 2])
+    np.subtract(low, high, out=o[..., 1 : 2 * m : 2])
     if n % 2:
-        out[..., -1] = a[..., m]
-    return np.moveaxis(out, -1, axis)
+        o[..., -1] = a[..., m]
+    return np.moveaxis(o, -1, axis)
 
 
 def low_band_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
@@ -150,8 +182,33 @@ def available_wavelets() -> list[str]:
     return ["cdf53", "haar"]
 
 
+def _resolve_scratch(
+    scratch: np.ndarray | None,
+    ref: np.ndarray,
+    source: np.ndarray,
+    error_cls: type,
+) -> np.ndarray:
+    """The per-call ping-pong buffer: caller-provided (reusable across
+    calls of the same shape) or one fresh allocation."""
+    if scratch is None:
+        return np.empty_like(ref)
+    s = np.asarray(scratch)
+    if s.shape != ref.shape or s.dtype != ref.dtype:
+        raise error_cls(
+            f"scratch must be a {ref.dtype} array of shape {ref.shape}, "
+            f"got {s.dtype} {s.shape}"
+        )
+    if np.may_share_memory(s, ref) or np.may_share_memory(s, source):
+        raise error_cls("scratch must not share memory with the input array")
+    return s
+
+
 def wavelet_forward(
-    arr: np.ndarray, levels: int | str = 1, wavelet: str = "haar"
+    arr: np.ndarray,
+    levels: int | str = 1,
+    wavelet: str = "haar",
+    *,
+    scratch: np.ndarray | None = None,
 ) -> tuple[np.ndarray, int]:
     """Multi-level, multi-dimensional wavelet transform.
 
@@ -164,6 +221,13 @@ def wavelet_forward(
     wavelet:
         ``"haar"`` (the paper's transform) or ``"cdf53"`` (the JPEG 2000
         LeGall lifting wavelet -- smaller high bands on smooth data).
+    scratch:
+        Optional float64 work buffer of ``arr``'s shape, reused across
+        calls (e.g. over same-shaped slabs).  The per-axis transforms
+        ping-pong between the output array and this one buffer, so the
+        whole call allocates at most once (the scratch itself when not
+        provided) instead of once per axis per level.  Contents on return
+        are unspecified; must not share memory with ``arr``.
 
     Returns
     -------
@@ -178,14 +242,21 @@ def wavelet_forward(
         raise CompressionError("cannot wavelet-transform a 0-dimensional array")
     applied = plan_levels(a.shape, levels)
     out = np.array(a, dtype=np.float64, copy=True)
+    if applied == 0:
+        return out, applied
+    buf = _resolve_scratch(scratch, out, a, CompressionError)
     region = a.shape
     for _ in range(applied):
         sl = tuple(slice(0, s) for s in region)
-        block = out[sl]
+        src, dst = out[sl], buf[sl]
+        in_scratch = False
         for ax in range(a.ndim):
             if region[ax] >= 2:
-                block = forward_axis(block, ax)
-        out[sl] = block
+                forward_axis(src, ax, out=dst)
+                src, dst = dst, src
+                in_scratch = not in_scratch
+        if in_scratch:  # the level's result lives in the scratch view
+            out[sl] = src
         region = low_band_shape(region)
     return out, applied
 
@@ -196,8 +267,12 @@ def wavelet_inverse(
     wavelet: str = "haar",
     *,
     copy: bool = True,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Invert :func:`wavelet_forward` given the recorded level count."""
+    """Invert :func:`wavelet_forward` given the recorded level count.
+
+    ``scratch`` follows the same contract as in :func:`wavelet_forward`.
+    """
     _, inverse_axis = _axis_transforms(wavelet)
     a = np.asarray(coeffs, dtype=np.float64)
     if a.ndim == 0:
@@ -211,14 +286,21 @@ def wavelet_inverse(
             f"{natural} for shape {a.shape}"
         )
     out = np.array(a, copy=True) if copy else a
+    if applied_levels == 0:
+        return out
+    buf = _resolve_scratch(scratch, out, a, DecompressionError)
     regions = level_shapes(a.shape, applied_levels)
     for region in reversed(regions):
         sl = tuple(slice(0, s) for s in region)
-        block = out[sl]
+        src, dst = out[sl], buf[sl]
+        in_scratch = False
         for ax in reversed(range(a.ndim)):
             if region[ax] >= 2:
-                block = inverse_axis(block, ax)
-        out[sl] = block
+                inverse_axis(src, ax, out=dst)
+                src, dst = dst, src
+                in_scratch = not in_scratch
+        if in_scratch:
+            out[sl] = src
     return out
 
 

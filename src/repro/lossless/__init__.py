@@ -6,6 +6,7 @@ Importing this package registers every built-in codec; use
 
 from .base import Codec, NullCodec, available_codecs, get_codec, register_codec
 from .fpc import XorDeltaCodec
+from .parallel_deflate import GzipMTCodec, ZlibMTCodec
 from .rle import RleCodec
 from .shuffle import ShuffleZlibCodec
 from .tempfile_gzip import TempfileGzipCodec
@@ -16,6 +17,8 @@ __all__ = [
     "NullCodec",
     "ZlibCodec",
     "GzipCodec",
+    "GzipMTCodec",
+    "ZlibMTCodec",
     "TempfileGzipCodec",
     "RleCodec",
     "ShuffleZlibCodec",

@@ -11,6 +11,7 @@ with a string.
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from typing import Callable
 
@@ -50,9 +51,11 @@ def register_codec(factory: Callable[..., Codec], *, name: str | None = None) ->
 def get_codec(name: str, **kwargs) -> Codec:
     """Instantiate the codec registered under ``name``.
 
-    Extra keyword arguments are forwarded to the factory; factories that do
-    not accept a given kwarg (e.g. ``level`` for RLE) ignore it via their
-    signature, so lookups stay uniform.
+    Extra keyword arguments are forwarded to the factory *filtered by its
+    signature*: kwargs the factory does not accept (e.g. ``threads`` for
+    the single-threaded codecs) are dropped, so callers can pass the whole
+    backend knob set (``level``, ``threads``, ``block_bytes``) uniformly
+    and every codec picks up what it understands.
     """
     try:
         factory = _REGISTRY[name]
@@ -60,6 +63,19 @@ def get_codec(name: str, **kwargs) -> Codec:
         raise ConfigurationError(
             f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
+    if kwargs:
+        try:
+            params = inspect.signature(factory).parameters.values()
+        except (TypeError, ValueError):  # C callables without a signature
+            return factory(**kwargs)
+        if not any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+            accepted = {
+                p.name
+                for p in params
+                if p.kind
+                in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+            }
+            kwargs = {k: v for k, v in kwargs.items() if k in accepted}
     return factory(**kwargs)
 
 

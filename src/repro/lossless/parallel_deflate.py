@@ -1,0 +1,241 @@
+"""Block-parallel deflate codecs (pigz-style thread fan-out).
+
+The paper's Fig. 9 breakdown shows the final gzip pass dominating the whole
+compressor, and Section IV-D proposes in-memory zlib as the fix.  One step
+further: CPython's :mod:`zlib` releases the GIL while deflating, so the
+lossless tail parallelizes across *threads* -- no pickling, no worker
+processes, shared memory.  These codecs split the body into fixed-size
+blocks (default 1 MiB), compress the blocks concurrently on a
+:class:`~concurrent.futures.ThreadPoolExecutor`, and emit:
+
+``gzip-mt``
+    One complete gzip *member* per block, concatenated.  Multi-member
+    streams are part of RFC 1952, so stock :func:`gzip.decompress` (and
+    the plain ``gzip`` codec) decodes the output unchanged -- exactly how
+    ``pigz`` stays ``gunzip``-compatible.
+``zlib-mt``
+    One zlib stream per block behind a small frame header (see
+    ``Stream layout`` below), decoded -- also in parallel -- by this
+    codec's own reader.
+
+Both codecs are **deterministic**: block boundaries depend only on
+``block_bytes``, each block is compressed independently at a fixed level,
+and results are emitted in block order, so the output is byte-identical
+for every thread count.  When a thread pool cannot start (exotic sandboxes
+with thread limits) compression degrades to a serial loop over the same
+blocks -- same bytes, just slower -- recording why in
+:attr:`~BlockParallelCodec.fallback_reason`.
+
+Stream layout (``zlib-mt``)
+---------------------------
+::
+
+    b"RPZM" | u8 version (=1) | u32 n_blocks
+    then per block: u64 compressed length | zlib stream
+
+An empty input is written as zero blocks; ``gzip-mt`` writes one empty
+member instead so the stream stays stock-decodable.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import struct
+import zlib
+from typing import Callable, Sequence
+
+from ..exceptions import DecompressionError
+from .base import Codec, register_codec
+
+__all__ = [
+    "BlockParallelCodec",
+    "GzipMTCodec",
+    "ZlibMTCodec",
+    "DEFAULT_BLOCK_BYTES",
+]
+
+#: Default block size: large enough to amortize per-block deflate reset
+#: cost (< 1 % rate loss), small enough that a checkpoint-sized body
+#: yields work for every core.
+DEFAULT_BLOCK_BYTES = 1 << 20
+
+_MT_MAGIC = b"RPZM"
+_MT_VERSION = 1
+_MT_HEAD = struct.Struct("<B")  # version (after the 4-byte magic)
+_MT_COUNT = struct.Struct("<I")
+_MT_LEN = struct.Struct("<Q")
+
+
+def default_thread_count() -> int:
+    """Thread count used when ``threads`` is not given: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _byte_view(data) -> memoryview:
+    """A flat uint8 memoryview over any buffer-protocol object (no copy
+    for contiguous buffers)."""
+    mv = memoryview(data)
+    if mv.format != "B" or mv.ndim != 1:
+        try:
+            mv = mv.cast("B")
+        except TypeError:  # non-contiguous exotic buffer: copy once
+            mv = memoryview(bytes(mv))
+    return mv
+
+
+class BlockParallelCodec(Codec):
+    """Shared machinery: split into blocks, map a worker over them.
+
+    Subclasses provide :meth:`_compress_block` /
+    :meth:`_decompress_block` and the framing.
+    """
+
+    def __init__(
+        self,
+        level: int = 6,
+        threads: int | None = None,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ):
+        if not isinstance(level, int) or isinstance(level, bool) or not 0 <= level <= 9:
+            raise ValueError(f"{self.name} level must be an int in [0, 9], got {level!r}")
+        if threads is None:
+            threads = default_thread_count()
+        if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
+            raise ValueError(f"{self.name} threads must be an int >= 1, got {threads!r}")
+        if (
+            not isinstance(block_bytes, int)
+            or isinstance(block_bytes, bool)
+            or block_bytes < 1
+        ):
+            raise ValueError(
+                f"{self.name} block_bytes must be an int >= 1, got {block_bytes!r}"
+            )
+        self.level = level
+        self.threads = threads
+        self.block_bytes = block_bytes
+        #: Why the last call ran serially despite ``threads > 1`` (None when
+        #: the pool ran, or was not needed).
+        self.fallback_reason: str | None = None
+
+    # -- block fan-out -----------------------------------------------------
+
+    def _split(self, data) -> list[memoryview]:
+        mv = _byte_view(data)
+        step = self.block_bytes
+        return [mv[start : start + step] for start in range(0, mv.nbytes, step)]
+
+    def _map_blocks(
+        self, fn: Callable[[memoryview], bytes], blocks: Sequence
+    ) -> list[bytes]:
+        """``[fn(b) for b in blocks]``, threaded when it can pay off.
+
+        Results come back in block order, so the emitted stream does not
+        depend on scheduling; a pool that cannot start downgrades to the
+        serial loop (same bytes).
+        """
+        n_workers = min(self.threads, len(blocks))
+        if n_workers <= 1:
+            return [fn(block) for block in blocks]
+        try:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                return list(pool.map(fn, blocks))
+        except (RuntimeError, OSError) as exc:  # thread-limited sandboxes
+            self.fallback_reason = f"thread pool unavailable: {exc}"
+            return [fn(block) for block in blocks]
+
+
+class GzipMTCodec(BlockParallelCodec):
+    """Multi-member gzip written block-parallel, readable by stock gzip.
+
+    Every block becomes an independent gzip member (``mtime`` pinned to 0
+    for determinism); :func:`gzip.decompress` concatenates the members per
+    RFC 1952, so blobs round-trip through the plain ``gzip`` codec too.
+    """
+
+    name = "gzip-mt"
+
+    def _compress_block(self, block: memoryview) -> bytes:
+        return gzip.compress(block, compresslevel=self.level, mtime=0)
+
+    def compress(self, data: bytes) -> bytes:
+        self.fallback_reason = None
+        blocks = self._split(data)
+        if not blocks:
+            # A zero-member stream is not valid gzip; one empty member is.
+            return gzip.compress(b"", compresslevel=self.level, mtime=0)
+        return b"".join(self._map_blocks(self._compress_block, blocks))
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return gzip.decompress(data)
+        except (OSError, EOFError, zlib.error) as exc:
+            raise DecompressionError(f"corrupt gzip-mt stream: {exc}") from exc
+
+
+class ZlibMTCodec(BlockParallelCodec):
+    """Framed zlib blocks, compressed and decompressed block-parallel.
+
+    Unlike ``gzip-mt`` the frame header records block boundaries, so the
+    *inflate* side fans out to threads as well.
+    """
+
+    name = "zlib-mt"
+
+    def _compress_block(self, block: memoryview) -> bytes:
+        return zlib.compress(block, self.level)
+
+    @staticmethod
+    def _decompress_block(block: memoryview) -> bytes:
+        return zlib.decompress(block)
+
+    def compress(self, data: bytes) -> bytes:
+        self.fallback_reason = None
+        blocks = self._split(data)
+        compressed = self._map_blocks(self._compress_block, blocks)
+        parts = [_MT_MAGIC, _MT_HEAD.pack(_MT_VERSION), _MT_COUNT.pack(len(compressed))]
+        for payload in compressed:
+            parts.append(_MT_LEN.pack(len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def decompress(self, data: bytes) -> bytes:
+        blob = _byte_view(data)
+        if blob.nbytes < 4 or bytes(blob[:4]) != _MT_MAGIC:
+            raise DecompressionError(
+                "not a zlib-mt stream (bad magic); was this compressed with "
+                "a different backend?"
+            )
+        offset = 4
+        if blob.nbytes < offset + _MT_HEAD.size + _MT_COUNT.size:
+            raise DecompressionError("zlib-mt stream truncated in its header")
+        (version,) = _MT_HEAD.unpack_from(blob, offset)
+        offset += _MT_HEAD.size
+        if version != _MT_VERSION:
+            raise DecompressionError(f"unsupported zlib-mt stream version {version}")
+        (n_blocks,) = _MT_COUNT.unpack_from(blob, offset)
+        offset += _MT_COUNT.size
+        frames: list[memoryview] = []
+        for i in range(n_blocks):
+            if blob.nbytes < offset + _MT_LEN.size:
+                raise DecompressionError(f"zlib-mt stream truncated before block {i}")
+            (length,) = _MT_LEN.unpack_from(blob, offset)
+            offset += _MT_LEN.size
+            if blob.nbytes < offset + length:
+                raise DecompressionError(f"zlib-mt stream truncated inside block {i}")
+            frames.append(blob[offset : offset + length])
+            offset += length
+        if offset != blob.nbytes:
+            raise DecompressionError(
+                f"{blob.nbytes - offset} trailing bytes after the last zlib-mt block"
+            )
+        try:
+            return b"".join(self._map_blocks(self._decompress_block, frames))
+        except zlib.error as exc:
+            raise DecompressionError(f"corrupt zlib-mt block: {exc}") from exc
+
+
+register_codec(GzipMTCodec)
+register_codec(ZlibMTCodec)

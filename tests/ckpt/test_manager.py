@@ -58,6 +58,22 @@ class TestLosslessSerialization:
         out = deserialize_array(blob)
         assert out.shape == smooth2d.shape
 
+    @pytest.mark.parametrize("codec", ["gzip-mt", "zlib-mt"])
+    def test_threaded_codec_roundtrip(self, codec):
+        arr = np.arange(20_000, dtype=np.float64).reshape(100, 200)
+        blob = serialize_array_lossless(
+            arr, codec, threads=2, block_bytes=4_096
+        )
+        np.testing.assert_array_equal(deserialize_array(blob), arr)
+
+    def test_threads_do_not_change_bytes(self):
+        arr = np.arange(20_000, dtype=np.float64)
+        blobs = [
+            serialize_array_lossless(arr, "gzip-mt", threads=t, block_bytes=4_096)
+            for t in (1, 2, 8)
+        ]
+        assert blobs[0] == blobs[1] == blobs[2]
+
 
 class TestCheckpointWrite:
     def test_manifest_contents(self, manager, smooth3d):
@@ -192,4 +208,41 @@ class TestRestore:
         before = registry.snapshot()
         arrays = manager.load_arrays(1)
         assert set(arrays) == {"temperature", "counter"}
+        np.testing.assert_array_equal(registry.get("counter"), before["counter"])
+
+
+class TestBackendThreadPlumbing:
+    def test_constructor_overrides_config(self, registry):
+        mgr = CheckpointManager(
+            registry,
+            MemoryStore(),
+            config=CompressionConfig(backend="gzip-mt"),
+            backend_threads=2,
+            backend_block_bytes=4_096,
+        )
+        assert mgr.config.backend_threads == 2
+        assert mgr.config.backend_block_bytes == 4_096
+
+    def test_constructor_validates(self, registry):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CheckpointManager(registry, MemoryStore(), backend_threads=0)
+
+    def test_checkpoint_restore_with_threaded_backend(self, registry):
+        mgr = CheckpointManager(
+            registry,
+            MemoryStore(),
+            config=CompressionConfig(quantizer="none", backend="gzip-mt"),
+            lossless_codec="gzip-mt",
+            backend_threads=2,
+            backend_block_bytes=8_192,
+        )
+        before = registry.snapshot()
+        mgr.checkpoint(1)
+        registry.get("temperature")[:] = 0.0
+        mgr.restore(1)
+        np.testing.assert_allclose(
+            registry.get("temperature"), before["temperature"], atol=1e-9
+        )
         np.testing.assert_array_equal(registry.get("counter"), before["counter"])

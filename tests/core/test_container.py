@@ -77,6 +77,34 @@ class TestBody:
         _, sections = container.read_body(body)
         assert sections["big"] == payload
 
+    def test_buffer_protocol_sections(self):
+        """Sections may be any buffer-protocol object, not just bytes --
+        the zero-copy path hands in memoryviews over ndarray data."""
+        np = pytest.importorskip("numpy")
+        arr = np.arange(32, dtype=np.float64)
+        sections = {
+            "bytes": b"\x01\x02",
+            "view": memoryview(arr).cast("B"),
+            "array": bytearray(b"mutable"),
+        }
+        body = container.write_body(HEADER, sections)
+        _, out = container.read_body(body)
+        assert out["bytes"] == b"\x01\x02"
+        assert out["view"] == arr.tobytes()
+        assert out["array"] == b"mutable"
+
+    def test_memoryview_sections_match_bytes_sections(self):
+        as_bytes = container.write_body(HEADER, SECTIONS)
+        as_views = container.write_body(
+            HEADER, {k: memoryview(v) for k, v in SECTIONS.items()}
+        )
+        assert bytes(as_bytes) == bytes(as_views)
+
+    @pytest.mark.parametrize("n_bytes", [0, 3])
+    def test_blob_shorter_than_magic(self, n_bytes):
+        with pytest.raises(FormatError, match="too short"):
+            container.read_body(b"\x52" * n_bytes)
+
 
 class TestEnvelope:
     @pytest.mark.parametrize("backend", ["zlib", "gzip", "none", "rle", "xor-delta"])
@@ -106,6 +134,34 @@ class TestEnvelope:
     def test_truncated_envelope(self):
         with pytest.raises(FormatError):
             container.unwrap_envelope(b"RP")
+
+    @pytest.mark.parametrize("n_bytes", [0, 3, 5])
+    def test_truncated_blob_pointed_message(self, n_bytes):
+        """Empty and sub-header blobs fail with a message that names what
+        is missing, not with an IndexError or a bare magic check."""
+        blob = b"\x52\x50\x5a\x31\x04"[:n_bytes]
+        with pytest.raises(FormatError, match="too short|truncated"):
+            container.unwrap_envelope(blob)
+
+    @pytest.mark.parametrize("n_bytes", [0, 3, 5])
+    def test_peek_header_truncated_blob(self, n_bytes):
+        with pytest.raises(FormatError, match="too short|truncated"):
+            container.peek_header(b"\x52\x50\x5a\x31\x04"[:n_bytes])
+
+    def test_envelope_cut_inside_backend_name(self):
+        blob = container.wrap_envelope(b"data", "zlib")
+        with pytest.raises(FormatError):
+            container.unwrap_envelope(blob[:7])  # magic + len + "zl"
+
+    @pytest.mark.parametrize("backend", ["gzip-mt", "zlib-mt"])
+    def test_roundtrip_mt_backends(self, backend):
+        body = container.write_body(HEADER, SECTIONS)
+        blob = container.wrap_envelope(
+            body, backend, threads=2, block_bytes=1_024
+        )
+        out, name = container.unwrap_envelope(blob)
+        assert out == body
+        assert name == backend
 
     def test_peek_header(self):
         body = container.write_body(HEADER, SECTIONS)

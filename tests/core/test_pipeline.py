@@ -144,6 +144,20 @@ class TestStats:
 
         assert np.isnan(CompressionStats().compression_rate_percent)
 
+    def test_backend_mb_s(self, smooth2d):
+        _, stats = WaveletCompressor().compress_with_stats(smooth2d)
+        expected = stats.formatted_bytes / stats.timings["backend"] / 1e6
+        assert stats.backend_mb_s == pytest.approx(expected)
+        assert stats.backend_mb_s > 0
+
+    def test_backend_mb_s_nan_when_untimed(self):
+        from repro.core.pipeline import CompressionStats
+
+        assert np.isnan(CompressionStats().backend_mb_s)
+        assert np.isnan(
+            CompressionStats(formatted_bytes=10, timings={"backend": 0.0}).backend_mb_s
+        )
+
 
 class TestInputValidation:
     def test_int_dtype_rejected(self):
@@ -200,11 +214,26 @@ class TestSelfDescription:
 
 
 class TestBackendChoice:
-    @pytest.mark.parametrize("backend", ["zlib", "gzip", "none", "rle", "xor-delta"])
+    @pytest.mark.parametrize(
+        "backend", ["zlib", "gzip", "gzip-mt", "zlib-mt", "none", "rle", "xor-delta"]
+    )
     def test_all_backends_roundtrip(self, smooth2d, backend):
         comp = WaveletCompressor(CompressionConfig(backend=backend))
         out = comp.decompress(comp.compress(smooth2d))
         assert out.shape == smooth2d.shape
+
+    def test_threaded_backend_deterministic(self, smooth3d):
+        blobs = {
+            threads: WaveletCompressor(
+                CompressionConfig(
+                    backend="gzip-mt",
+                    backend_threads=threads,
+                    backend_block_bytes=4_096,
+                )
+            ).compress(smooth3d)
+            for threads in (1, 2, 8)
+        }
+        assert blobs[1] == blobs[2] == blobs[8]
 
     def test_zlib_smaller_than_none(self, smooth3d):
         sizes = {}

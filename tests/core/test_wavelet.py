@@ -13,6 +13,8 @@ from repro.core.wavelet import (
     level_shapes,
     low_band_shape,
     plan_levels,
+    wavelet_forward,
+    wavelet_inverse,
 )
 from repro.exceptions import CompressionError, DecompressionError
 
@@ -203,3 +205,93 @@ class TestMultiLevel:
         tail3 = np.sum(c3[n // 8 :] ** 2)
         assert tail3 < 0.05 * total
         assert np.abs(c3[: n // 8]).max() > np.abs(c3[n // 8 :]).max()
+
+
+class TestScratchBuffer:
+    """The reusable work-buffer path must be byte-identical to the
+    allocating path for every shape / wavelet / level combination."""
+
+    SHAPES = [(16,), (17,), (8, 12), (9, 7), (4, 6, 5)]
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("wavelet", ["haar", "cdf53"])
+    @pytest.mark.parametrize("levels", [1, 2, "max"])
+    def test_forward_identical_with_scratch(self, rng, shape, wavelet, levels):
+        a = rng.standard_normal(shape)
+        ref, ref_applied = wavelet_forward(a, levels, wavelet)
+        scratch = np.empty(shape, dtype=np.float64)
+        out, applied = wavelet_forward(a, levels, wavelet, scratch=scratch)
+        assert applied == ref_applied
+        np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("wavelet", ["haar", "cdf53"])
+    def test_inverse_identical_with_scratch(self, rng, shape, wavelet):
+        a = rng.standard_normal(shape)
+        coeffs, applied = wavelet_forward(a, 2, wavelet)
+        ref = wavelet_inverse(coeffs, applied, wavelet)
+        scratch = np.empty(shape, dtype=np.float64)
+        out = wavelet_inverse(coeffs, applied, wavelet, scratch=scratch)
+        np.testing.assert_array_equal(out, ref)
+        np.testing.assert_allclose(out, a, **RT_KW)
+
+    def test_scratch_reused_across_calls(self, rng):
+        scratch = np.empty((8, 8), dtype=np.float64)
+        for _ in range(3):
+            a = rng.standard_normal((8, 8))
+            out, applied = wavelet_forward(a, 2, scratch=scratch)
+            back = wavelet_inverse(out, applied, scratch=scratch)
+            np.testing.assert_allclose(back, a, **RT_KW)
+
+    def test_scratch_shape_mismatch(self, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(CompressionError, match="scratch"):
+            wavelet_forward(a, 1, scratch=np.empty((4, 4)))
+
+    def test_scratch_dtype_mismatch(self, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(CompressionError, match="scratch"):
+            wavelet_forward(a, 1, scratch=np.empty((8, 8), dtype=np.float32))
+
+    def test_scratch_aliasing_input_rejected(self, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(CompressionError, match="share memory"):
+            wavelet_forward(a, 1, scratch=a)
+
+    def test_inverse_scratch_aliasing_rejected(self, rng):
+        coeffs, applied = wavelet_forward(rng.standard_normal((8, 8)), 1)
+        with pytest.raises(DecompressionError, match="share memory"):
+            wavelet_inverse(coeffs, applied, scratch=coeffs)
+
+    def test_input_not_mutated_with_scratch(self, rng):
+        a = rng.standard_normal((9, 6))
+        backup = a.copy()
+        wavelet_forward(a, 2, scratch=np.empty_like(a))
+        np.testing.assert_array_equal(a, backup)
+
+
+class TestAxisOutParameter:
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_forward_axis_out(self, rng, axis):
+        a = rng.standard_normal((6, 8))
+        out = np.empty_like(a)
+        result = haar_forward_axis(a, axis, out=out)
+        np.testing.assert_array_equal(result, haar_forward_axis(a, axis))
+        assert np.shares_memory(result, out)
+
+    def test_inverse_axis_out(self, rng):
+        a = rng.standard_normal(16)
+        coeffs = haar_forward_axis(a, 0)
+        out = np.empty_like(a)
+        np.testing.assert_allclose(
+            haar_inverse_axis(coeffs, 0, out=out), a, **RT_KW
+        )
+
+    def test_out_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            haar_forward_axis(rng.standard_normal(8), 0, out=np.empty(4))
+
+    def test_out_aliasing_rejected(self, rng):
+        a = rng.standard_normal(8)
+        with pytest.raises(ValueError, match="share memory"):
+            haar_forward_axis(a, 0, out=a)

@@ -19,7 +19,16 @@ from repro.lossless import (
 )
 from repro.lossless.base import Codec
 
-ALL_NAMES = ["none", "zlib", "gzip", "tempfile-gzip", "rle", "xor-delta"]
+ALL_NAMES = [
+    "none",
+    "zlib",
+    "gzip",
+    "gzip-mt",
+    "zlib-mt",
+    "tempfile-gzip",
+    "rle",
+    "xor-delta",
+]
 
 SAMPLES = [
     b"",
@@ -41,6 +50,23 @@ class TestRegistry:
 
     def test_get_codec_forwards_level(self):
         assert get_codec("zlib", level=9).level == 9
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_get_codec_drops_unsupported_kwargs(self, name):
+        # The pipeline passes the full kwarg set to every backend; codecs
+        # that do not take threads/block_bytes must not blow up on them.
+        codec = get_codec(name, level=6, threads=2, block_bytes=1 << 16)
+        assert codec.decompress(codec.compress(b"kwargs" * 64)) == b"kwargs" * 64
+
+    def test_get_codec_forwards_threads_to_mt(self):
+        codec = get_codec("gzip-mt", level=4, threads=3, block_bytes=512)
+        assert (codec.level, codec.threads, codec.block_bytes) == (4, 3, 512)
+        codec = get_codec("zlib-mt", threads=2)
+        assert codec.threads == 2
+
+    def test_mt_codecs_listed(self):
+        names = available_codecs()
+        assert "gzip-mt" in names and "zlib-mt" in names
 
     def test_unknown_name(self):
         with pytest.raises(ConfigurationError, match="unknown codec"):

@@ -1,0 +1,253 @@
+"""Tests for the block-parallel deflate codecs (gzip-mt / zlib-mt)."""
+
+from __future__ import annotations
+
+import gzip
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.config import CompressionConfig
+from repro.core.pipeline import WaveletCompressor
+from repro.exceptions import DecompressionError
+from repro.lossless import GzipCodec, GzipMTCodec, ZlibMTCodec, get_codec
+from repro.lossless.parallel_deflate import (
+    DEFAULT_BLOCK_BYTES,
+    default_thread_count,
+)
+
+BODY = np.random.default_rng(7).bytes(10_000) + bytes(5_000) + b"tail" * 500
+MT_CLASSES = [GzipMTCodec, ZlibMTCodec]
+MT_IDS = ["gzip-mt", "zlib-mt"]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_defaults(self, cls):
+        codec = cls()
+        assert codec.level == 6
+        assert codec.threads == default_thread_count()
+        assert codec.block_bytes == DEFAULT_BLOCK_BYTES
+        assert codec.fallback_reason is None
+
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_level_validation(self, cls):
+        with pytest.raises(ValueError, match="level"):
+            cls(level=10)
+        with pytest.raises(ValueError, match="level"):
+            cls(level=-1)
+        with pytest.raises(ValueError, match="level"):
+            cls(level=True)
+
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_threads_validation(self, cls):
+        with pytest.raises(ValueError, match="threads"):
+            cls(threads=0)
+        with pytest.raises(ValueError, match="threads"):
+            cls(threads="4")
+        with pytest.raises(ValueError, match="threads"):
+            cls(threads=True)
+
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_block_bytes_validation(self, cls):
+        with pytest.raises(ValueError, match="block_bytes"):
+            cls(block_bytes=0)
+        with pytest.raises(ValueError, match="block_bytes"):
+            cls(block_bytes=2.5)
+
+
+@pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+@pytest.mark.parametrize("level", [1, 6, 9])
+@pytest.mark.parametrize(
+    "block_bytes",
+    [1_000, len(BODY), 1 << 22],
+    ids=["smaller-than-body", "equal-to-body", "larger-than-body"],
+)
+def test_roundtrip(cls, level, block_bytes):
+    codec = cls(level=level, threads=2, block_bytes=block_bytes)
+    blob = codec.compress(BODY)
+    assert codec.decompress(blob) == BODY
+
+
+@pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+def test_empty_input(cls):
+    codec = cls(threads=4)
+    blob = codec.compress(b"")
+    assert blob  # framing / one empty member, never zero bytes
+    assert codec.decompress(blob) == b""
+
+
+@pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+def test_deterministic_across_thread_counts(cls):
+    """The hard guarantee: bytes depend on (level, block_bytes) only."""
+    reference = cls(threads=1, block_bytes=2_048).compress(BODY)
+    for threads in (2, 3, 8):
+        blob = cls(threads=threads, block_bytes=2_048).compress(BODY)
+        assert blob == reference
+
+
+@pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+def test_repeated_calls_deterministic(cls):
+    codec = cls(threads=4, block_bytes=4_096)
+    assert codec.compress(BODY) == codec.compress(BODY)
+
+
+class TestGzipMTCompatibility:
+    """gzip-mt output must stay decodable by everything that reads gzip."""
+
+    def test_stock_gzip_decompress(self):
+        blob = GzipMTCodec(threads=4, block_bytes=3_000).compress(BODY)
+        assert gzip.decompress(blob) == BODY
+
+    def test_plain_gzip_codec_decodes(self):
+        blob = GzipMTCodec(threads=4, block_bytes=3_000).compress(BODY)
+        assert GzipCodec().decompress(blob) == BODY
+
+    def test_single_block_when_body_fits(self):
+        blob = GzipMTCodec(block_bytes=1 << 22).compress(BODY)
+        # Exactly one member: a second b"\x1f\x8b" magic never appears at
+        # a member boundary (members start right after the previous CRC).
+        assert gzip.decompress(blob) == BODY
+
+    def test_empty_input_is_valid_gzip(self):
+        blob = GzipMTCodec().compress(b"")
+        assert gzip.decompress(blob) == b""
+
+    def test_decodes_stock_gzip_output(self):
+        # Symmetric compatibility: the mt reader accepts plain gzip blobs.
+        blob = gzip.compress(BODY, compresslevel=6)
+        assert GzipMTCodec().decompress(blob) == BODY
+
+    def test_corrupt_stream(self):
+        blob = bytearray(GzipMTCodec(block_bytes=2_000).compress(BODY))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(DecompressionError, match="gzip-mt"):
+            GzipMTCodec().decompress(bytes(blob))
+
+    def test_not_gzip_at_all(self):
+        with pytest.raises(DecompressionError):
+            GzipMTCodec().decompress(b"plainly not gzip")
+
+
+class TestZlibMTFraming:
+    def test_magic(self):
+        blob = ZlibMTCodec().compress(BODY)
+        assert blob[:4] == b"RPZM"
+
+    def test_bad_magic(self):
+        with pytest.raises(DecompressionError, match="magic"):
+            ZlibMTCodec().decompress(b"XXXX" + b"\x01" + bytes(4))
+
+    def test_plain_zlib_rejected(self):
+        with pytest.raises(DecompressionError, match="magic"):
+            ZlibMTCodec().decompress(zlib.compress(BODY))
+
+    def test_truncated_header(self):
+        blob = ZlibMTCodec().compress(BODY)
+        with pytest.raises(DecompressionError, match="truncated"):
+            ZlibMTCodec().decompress(blob[:6])
+
+    def test_unsupported_version(self):
+        blob = bytearray(ZlibMTCodec().compress(BODY))
+        blob[4] = 99
+        with pytest.raises(DecompressionError, match="version 99"):
+            ZlibMTCodec().decompress(bytes(blob))
+
+    def test_truncated_before_block(self):
+        codec = ZlibMTCodec(block_bytes=2_000)
+        blob = codec.compress(BODY)
+        with pytest.raises(DecompressionError, match="truncated"):
+            codec.decompress(blob[:-1])
+
+    def test_trailing_garbage(self):
+        blob = ZlibMTCodec().compress(BODY)
+        with pytest.raises(DecompressionError, match="trailing"):
+            ZlibMTCodec().decompress(blob + b"junk")
+
+    def test_corrupt_block_payload(self):
+        blob = bytearray(ZlibMTCodec(block_bytes=2_000).compress(BODY))
+        blob[-3] ^= 0xFF  # inside the last zlib stream
+        with pytest.raises(DecompressionError, match="zlib-mt"):
+            ZlibMTCodec().decompress(bytes(blob))
+
+    def test_block_count_matches_split(self):
+        codec = ZlibMTCodec(block_bytes=1_000)
+        blob = codec.compress(BODY)
+        (n_blocks,) = struct.unpack_from("<I", blob, 5)
+        assert n_blocks == -(-len(BODY) // 1_000)
+
+    def test_empty_input_zero_blocks(self):
+        blob = ZlibMTCodec().compress(b"")
+        (n_blocks,) = struct.unpack_from("<I", blob, 5)
+        assert n_blocks == 0
+
+
+class TestBufferProtocolInputs:
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_memoryview_and_ndarray(self, cls):
+        arr = np.arange(4_096, dtype=np.float64)
+        codec = cls(threads=2, block_bytes=4_096)
+        expected = codec.compress(arr.tobytes())
+        assert codec.compress(memoryview(arr.tobytes())) == expected
+        assert codec.compress(memoryview(arr).cast("B")) == expected
+        assert codec.decompress(expected) == arr.tobytes()
+
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_bytearray_input(self, cls):
+        codec = cls(block_bytes=1_024)
+        assert codec.decompress(codec.compress(bytearray(BODY))) == BODY
+
+
+class TestPipelineIntegration:
+    @pytest.mark.parametrize("backend", ["gzip-mt", "zlib-mt"])
+    def test_roundtrip_through_pipeline(self, backend):
+        arr = np.linspace(0.0, 4.0, 32 * 33).reshape(32, 33)
+        config = CompressionConfig(
+            backend=backend, backend_threads=2, backend_block_bytes=4_096
+        )
+        blob = WaveletCompressor(config).compress(arr)
+        out = WaveletCompressor.decompress(blob)
+        assert out.shape == arr.shape
+        assert np.allclose(out, arr, atol=0.5)
+
+    def test_gzip_mt_blob_matches_plain_gzip_blob(self):
+        """Large-block gzip-mt, plain gzip: byte-identical envelopes apart
+        from the recorded backend name, and cross-decodable bodies."""
+        arr = np.linspace(0.0, 1.0, 2_048)
+        mt = WaveletCompressor(
+            CompressionConfig(backend="gzip-mt", backend_threads=2)
+        ).compress(arr)
+        plain = WaveletCompressor(CompressionConfig(backend="gzip")).compress(arr)
+        assert np.array_equal(
+            WaveletCompressor.decompress(mt), WaveletCompressor.decompress(plain)
+        )
+
+    def test_get_codec_integration(self):
+        codec = get_codec("gzip-mt", level=1, threads=2, block_bytes=2_048)
+        assert isinstance(codec, GzipMTCodec)
+        assert codec.decompress(codec.compress(BODY)) == BODY
+
+
+class TestSerialFallback:
+    def test_forced_pool_failure_falls_back(self, monkeypatch):
+        import concurrent.futures
+
+        class ExplodingPool:
+            def __init__(self, *a, **kw):
+                raise RuntimeError("can't start new thread")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ThreadPoolExecutor", ExplodingPool
+        )
+        codec = GzipMTCodec(threads=4, block_bytes=1_000)
+        blob = codec.compress(BODY)
+        assert codec.fallback_reason is not None
+        assert "thread pool unavailable" in codec.fallback_reason
+        assert gzip.decompress(blob) == BODY
+        # Fallback bytes == threaded bytes (determinism survives fallback).
+        monkeypatch.undo()
+        fresh = GzipMTCodec(threads=4, block_bytes=1_000)
+        assert fresh.compress(BODY) == blob
+        assert fresh.fallback_reason is None

@@ -33,6 +33,26 @@ class TestParser:
         assert args.quantizer == "proposed"
         assert args.spike_partitions == 64
 
+    def test_backend_thread_args(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args([
+            "evaluate", "x.npy", "--backend", "gzip-mt",
+            "--backend-threads", "4", "--backend-block-bytes", "65536",
+        ])
+        config = _config_from_args(args)
+        assert config.backend == "gzip-mt"
+        assert config.backend_threads == 4
+        assert config.backend_block_bytes == 65536
+
+    def test_backend_threads_default_is_auto(self):
+        from repro.cli import _config_from_args
+        from repro.config import DEFAULT_BACKEND_BLOCK_BYTES
+
+        config = _config_from_args(build_parser().parse_args(["evaluate", "x.npy"]))
+        assert config.backend_threads is None
+        assert config.backend_block_bytes == DEFAULT_BACKEND_BLOCK_BYTES
+
 
 class TestCompressDecompress:
     def test_roundtrip_via_files(self, tmp_path, npy, smooth2d, capsys):
@@ -43,6 +63,17 @@ class TestCompressDecompress:
         assert main(["decompress", rpz, out_npy]) == 0
         restored = np.load(out_npy)
         assert restored.shape == smooth2d.shape
+
+    def test_mt_backend_roundtrip_via_files(self, tmp_path, npy, smooth2d):
+        rpz = str(tmp_path / "field.rpz")
+        out_npy = str(tmp_path / "restored.npy")
+        assert main([
+            "compress", npy, rpz, "--backend", "gzip-mt",
+            "--backend-threads", "2", "--backend-block-bytes", "4096",
+        ]) == 0
+        assert main(["decompress", rpz, out_npy]) == 0
+        out = np.load(out_npy)
+        assert out.shape == smooth2d.shape
 
     def test_compress_options_forwarded(self, tmp_path, npy):
         rpz = str(tmp_path / "f.rpz")

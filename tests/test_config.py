@@ -69,6 +69,25 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             CompressionConfig(backend_level=level)
 
+    @pytest.mark.parametrize("threads", [None, 1, 4, 64])
+    def test_valid_backend_threads(self, threads):
+        assert CompressionConfig(backend_threads=threads).backend_threads == threads
+
+    @pytest.mark.parametrize("threads", [0, -1, 2.0, "4", True])
+    def test_invalid_backend_threads(self, threads):
+        with pytest.raises(ConfigurationError, match="backend_threads"):
+            CompressionConfig(backend_threads=threads)
+
+    @pytest.mark.parametrize("block_bytes", [1, 4096, 1 << 20])
+    def test_valid_backend_block_bytes(self, block_bytes):
+        cfg = CompressionConfig(backend_block_bytes=block_bytes)
+        assert cfg.backend_block_bytes == block_bytes
+
+    @pytest.mark.parametrize("block_bytes", [0, -1, None, 1.5, True])
+    def test_invalid_backend_block_bytes(self, block_bytes):
+        with pytest.raises(ConfigurationError, match="backend_block_bytes"):
+            CompressionConfig(backend_block_bytes=block_bytes)
+
 
 class TestSerialization:
     def test_roundtrip(self):
@@ -82,6 +101,28 @@ class TestSerialization:
     def test_from_dict_validates(self):
         with pytest.raises(ConfigurationError):
             CompressionConfig.from_dict({"n_bins": 0})
+
+    def test_default_dict_omits_backend_parallelism_knobs(self):
+        """Default configs must serialize exactly as they did before the
+        threaded backends existed, keeping v1 container headers (and the
+        golden-blob format test) byte-stable."""
+        data = CompressionConfig().to_dict()
+        assert "backend_threads" not in data
+        assert "backend_block_bytes" not in data
+
+    def test_backend_threads_never_serialized(self):
+        """Thread count is an execution knob, not a format parameter:
+        serializing it would make blobs differ by thread count."""
+        cfg = CompressionConfig(backend="gzip-mt", backend_threads=4)
+        data = cfg.to_dict()
+        assert "backend_threads" not in data
+        assert CompressionConfig.from_dict(data) == cfg.replace(backend_threads=None)
+
+    def test_non_default_block_bytes_survives_roundtrip(self):
+        cfg = CompressionConfig(backend="zlib-mt", backend_block_bytes=1 << 16)
+        data = cfg.to_dict()
+        assert data["backend_block_bytes"] == 1 << 16
+        assert CompressionConfig.from_dict(data) == cfg
 
 
 class TestReplace:
