@@ -31,17 +31,27 @@ def save_and_print(name: str, text: str) -> None:
         fh.write(body)
 
 
-def write_bench_json(name: str, data: dict[str, Any]) -> str:
+def write_bench_json(name: str, data: dict[str, Any], *, registry=None) -> str:
     """Persist machine-readable benchmark results as BENCH_<name>.json.
 
     The rendered-text artifacts from :func:`save_and_print` are for humans
     and EXPERIMENTS.md; this JSON twin is for CI artifact uploads and
     cross-run comparison.  The FAST flag is recorded so reduced runs are
     never mistaken for full ones.  Returns the written path.
+
+    ``registry`` accepts a :class:`repro.obs.metrics.MetricsRegistry`
+    whose dotted metric names are folded into nested dicts
+    (``gzip_mt.4.mb_s`` -> ``{"gzip_mt": {"4": {"mb_s": ...}}}``) and
+    merged under ``data`` -- explicit keys in ``data`` win, so benchmarks
+    record measurements through the metrics layer and keep hand-written
+    context fields.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
     payload = dict(data)
+    if registry is not None:
+        for key, value in registry.nested().items():
+            payload.setdefault(key, value)
     payload.setdefault("fast_mode", FAST)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

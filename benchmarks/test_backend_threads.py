@@ -11,6 +11,14 @@ pigz-style compatibility guarantees (stock ``gzip.decompress`` reads the
 output; bytes do not depend on the thread count).  The >= 2x speedup
 assertion only runs on machines with at least 4 cores -- below that the
 pool has nothing to overlap.
+
+Measurements go through a :class:`~repro.obs.metrics.MetricsRegistry`
+(the BENCH json is its nested snapshot), and a span trace of one traced
+``gzip-mt`` pass -- taken *outside* the timed regions, so tracing cost
+never touches the MB/s numbers -- is written to
+``bench_results/TRACE_backend.jsonl`` and round-tripped through
+:class:`~repro.obs.report.TraceReport` as a schema lint (CI uploads the
+file and renders it with ``repro report``).
 """
 
 from __future__ import annotations
@@ -22,13 +30,16 @@ import time
 import numpy as np
 
 from repro.lossless import GzipCodec, GzipMTCodec
+from repro.obs import JsonlSink, MetricsRegistry, TraceReport, get_tracer
 
-from _util import FAST, save_and_print, write_bench_json
+from _util import FAST, RESULTS_DIR, save_and_print, write_bench_json
 
 TARGET_MIB = 8 if FAST else 64
 THREAD_COUNTS = (1, 2, 4)
 LEVEL = 6
 MT_THREADS = 4  # the headline configuration the assertion checks
+
+TRACE_PATH = os.path.join(RESULTS_DIR, "TRACE_backend.jsonl")
 
 
 def _workload() -> bytes:
@@ -44,28 +55,48 @@ def _time_compress(codec, body: bytes) -> tuple[float, bytes]:
     return time.perf_counter() - t0, blob
 
 
+def _write_trace(body: bytes, registry: MetricsRegistry) -> None:
+    """Record a traced gzip-mt pass (per-block spans) plus the benchmark's
+    metrics snapshot to TRACE_backend.jsonl, then lint it end to end."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    tracer = get_tracer()
+    sink = JsonlSink(TRACE_PATH)
+    tracer.enable(sink)
+    try:
+        with tracer.span("backend", codec="gzip-mt", threads=MT_THREADS):
+            GzipMTCodec(level=LEVEL, threads=MT_THREADS).compress(body)
+        sink.emit_metrics(registry.snapshot())
+    finally:
+        tracer.disable()
+        sink.close()
+    # Round-trip lint: the artifact CI uploads must parse cleanly and
+    # carry the per-block backend spans.
+    report = TraceReport.from_jsonl(TRACE_PATH)
+    breakdown = report.stage_breakdown()
+    assert "backend" in breakdown, breakdown
+    assert "backend.block" in breakdown, breakdown
+    assert report.metrics, "metrics snapshot missing from the trace"
+
+
 def test_backend_thread_speedup():
     body = _workload()
     mb = len(body) / 1e6
     cores = os.cpu_count() or 1
+    registry = MetricsRegistry()
 
     serial_codec = GzipCodec(LEVEL)
     serial_codec.compress(body[: 1 << 20])  # warm up outside the timed region
     serial_s, serial_blob = _time_compress(serial_codec, body)
     serial_mb_s = mb / serial_s
+    registry.gauge("gzip.seconds").set(serial_s)
+    registry.gauge("gzip.mb_s").set(serial_mb_s)
+    registry.gauge("gzip.bytes").set(len(serial_blob))
 
     lines = [
         f"body: {mb:.0f} MB smooth float64 bytes, level={LEVEL}, cores={cores}",
         f"gzip           : {serial_s:8.2f} s   {serial_mb_s:8.1f} MB/s   "
         f"{len(serial_blob)} B",
     ]
-    results = {
-        "body_mb": mb,
-        "level": LEVEL,
-        "cores": cores,
-        "gzip": {"seconds": serial_s, "mb_s": serial_mb_s, "bytes": len(serial_blob)},
-        "gzip_mt": {},
-    }
 
     reference_blob = None
     mt_mb_s = {}
@@ -78,11 +109,9 @@ def test_backend_thread_speedup():
             f"gzip-mt t={threads:2d}   : {mt_s:8.2f} s   {mt_mb_s[threads]:8.1f} MB/s   "
             f"{len(mt_blob)} B"
         )
-        results["gzip_mt"][str(threads)] = {
-            "seconds": mt_s,
-            "mb_s": mt_mb_s[threads],
-            "bytes": len(mt_blob),
-        }
+        registry.gauge(f"gzip_mt.{threads}.seconds").set(mt_s)
+        registry.gauge(f"gzip_mt.{threads}.mb_s").set(mt_mb_s[threads])
+        registry.gauge(f"gzip_mt.{threads}.bytes").set(len(mt_blob))
         if reference_blob is None:
             reference_blob = mt_blob
         else:
@@ -93,7 +122,7 @@ def test_backend_thread_speedup():
     # pigz-style compatibility: stock gzip reads the multi-member stream
     assert gzip.decompress(reference_blob) == body
     overhead_pct = 100.0 * (len(reference_blob) - len(serial_blob)) / len(serial_blob)
-    results["block_split_overhead_pct"] = overhead_pct
+    registry.gauge("block_split_overhead_pct").set(overhead_pct)
     lines += [
         f"block-split size overhead vs gzip: {overhead_pct:+.2f} %",
         "stock gzip.decompress reads gzip-mt output: yes",
@@ -103,7 +132,13 @@ def test_backend_thread_speedup():
     best = mt_mb_s[MT_THREADS]
     lines.append(f"speedup (t={MT_THREADS} vs gzip): {best / serial_mb_s:.2f} x")
     save_and_print("backend_threads", "\n".join(lines))
-    write_bench_json("backend", results)
+    write_bench_json(
+        "backend", {"body_mb": mb, "level": LEVEL, "cores": cores},
+        registry=registry,
+    )
+    # The traced pass runs after every timed region so span recording can
+    # never pollute the throughput numbers above.
+    _write_trace(body[: 8 << 20], registry)
 
     if cores >= 4:
         assert best >= 2.0 * serial_mb_s, (

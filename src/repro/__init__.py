@@ -22,6 +22,7 @@ from .config import (
     QUANTIZER_PROPOSED,
     QUANTIZER_SIMPLE,
     CompressionConfig,
+    ObservabilityConfig,
 )
 from .core import (
     CompressionStats,
@@ -57,7 +58,7 @@ from .exceptions import (
 )
 
 # Subpackages, importable as attributes (repro.apps.ClimateProxy, ...).
-from . import analysis, apps, ckpt, failure, iomodel, lossless, parallel  # noqa: E402
+from . import analysis, apps, ckpt, failure, iomodel, lossless, obs, parallel  # noqa: E402
 
 __version__ = "1.0.0"
 
@@ -65,6 +66,7 @@ __all__ = [
     "__version__",
     # configuration
     "CompressionConfig",
+    "ObservabilityConfig",
     "MAX_LEVELS",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",

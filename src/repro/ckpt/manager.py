@@ -27,6 +27,8 @@ from ..exceptions import (
     RestoreError,
 )
 from ..lossless import get_codec
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .manifest import (
     MANIFEST_FILENAME,
     ArrayEntry,
@@ -235,50 +237,71 @@ class CheckpointManager:
         if self.store.exists(manifest_key(step)):
             raise CheckpointError(f"checkpoint for step {step} already exists")
         meta = validate_app_meta(app_meta)
+        tracer = get_tracer()
         entries: list[ArrayEntry] = []
-        for name in self.registry.names():
-            arr = np.asarray(self.registry.get(name))
-            mode, how = self._resolve_policy(name, arr)
-            if mode == "lossy":
-                if self.workers > 1 and arr.ndim >= 1 and arr.shape[0] > 1:
-                    blob = chunked_compress(
-                        arr,
-                        how,
-                        chunk_rows=self.chunk_rows,
-                        executor=self._slab_executor(),
+        with tracer.span("checkpoint", step=step) as root:
+            for name in self.registry.names():
+                arr = np.asarray(self.registry.get(name))
+                mode, how = self._resolve_policy(name, arr)
+                with tracer.span(
+                    "ckpt.array", array=name, mode=mode, nbytes=int(arr.nbytes)
+                ) as sp_arr:
+                    if mode == "lossy":
+                        if self.workers > 1 and arr.ndim >= 1 and arr.shape[0] > 1:
+                            blob = chunked_compress(
+                                arr,
+                                how,
+                                chunk_rows=self.chunk_rows,
+                                executor=self._slab_executor(),
+                            )
+                            codec = "wavelet-lossy-chunked"
+                            params = dict(how.to_dict(), chunk_rows=self.chunk_rows)
+                        else:
+                            compressor = WaveletCompressor(how)
+                            blob = compressor.compress(arr)
+                            codec = "wavelet-lossy"
+                            params = how.to_dict()
+                    else:
+                        blob = serialize_array_lossless(
+                            arr,
+                            how,
+                            self.config.backend_level,
+                            threads=self.config.backend_threads,
+                            block_bytes=self.config.backend_block_bytes,
+                        )
+                        codec = f"lossless:{how}"
+                        params = {}
+                    self.store.put(array_key(step, name), blob)
+                    sp_arr.set(codec=codec, stored_bytes=len(blob))
+                entries.append(
+                    ArrayEntry(
+                        name=name,
+                        shape=tuple(arr.shape),
+                        dtype=str(arr.dtype),
+                        codec=codec,
+                        codec_params=params,
+                        raw_bytes=int(arr.nbytes),
+                        stored_bytes=len(blob),
+                        crc32=ArrayEntry.checksum(blob),
                     )
-                    codec = "wavelet-lossy-chunked"
-                    params = dict(how.to_dict(), chunk_rows=self.chunk_rows)
-                else:
-                    compressor = WaveletCompressor(how)
-                    blob = compressor.compress(arr)
-                    codec = "wavelet-lossy"
-                    params = how.to_dict()
-            else:
-                blob = serialize_array_lossless(
-                    arr,
-                    how,
-                    self.config.backend_level,
-                    threads=self.config.backend_threads,
-                    block_bytes=self.config.backend_block_bytes,
                 )
-                codec = f"lossless:{how}"
-                params = {}
-            self.store.put(array_key(step, name), blob)
-            entries.append(
-                ArrayEntry(
-                    name=name,
-                    shape=tuple(arr.shape),
-                    dtype=str(arr.dtype),
-                    codec=codec,
-                    codec_params=params,
-                    raw_bytes=int(arr.nbytes),
-                    stored_bytes=len(blob),
-                    crc32=ArrayEntry.checksum(blob),
-                )
+            manifest = CheckpointManifest(
+                step=step, entries=tuple(entries), app_meta=meta
             )
-        manifest = CheckpointManifest(step=step, entries=tuple(entries), app_meta=meta)
-        self.store.put(manifest_key(step), manifest.to_json())
+            with tracer.span("ckpt.manifest_write"):
+                self.store.put(manifest_key(step), manifest.to_json())
+            root.set(
+                n_arrays=len(entries),
+                raw_bytes=sum(e.raw_bytes for e in entries),
+                stored_bytes=sum(e.stored_bytes for e in entries),
+            )
+        registry = get_registry()
+        registry.counter("ckpt.checkpoints").inc()
+        registry.counter("ckpt.arrays").inc(len(entries))
+        registry.counter("ckpt.raw_bytes").inc(sum(e.raw_bytes for e in entries))
+        registry.counter("ckpt.stored_bytes").inc(
+            sum(e.stored_bytes for e in entries)
+        )
         if self.retention is not None:
             self._prune()
         return manifest
@@ -316,12 +339,16 @@ class CheckpointManager:
 
     def load_arrays(self, step: int) -> dict[str, np.ndarray]:
         """Decode every array of checkpoint ``step`` after verifying CRCs."""
+        tracer = get_tracer()
         manifest = self.read_manifest(step)
         arrays: dict[str, np.ndarray] = {}
         for entry in manifest.entries:
-            blob = self.store.get(array_key(step, entry.name))
-            entry.verify(blob)
-            arr = deserialize_array(blob)
+            with tracer.span(
+                "ckpt.array_load", array=entry.name, codec=entry.codec
+            ):
+                blob = self.store.get(array_key(step, entry.name))
+                entry.verify(blob)
+                arr = deserialize_array(blob)
             if tuple(arr.shape) != entry.shape:
                 raise RestoreError(
                     f"array {entry.name!r} decoded to shape {arr.shape}, "
@@ -336,8 +363,10 @@ class CheckpointManager:
             step = self.latest_step()
             if step is None:
                 raise CheckpointNotFoundError("store holds no checkpoints")
-        arrays = self.load_arrays(step)
-        self.registry.restore(arrays)
+        with get_tracer().span("restore", step=step):
+            arrays = self.load_arrays(step)
+            self.registry.restore(arrays)
+        get_registry().counter("ckpt.restores").inc()
         return self.read_manifest(step)
 
     def verify(self, step: int) -> CheckpointManifest:

@@ -19,20 +19,31 @@ evaluate
     (paper Eqs. 5-6) without writing anything.
 tune
     Find the smallest division number meeting an error tolerance.
+checkpoint
+    Write one array as a complete checkpoint into a directory store.
 verify
     CRC-verify every checkpoint in a checkpoint directory.
+report
+    Render the profiling report of a ``--trace`` JSONL file: the Fig. 9
+    stage breakdown, recorded metrics and (optionally) the span tree.
+
+``compress``, ``decompress`` and ``checkpoint`` accept ``--trace PATH``
+to stream a span/metrics trace of the run to a JSONL file, readable with
+``repro report`` (or any JSONL tool).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
+from typing import Iterator
 
 import numpy as np
 
 from . import __version__
-from .config import CompressionConfig
+from .config import CompressionConfig, ObservabilityConfig
 from .core.chunked import CHUNK_MAGIC, chunked_compress_with_stats, chunked_decompress
 from .core.errors import error_report
 from .core.pipeline import WaveletCompressor, inspect as inspect_blob
@@ -40,6 +51,41 @@ from .core.tuning import tune_for_tolerance
 from .exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span/metrics trace of this run to a JSONL file "
+             "(render it with 'repro report PATH')",
+    )
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Enable tracing for the span of one command when ``--trace`` is set.
+
+    The global metrics registry is snapshotted into the trace file on the
+    way out, so ``repro report`` sees both spans and counters.
+    """
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        yield
+        return
+    from .obs import configure, get_registry, get_tracer
+
+    tracer = get_tracer()
+    sink = configure(ObservabilityConfig(enabled=True, trace_path=trace_path))
+    try:
+        yield
+    finally:
+        tracer.disable()
+        if sink is not None:
+            snapshot = get_registry().snapshot()
+            if snapshot:
+                sink.emit_metrics(snapshot)
+            sink.close()
+        print(f"trace written: {trace_path}", file=sys.stderr)
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -134,10 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-rows", type=int, default=256, metavar="R",
         help="slab height for --workers > 1 [default: 256]",
     )
+    _add_trace_arg(p)
 
     p = sub.add_parser("decompress", help="decode a .rpz blob into a .npy array")
     p.add_argument("input", help="input .rpz file")
     p.add_argument("output", help="output .npy file")
+    _add_trace_arg(p)
 
     p = sub.add_parser("inspect", help="print the header of a .rpz blob")
     p.add_argument("input", help="input .rpz file")
@@ -162,9 +210,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "checkpoint", help="write a .npy array as a checkpoint into a directory"
+    )
+    p.add_argument("input", help="input .npy file")
+    p.add_argument("directory", help="checkpoint directory (DirectoryStore root)")
+    p.add_argument(
+        "--step", type=int, required=True, metavar="S",
+        help="logical step number of the checkpoint",
+    )
+    p.add_argument(
+        "--name", default="array", metavar="NAME",
+        help="registry name the array is stored under [default: array]",
+    )
+    _add_config_args(p)
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="compress leading-axis slabs in N worker processes [default: 1]",
+    )
+    p.add_argument(
+        "--chunk-rows", type=int, default=256, metavar="R",
+        help="slab height for --workers > 1 [default: 256]",
+    )
+    _add_trace_arg(p)
+
+    p = sub.add_parser(
         "verify", help="CRC-verify every checkpoint in a directory store"
     )
     p.add_argument("directory", help="checkpoint directory (DirectoryStore root)")
+
+    p = sub.add_parser(
+        "report", help="render the profiling report of a --trace JSONL file"
+    )
+    p.add_argument("trace_file", help="JSONL trace written by --trace")
+    p.add_argument(
+        "--tree", action="store_true",
+        help="also print the indented span tree",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
     return parser
 
 
@@ -180,12 +265,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
-    if args.workers > 1:
-        blob, stats = chunked_compress_with_stats(
-            arr, config, chunk_rows=args.chunk_rows, workers=args.workers
-        )
-    else:
-        blob, stats = WaveletCompressor(config).compress_with_stats(arr)
+    with _tracing(args):
+        if args.workers > 1:
+            blob, stats = chunked_compress_with_stats(
+                arr, config, chunk_rows=args.chunk_rows, workers=args.workers
+            )
+        else:
+            blob, stats = WaveletCompressor(config).compress_with_stats(arr)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     print(
@@ -199,10 +285,11 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
-    if blob[:4] == CHUNK_MAGIC:
-        arr = chunked_decompress(blob)
-    else:
-        arr = WaveletCompressor.decompress(blob)
+    with _tracing(args):
+        if blob[:4] == CHUNK_MAGIC:
+            arr = chunked_decompress(blob)
+        else:
+            arr = WaveletCompressor.decompress(blob)
     np.save(args.output, arr)
     print(f"{args.output}: shape {arr.shape}, dtype {arr.dtype}")
     return 0
@@ -277,13 +364,54 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .ckpt.manager import CheckpointManager
+    from .ckpt.protocol import ArrayRegistry
+    from .ckpt.store import DirectoryStore
+
+    arr = _load_array(args.input)
+    config = _config_from_args(args)
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    registry = ArrayRegistry()
+    registry.register(args.name, arr)
+    with _tracing(args):
+        with CheckpointManager(
+            registry,
+            DirectoryStore(args.directory),
+            config=config,
+            workers=args.workers,
+            chunk_rows=args.chunk_rows,
+        ) as manager:
+            manifest = manager.checkpoint(args.step)
+    print(
+        f"step {manifest.step}: {len(manifest.entries)} array(s), "
+        f"{manifest.total_stored_bytes} bytes stored "
+        f"(rate {manifest.compression_rate_percent:.2f}%)"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import TraceReport
+
+    report = TraceReport.from_jsonl(args.trace_file)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(tree=args.tree))
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
     "inspect": _cmd_inspect,
     "evaluate": _cmd_evaluate,
     "tune": _cmd_tune,
+    "checkpoint": _cmd_checkpoint,
     "verify": _cmd_verify,
+    "report": _cmd_report,
 }
 
 
@@ -294,6 +422,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # e.g. `repro report ... | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,7 @@ from .exceptions import ConfigurationError
 
 __all__ = [
     "CompressionConfig",
+    "ObservabilityConfig",
     "DEFAULT_BACKEND_BLOCK_BYTES",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",
@@ -247,3 +248,41 @@ class CompressionConfig:
     def lossless(self) -> bool:
         """True when the configuration performs no quantization."""
         return self.quantizer == QUANTIZER_NONE
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """How a run reports on itself (see :mod:`repro.obs`).
+
+    Unlike :class:`CompressionConfig`, nothing here can change emitted
+    bytes -- it is never serialized into container headers or manifests.
+    ``repro.obs.configure`` applies it to the process-global tracer; the
+    CLI builds one from ``--trace``.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for span recording.  Disabled tracing costs two
+        monotonic clock reads per would-be span (the pipeline's stats
+        need the durations either way).
+    trace_path:
+        When set, finished spans stream to this JSONL file (see
+        :class:`repro.obs.sink.JsonlSink` for the schema).  Requires
+        ``enabled=True``.
+    """
+
+    enabled: bool = False
+    trace_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_path is not None:
+            if not isinstance(self.trace_path, str) or not self.trace_path:
+                raise ConfigurationError(
+                    f"trace_path must be a non-empty str or None, "
+                    f"got {self.trace_path!r}"
+                )
+            if not self.enabled:
+                raise ConfigurationError(
+                    "trace_path is set but observability is disabled; pass "
+                    "enabled=True to record a trace"
+                )

@@ -49,6 +49,8 @@ import numpy as np
 
 from ..config import CompressionConfig
 from ..exceptions import CompressionError, FormatError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .container import CHUNK_MAGIC
 from .pipeline import CompressionStats, WaveletCompressor
 
@@ -125,21 +127,31 @@ def chunked_compress_with_stats(
     from ..parallel.executor import aggregate_stats, resolve_executor
 
     cfg = config if config is not None else CompressionConfig()
-    slabs = _slice_slabs(a, chunk_rows)
-    exec_, owned = resolve_executor(workers, executor)
-    try:
-        results = exec_.compress_slabs(slabs, cfg)
-    finally:
-        if owned:
-            exec_.close()
-    parts = [CHUNK_MAGIC, _HEAD.pack(_VERSION, len(results), a.shape[0])]
-    for blob, _stats in results:
-        parts.append(_LEN.pack(len(blob)))
-        parts.append(blob)
-    stream = b"".join(parts)
-    stats = aggregate_stats(
-        [s for _, s in results], stream_bytes=len(stream)
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "chunked_compress", rows=int(a.shape[0]), chunk_rows=chunk_rows
+    ) as root:
+        slabs = _slice_slabs(a, chunk_rows)
+        exec_, owned = resolve_executor(workers, executor)
+        try:
+            results = exec_.compress_slabs(slabs, cfg)
+        finally:
+            if owned:
+                exec_.close()
+        with tracer.span("framing"):
+            parts = [CHUNK_MAGIC, _HEAD.pack(_VERSION, len(results), a.shape[0])]
+            for blob, _stats in results:
+                parts.append(_LEN.pack(len(blob)))
+                parts.append(blob)
+            stream = b"".join(parts)
+        stats = aggregate_stats(
+            [s for _, s in results], stream_bytes=len(stream)
+        )
+        root.set(n_chunks=len(results), stream_bytes=len(stream))
+    registry = get_registry()
+    registry.counter("chunked.streams").inc()
+    registry.counter("chunked.chunks").inc(len(results))
+    registry.counter("chunked.stream_bytes").inc(len(stream))
     return stream, stats
 
 
@@ -177,6 +189,11 @@ def iter_chunks(blob: bytes) -> Iterator[bytes]:
 def chunked_decompress(blob: bytes) -> np.ndarray:
     """Invert :func:`chunked_compress` (one slab in memory at a time plus
     the output array)."""
+    with get_tracer().span("chunked_decompress", nbytes=len(blob)):
+        return _chunked_decompress(blob)
+
+
+def _chunked_decompress(blob: bytes) -> np.ndarray:
     _version, n_chunks, rows = _read_head(blob)
     if n_chunks == 0:
         # Legacy writers emitted no chunk for a zero-row array, losing the
@@ -209,14 +226,17 @@ def chunked_decompress(blob: bytes) -> np.ndarray:
 def inspect_chunked(blob: bytes) -> dict:
     """Chunk-level metadata of a chunked stream (no coefficient decoding).
 
-    Returns the stream header fields plus per-chunk compressed sizes and,
-    when at least one chunk exists, the self-describing container header
-    of the first chunk (shape, dtype, configuration of the slabs).
+    Returns the stream header fields plus per-chunk compressed sizes --
+    with min/mean/max aggregates, so skew across slabs is visible without
+    eyeballing the raw list -- and, when at least one chunk exists, the
+    self-describing container header of the first chunk (shape, dtype,
+    configuration of the slabs).
     """
     from .container import peek_header
 
     version, n_chunks, rows = _read_head(blob)
     chunk_blobs = list(iter_chunks(blob))  # validates framing end to end
+    sizes = [len(c) for c in chunk_blobs]
     info: dict = {
         "container": "chunked",
         "magic": CHUNK_MAGIC.decode("ascii"),
@@ -224,8 +244,15 @@ def inspect_chunked(blob: bytes) -> dict:
         "n_chunks": n_chunks,
         "rows": rows,
         "stream_bytes": len(blob),
-        "chunk_bytes": [len(c) for c in chunk_blobs],
+        "chunk_bytes": sizes,
     }
+    if sizes:
+        info["chunk_bytes_stats"] = {
+            "min": min(sizes),
+            "mean": sum(sizes) / len(sizes),
+            "max": max(sizes),
+            "total": sum(sizes),
+        }
     if chunk_blobs:
         info["chunk_header"] = peek_header(chunk_blobs[0])
     return info

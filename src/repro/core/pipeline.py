@@ -2,15 +2,17 @@
 
 :class:`WaveletCompressor` chains the four stages -- wavelet transformation,
 quantization, encoding and formatting + lossless backend -- and their exact
-inverses.  Timings of every stage are captured per call because the paper's
-Fig. 9 reasons about the *breakdown* of compression cost, not just its sum.
+inverses.  Every stage runs inside a :mod:`repro.obs` span because the
+paper's Fig. 9 reasons about the *breakdown* of compression cost, not just
+its sum: per-call timings land in :class:`CompressionStats`, spans land in
+the global tracer when enabled, and aggregates land in the always-on
+metrics registry.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -24,6 +26,8 @@ from ..config import (
 from ..exceptions import CompressionError, DecompressionError, FormatError
 from ..lossless.tempfile_gzip import TempfileGzipCodec
 from ..lossless import get_codec
+from ..obs.metrics import get_registry, top_level_seconds
+from ..obs.trace import get_tracer
 from . import container
 from .bands import high_band_mask
 from .encoding import EncodedPayload, decode_coefficients, encode_coefficients
@@ -52,7 +56,13 @@ class CompressionStats:
     ``timings`` keys mirror the paper's Fig. 9 legend: ``wavelet``,
     ``quantization``, ``encoding``, ``formatting`` and ``backend`` (the
     gzip pass); when the temp-file backend is used, ``temp_write`` and
-    ``gzip`` additionally split the backend cost.
+    ``gzip`` additionally split the backend cost.  Which keys refine which
+    is defined once, in :data:`repro.obs.metrics.STAGE_PARENT`.
+
+    The object is a typed view over the same quantities the metrics
+    registry aggregates: :meth:`to_metrics` folds one call into a
+    registry, :meth:`from_metrics` rebuilds an aggregate view from a
+    registry snapshot (counters named ``<prefix>.*``).
     """
 
     original_bytes: int = 0
@@ -85,14 +95,59 @@ class CompressionStats:
 
     @property
     def total_compression_seconds(self) -> float:
-        return float(sum(v for k, v in self.timings.items()
-                         if k not in ("temp_write", "gzip")))
+        """Sum of the stage timings, counting each cost exactly once.
+
+        Sub-stage keys (``temp_write``/``gzip`` splitting ``backend``, per
+        the stage relation in :mod:`repro.obs.metrics`) are excluded only
+        when the stage they refine is present, so an orphaned sub-stage
+        timing still contributes instead of silently vanishing.
+        """
+        return top_level_seconds(self.timings)
 
     @property
     def quantized_fraction(self) -> float:
         if self.n_coefficients == 0:
             return 0.0
         return self.n_quantized / self.n_coefficients
+
+    # -- metrics-registry bridge ------------------------------------------
+
+    def to_metrics(self, registry=None, prefix: str = "pipeline") -> None:
+        """Fold this call's stats into a metrics registry (the global one
+        by default)."""
+        (registry if registry is not None else get_registry()).observe_stats(
+            self, prefix
+        )
+
+    @classmethod
+    def from_metrics(
+        cls, snapshot: Mapping[str, Any], prefix: str = "pipeline"
+    ) -> "CompressionStats":
+        """Aggregate stats view over a registry snapshot.
+
+        Reads the counters :meth:`to_metrics` writes; timings hold the
+        summed per-stage seconds across every observed call.
+        """
+        def _num(name: str) -> float:
+            value = snapshot.get(f"{prefix}.{name}", 0.0)
+            return float(value) if isinstance(value, (int, float)) else 0.0
+
+        stage_prefix = f"{prefix}.stage."
+        timings = {
+            name[len(stage_prefix):-len(".seconds")]: float(value)
+            for name, value in snapshot.items()
+            if name.startswith(stage_prefix)
+            and name.endswith(".seconds")
+            and isinstance(value, (int, float))
+        }
+        return cls(
+            original_bytes=int(_num("bytes_in")),
+            formatted_bytes=int(_num("formatted_bytes")),
+            compressed_bytes=int(_num("bytes_out")),
+            n_coefficients=int(_num("coefficients")),
+            n_quantized=int(_num("quantized")),
+            timings=timings,
+        )
 
 
 class WaveletCompressor:
@@ -153,99 +208,151 @@ class WaveletCompressor:
         return blob
 
     def compress_with_stats(self, arr: np.ndarray) -> tuple[bytes, CompressionStats]:
-        """Compress and report sizes plus the per-stage cost breakdown."""
+        """Compress and report sizes plus the per-stage cost breakdown.
+
+        Each Fig. 9 stage runs inside its own tracing span (nested under
+        one ``compress`` root); stage durations always reach
+        ``stats.timings`` and the metrics registry, whether or not span
+        *recording* is enabled.
+        """
         a = self._check_input(arr)
         cfg = self._config
+        tracer = get_tracer()
         stats = CompressionStats(
             original_bytes=int(a.nbytes),
             n_coefficients=int(a.size),
             config=cfg,
         )
 
-        t0 = time.perf_counter()
-        coeffs, applied = wavelet_forward(
-            a, cfg.levels, cfg.wavelet, scratch=self._wavelet_scratch(a.shape)
-        )
-        t1 = time.perf_counter()
-        stats.applied_levels = applied
-
-        hb_mask = high_band_mask(a.shape, applied)
-        if cfg.quantizer == QUANTIZER_NONE:
-            full_mask = np.zeros(a.size, dtype=bool)
-            indices = np.zeros(0, dtype=np.uint8)
-            averages = np.zeros(0, dtype=np.float64)
-        else:
-            hb_values = coeffs[hb_mask]
-            if cfg.quantizer == QUANTIZER_SIMPLE:
-                qr = simple_quantize(hb_values, cfg.n_bins)
-            elif cfg.quantizer == QUANTIZER_PROPOSED:
-                qr = proposed_quantize(hb_values, cfg.n_bins, cfg.spike_partitions)
-            elif cfg.quantizer == QUANTIZER_BOUNDED:
-                # Each reconstructed element is the deep low coefficient
-                # plus one unit-weight high coefficient per band per level,
-                # so dividing the element-level bound by that term count
-                # makes the guarantee hold after the inverse transform.
-                terms = max(1, (2**a.ndim - 1) * applied)
-                qr = bounded_quantize(
-                    hb_values, cfg.error_bound / terms, cfg.spike_partitions
+        with tracer.span(
+            "compress",
+            nbytes=int(a.nbytes),
+            shape=list(a.shape),
+            quantizer=cfg.quantizer,
+            backend=cfg.backend,
+        ) as root:
+            with tracer.span("wavelet") as sp_wavelet:
+                coeffs, applied = wavelet_forward(
+                    a, cfg.levels, cfg.wavelet, scratch=self._wavelet_scratch(a.shape)
                 )
-            else:  # pragma: no cover - config validates eagerly
-                raise CompressionError(f"unknown quantizer {cfg.quantizer!r}")
-            full_mask = np.zeros(a.size, dtype=bool)
-            full_mask[hb_mask.ravel()] = qr.quantized_mask
-            indices = qr.indices
-            averages = qr.averages
-        t2 = time.perf_counter()
+            stats.applied_levels = applied
 
-        payload = encode_coefficients(coeffs, full_mask, indices, averages)
-        stats.n_quantized = int(indices.size)
-        t3 = time.perf_counter()
+            with tracer.span("quantization") as sp_quant:
+                hb_mask = high_band_mask(a.shape, applied)
+                if cfg.quantizer == QUANTIZER_NONE:
+                    full_mask = np.zeros(a.size, dtype=bool)
+                    indices = np.zeros(0, dtype=np.uint8)
+                    averages = np.zeros(0, dtype=np.float64)
+                else:
+                    hb_values = coeffs[hb_mask]
+                    if cfg.quantizer == QUANTIZER_SIMPLE:
+                        qr = simple_quantize(hb_values, cfg.n_bins)
+                    elif cfg.quantizer == QUANTIZER_PROPOSED:
+                        qr = proposed_quantize(
+                            hb_values, cfg.n_bins, cfg.spike_partitions
+                        )
+                    elif cfg.quantizer == QUANTIZER_BOUNDED:
+                        # Each reconstructed element is the deep low
+                        # coefficient plus one unit-weight high coefficient
+                        # per band per level, so dividing the element-level
+                        # bound by that term count makes the guarantee hold
+                        # after the inverse transform.
+                        terms = max(1, (2**a.ndim - 1) * applied)
+                        qr = bounded_quantize(
+                            hb_values, cfg.error_bound / terms, cfg.spike_partitions
+                        )
+                    else:  # pragma: no cover - config validates eagerly
+                        raise CompressionError(f"unknown quantizer {cfg.quantizer!r}")
+                    full_mask = np.zeros(a.size, dtype=bool)
+                    full_mask[hb_mask.ravel()] = qr.quantized_mask
+                    indices = qr.indices
+                    averages = qr.averages
+                    if cfg.quantizer == QUANTIZER_BOUNDED and indices.size:
+                        # Residual of the quantization against its bound:
+                        # the error-bounded mode's standing health metric.
+                        residual = float(
+                            np.abs(
+                                hb_values[qr.quantized_mask]
+                                - qr.averages[qr.indices]
+                            ).max()
+                        )
+                        sp_quant.set(max_residual=residual)
+                        get_registry().histogram(
+                            "pipeline.bounded_residual"
+                        ).observe(residual)
 
-        header = {
-            "shape": list(a.shape),
-            "dtype": str(a.dtype),
-            "applied_levels": applied,
-            "config": cfg.to_dict(),
-            "n_coefficients": int(a.size),
-            "n_quantized": int(indices.size),
-            "index_dtype": str(payload.indices.dtype),
-        }
-        # Buffer-protocol views over the encoded streams: write_body copies
-        # each exactly once, into its single preallocated body buffer --
-        # no .tobytes() materialization per section.
-        sections = {
-            _SEC_BITMAP: _section_view(payload.bitmap),
-            _SEC_AVERAGES: _section_view(payload.averages),
-            _SEC_INDICES: _section_view(payload.indices),
-            _SEC_RAW: _section_view(payload.raw_values),
-        }
-        body = container.write_body(header, sections)
-        stats.formatted_bytes = len(body)
-        t4 = time.perf_counter()
+            with tracer.span("encoding") as sp_encode:
+                payload = encode_coefficients(coeffs, full_mask, indices, averages)
+            stats.n_quantized = int(indices.size)
 
-        codec = get_codec(
-            cfg.backend,
-            level=cfg.backend_level,
-            threads=cfg.backend_threads,
-            block_bytes=cfg.backend_block_bytes,
-        )
-        compressed = codec.compress(body)
-        name_bytes = cfg.backend.encode("ascii")
-        blob = b"".join(
-            (container.ENVELOPE_MAGIC, bytes([len(name_bytes)]), name_bytes, compressed)
-        )
-        t5 = time.perf_counter()
+            with tracer.span("formatting") as sp_format:
+                header = {
+                    "shape": list(a.shape),
+                    "dtype": str(a.dtype),
+                    "applied_levels": applied,
+                    "config": cfg.to_dict(),
+                    "n_coefficients": int(a.size),
+                    "n_quantized": int(indices.size),
+                    "index_dtype": str(payload.indices.dtype),
+                }
+                # Buffer-protocol views over the encoded streams: write_body
+                # copies each exactly once, into its single preallocated body
+                # buffer -- no .tobytes() materialization per section.
+                sections = {
+                    _SEC_BITMAP: _section_view(payload.bitmap),
+                    _SEC_AVERAGES: _section_view(payload.averages),
+                    _SEC_INDICES: _section_view(payload.indices),
+                    _SEC_RAW: _section_view(payload.raw_values),
+                }
+                body = container.write_body(header, sections)
+            stats.formatted_bytes = len(body)
 
-        stats.compressed_bytes = len(blob)
-        stats.timings = {
-            "wavelet": t1 - t0,
-            "quantization": t2 - t1,
-            "encoding": t3 - t2,
-            "formatting": t4 - t3,
-            "backend": t5 - t4,
-        }
-        if isinstance(codec, TempfileGzipCodec):
-            stats.timings.update(codec.last_timings)
+            with tracer.span("backend", backend=cfg.backend) as sp_backend:
+                codec = get_codec(
+                    cfg.backend,
+                    level=cfg.backend_level,
+                    threads=cfg.backend_threads,
+                    block_bytes=cfg.backend_block_bytes,
+                )
+                compressed = codec.compress(body)
+                name_bytes = cfg.backend.encode("ascii")
+                blob = b"".join(
+                    (
+                        container.ENVELOPE_MAGIC,
+                        bytes([len(name_bytes)]),
+                        name_bytes,
+                        compressed,
+                    )
+                )
+
+            stats.compressed_bytes = len(blob)
+            stats.timings = {
+                "wavelet": sp_wavelet.duration,
+                "quantization": sp_quant.duration,
+                "encoding": sp_encode.duration,
+                "formatting": sp_format.duration,
+                "backend": sp_backend.duration,
+            }
+            if isinstance(codec, TempfileGzipCodec):
+                stats.timings.update(codec.last_timings)
+                # Mirror the codec-internal split as sub-spans of the
+                # backend stage so traces carry both Fig. 9 backend bars.
+                if tracer.enabled:
+                    split = sp_backend.start + codec.last_timings["temp_write"]
+                    tracer.record(
+                        "temp_write", sp_backend.start, split, parent=sp_backend
+                    )
+                    tracer.record(
+                        "gzip",
+                        split,
+                        split + codec.last_timings["gzip"],
+                        parent=sp_backend,
+                    )
+            root.set(compressed_bytes=len(blob))
+            rate = stats.compression_rate_percent
+            if rate == rate:  # finite (empty inputs have no defined rate)
+                root.set(rate_percent=rate)
+        stats.to_metrics()
         return blob, stats
 
     # -- decompression -------------------------------------------------------
@@ -257,8 +364,15 @@ class WaveletCompressor:
         The blob is self-describing, so this is a static method: the
         configuration used for compression is read from the header.
         """
-        body, _backend = container.unwrap_envelope(blob)
-        header, sections = container.read_body(body)
+        tracer = get_tracer()
+        with tracer.span("decompress", nbytes=len(blob)):
+            with tracer.span("backend_inverse"):
+                body, _backend = container.unwrap_envelope(blob)
+                header, sections = container.read_body(body)
+            return WaveletCompressor._decode_body(header, sections, tracer)
+
+    @staticmethod
+    def _decode_body(header, sections, tracer) -> np.ndarray:
         try:
             shape = tuple(int(s) for s in header["shape"])
             dtype = np.dtype(header["dtype"])
@@ -281,17 +395,19 @@ class WaveletCompressor:
         missing = {_SEC_BITMAP, _SEC_AVERAGES, _SEC_INDICES, _SEC_RAW} - set(sections)
         if missing:
             raise FormatError(f"container is missing sections: {sorted(missing)}")
-        payload = EncodedPayload(
-            bitmap=np.frombuffer(sections[_SEC_BITMAP], dtype=np.uint8),
-            averages=np.frombuffer(sections[_SEC_AVERAGES], dtype=np.float64),
-            indices=np.frombuffer(sections[_SEC_INDICES], dtype=index_dtype),
-            raw_values=np.frombuffer(sections[_SEC_RAW], dtype=np.float64),
-            size=size,
-        )
-        flat = decode_coefficients(payload)
-        coeffs = flat.reshape(shape)
-        restored = wavelet_inverse(coeffs, applied, wavelet, copy=False)
-        return restored.astype(dtype, copy=False)
+        with tracer.span("decoding"):
+            payload = EncodedPayload(
+                bitmap=np.frombuffer(sections[_SEC_BITMAP], dtype=np.uint8),
+                averages=np.frombuffer(sections[_SEC_AVERAGES], dtype=np.float64),
+                indices=np.frombuffer(sections[_SEC_INDICES], dtype=index_dtype),
+                raw_values=np.frombuffer(sections[_SEC_RAW], dtype=np.float64),
+                size=size,
+            )
+            flat = decode_coefficients(payload)
+            coeffs = flat.reshape(shape)
+        with tracer.span("wavelet_inverse"):
+            restored = wavelet_inverse(coeffs, applied, wavelet, copy=False)
+            return restored.astype(dtype, copy=False)
 
     # -- convenience ---------------------------------------------------------
 

@@ -42,10 +42,12 @@ from __future__ import annotations
 import gzip
 import os
 import struct
+import time
 import zlib
 from typing import Callable, Sequence
 
 from ..exceptions import DecompressionError
+from ..obs.trace import get_tracer
 from .base import Codec, register_codec
 
 __all__ = [
@@ -134,6 +136,28 @@ class BlockParallelCodec(Codec):
         depend on scheduling; a pool that cannot start downgrades to the
         serial loop (same bytes).
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Pool threads have empty span stacks, so parent the per-block
+            # spans on the caller's current span, captured here.  Recording
+            # happens inside the worker (Tracer.record is thread-safe).
+            ctx = tracer.context()
+            inner = fn
+
+            def fn(block, _inner=inner, _ctx=ctx):
+                start = time.perf_counter()
+                out = _inner(block)
+                tracer.record(
+                    "backend.block",
+                    start,
+                    time.perf_counter(),
+                    parent=_ctx,
+                    codec=self.name,
+                    in_bytes=memoryview(block).nbytes,
+                    out_bytes=len(out),
+                )
+                return out
+
         n_workers = min(self.threads, len(blocks))
         if n_workers <= 1:
             return [fn(block) for block in blocks]

@@ -1,0 +1,90 @@
+"""Observability layer: tracing, metrics and profiling reports.
+
+The standing assessment framework the Z-checker line of work argues lossy
+compressors need: every compress/decompress/checkpoint run feeds one
+structured telemetry stream instead of ad-hoc per-script timing dicts.
+
+* :mod:`repro.obs.trace` -- nested, thread- and process-aware spans with
+  a context-manager/decorator API and near-zero disabled overhead.
+* :mod:`repro.obs.metrics` -- the always-on counters/gauges/histograms
+  registry plus the Fig. 9 stage taxonomy (stage parent/child relation).
+* :mod:`repro.obs.sink` -- JSONL event log, in-memory sink, trace lint.
+* :mod:`repro.obs.report` -- stage breakdowns and span trees
+  (``repro report``).
+
+Quickstart::
+
+    from repro.obs import get_tracer, JsonlSink, TraceReport
+
+    tracer = get_tracer()
+    sink = JsonlSink("run.jsonl")
+    tracer.enable(sink)
+    ...  # any compress / chunked / checkpoint work
+    tracer.disable(); sink.close()
+    print(TraceReport.from_jsonl("run.jsonl").render())
+"""
+
+from __future__ import annotations
+
+from ..config import ObservabilityConfig
+from .metrics import (
+    STAGE_PARENT,
+    STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    stage_parent,
+    top_level_seconds,
+)
+from .report import TraceReport, load_trace, render_tree
+from .sink import JsonlSink, MemorySink, Sink, read_events
+from .trace import Span, Tracer, get_tracer, swap_tracer, traced
+
+__all__ = [
+    "ObservabilityConfig",
+    "configure",
+    # trace
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "swap_tracer",
+    "traced",
+    # metrics
+    "STAGES",
+    "STAGE_PARENT",
+    "stage_parent",
+    "top_level_seconds",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    # sinks
+    "Sink",
+    "JsonlSink",
+    "MemorySink",
+    "read_events",
+    # report
+    "TraceReport",
+    "load_trace",
+    "render_tree",
+]
+
+
+def configure(config: ObservabilityConfig) -> JsonlSink | None:
+    """Apply an :class:`~repro.config.ObservabilityConfig` to the global
+    tracer.
+
+    Returns the opened :class:`JsonlSink` when ``config.trace_path`` is
+    set (the caller owns closing it), else ``None``.  A disabled config
+    turns tracing off.
+    """
+    tracer = get_tracer()
+    if not config.enabled:
+        tracer.disable()
+        return None
+    sink = JsonlSink(config.trace_path) if config.trace_path else None
+    tracer.enable(*([sink] if sink is not None else []))
+    return sink

@@ -1,0 +1,272 @@
+"""Metrics registry: counters, gauges and histograms for the pipeline.
+
+Where :mod:`repro.obs.trace` answers "what happened, when, inside what?",
+this module answers "how much, in total?": bytes in/out per stage,
+quantized fraction, backend throughput, worker utilization -- the
+aggregates every BENCH_*.json and CI comparison reads.  One process-global
+:class:`MetricsRegistry` is always on; recording a metric is a dict lookup
+plus a lock-guarded float update, invisible next to a wavelet transform.
+
+The module also owns the **stage taxonomy**: the paper's Fig. 9 stage
+names and the parent/child relation between a stage and its sub-stages
+(``temp_write``/``gzip`` split the ``backend`` bar on the temp-file path).
+:func:`top_level_seconds` derives "which timings sum to the total" from
+that relation instead of a hardcoded exclusion list, so new sub-stages can
+never be double-counted into
+:attr:`~repro.core.pipeline.CompressionStats.total_compression_seconds`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+__all__ = [
+    "STAGES",
+    "STAGE_PARENT",
+    "stage_parent",
+    "top_level_seconds",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: The paper's Fig. 9 stage legend, in pipeline order.
+STAGES = ("wavelet", "quantization", "encoding", "formatting", "backend")
+
+#: Sub-stage -> enclosing stage.  A timing key whose parent is also
+#: present in a timings dict is a *refinement* of that parent, not an
+#: additional cost.
+STAGE_PARENT: dict[str, str] = {
+    "temp_write": "backend",
+    "gzip": "backend",
+    "backend.block": "backend",
+}
+
+
+def stage_parent(name: str) -> str | None:
+    """The enclosing stage of a (sub-)stage name, or ``None`` for a
+    top-level stage.  Dotted names default to their prefix."""
+    parent = STAGE_PARENT.get(name)
+    if parent is not None:
+        return parent
+    if "." in name:
+        return name.rsplit(".", 1)[0]
+    return None
+
+
+def top_level_seconds(timings: Mapping[str, float]) -> float:
+    """Sum the timings that are not refinements of another present key.
+
+    ``{"backend": 2.0, "temp_write": 0.5, "gzip": 1.5}`` sums to 2.0 (the
+    sub-stages split the backend bar); a lone ``{"temp_write": 0.5}``
+    sums to 0.5 (nothing encloses it, so dropping it would lose cost).
+    """
+    return float(
+        sum(v for k, v in timings.items() if stage_parent(k) not in timings)
+    )
+
+
+class Counter:
+    """Monotonically increasing value (bytes processed, calls made)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value (worker count, utilization, residual)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max/mean) of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, thread-safe.
+
+    Metric names are dotted paths (``pipeline.stage.backend.seconds``);
+    :meth:`nested` folds them into nested dicts for JSON artifacts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, name: str, kind: str) -> Any:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"metric name must be a non-empty str, got {name!r}")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = _KINDS[kind](name)
+            elif metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {metric.kind}, requested as {kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, "histogram")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat ``{dotted-name: value-or-summary}`` of every metric."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: m.snapshot() for m in sorted(metrics, key=lambda m: m.name)}
+
+    def nested(self) -> dict[str, Any]:
+        """Dotted names folded into nested dicts (BENCH json shape).
+
+        A name that is both a leaf and a prefix of deeper names keeps the
+        leaf value under the ``"value"`` key of the shared node.
+        """
+        root: dict[str, Any] = {}
+        for name, value in self.snapshot().items():
+            node = root
+            parts = name.split(".")
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    child = {} if child is None else {"value": child}
+                    node[part] = child
+                node = child
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf]["value"] = value
+            else:
+                node[leaf] = value
+        return root
+
+    # -- pipeline integration ----------------------------------------------
+
+    def observe_stats(self, stats: Any, prefix: str = "pipeline") -> None:
+        """Fold one :class:`~repro.core.pipeline.CompressionStats` into the
+        registry (the typed-stats <-> registry bridge).
+
+        Counter/histogram names written here are exactly the names
+        :meth:`CompressionStats.from_metrics
+        <repro.core.pipeline.CompressionStats.from_metrics>` reads back.
+        """
+        self.counter(f"{prefix}.calls").inc()
+        self.counter(f"{prefix}.bytes_in").inc(stats.original_bytes)
+        self.counter(f"{prefix}.bytes_out").inc(stats.compressed_bytes)
+        self.counter(f"{prefix}.formatted_bytes").inc(stats.formatted_bytes)
+        self.counter(f"{prefix}.coefficients").inc(stats.n_coefficients)
+        self.counter(f"{prefix}.quantized").inc(stats.n_quantized)
+        for key, seconds in stats.timings.items():
+            self.counter(f"{prefix}.stage.{key}.seconds").inc(max(0.0, seconds))
+        self.histogram(f"{prefix}.seconds").observe(stats.total_compression_seconds)
+        if stats.n_coefficients:
+            self.histogram(f"{prefix}.quantized_fraction").observe(
+                stats.quantized_fraction
+            )
+        mb_s = stats.backend_mb_s
+        if mb_s == mb_s and mb_s not in (float("inf"), float("-inf")):  # finite
+            self.histogram(f"{prefix}.backend_mb_s").observe(mb_s)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global always-on registry."""
+    return _REGISTRY

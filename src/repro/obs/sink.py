@@ -1,0 +1,145 @@
+"""Trace/metric sinks: where observability events go.
+
+Three consumers, three sinks:
+
+* :class:`JsonlSink` -- a newline-delimited JSON event log, the archival
+  format.  Machine-readable, append-only, safe to stream, and the input
+  of ``repro report`` and the CI round-trip lint.
+* :class:`MemorySink` -- in-process aggregation for tests and programmatic
+  consumers (the same event dicts, buffered).
+* the tree renderer in :mod:`repro.obs.report` -- the human-readable view
+  built *from* either of the above.
+
+JSONL schema (one JSON object per line)::
+
+    {"type": "meta",    "format": "repro-trace", "version": 1}
+    {"type": "span",    "name": ..., "span_id": ..., "parent_id": ...,
+     "trace_id": ..., "start": ..., "end": ..., "duration": ...,
+     "pid": ..., "tid": ..., "attrs": {...}}
+    {"type": "metrics", "values": {flat metric snapshot}}
+
+The ``meta`` line is written when the sink opens; ``metrics`` lines are
+snapshots emitted at interesting moments (end of a CLI command, end of a
+benchmark).  Consumers must ignore event types they do not know, so the
+schema can grow.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+from ..exceptions import FormatError
+
+__all__ = ["Sink", "JsonlSink", "MemorySink", "read_events", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+class Sink(ABC):
+    """Receives observability events (plain dicts with a ``type`` key)."""
+
+    @abstractmethod
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Record one event."""
+
+    def emit_metrics(self, values: Mapping[str, Any]) -> None:
+        """Record a flat metrics snapshot as a ``metrics`` event."""
+        self.emit({"type": "metrics", "values": dict(values)})
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent; no-op by default)."""
+
+
+class JsonlSink(Sink):
+    """Append events as JSON lines to a path or a writable text file.
+
+    Thread-safe: spans finishing concurrently on backend pool threads
+    serialize through one lock, one complete line per event.
+    """
+
+    def __init__(self, target: str | io.TextIOBase) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, str):
+            self._fh: Any = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fh = target
+            self._owned = False
+        self.emit(
+            {"type": "meta", "format": "repro-trace", "version": TRACE_FORMAT_VERSION}
+        )
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.flush()
+            if self._owned:
+                fh.close()
+
+
+class MemorySink(Sink):
+    """Buffers events in memory (tests, programmatic aggregation)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        with self._lock:
+            self.events.append(dict(event))
+
+    def spans(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [e for e in self.events if e.get("type") == "span"]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every buffered span called ``name``."""
+        return sum(
+            float(e.get("duration") or 0.0)
+            for e in self.spans()
+            if e.get("name") == name
+        )
+
+
+def read_events(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into event dicts.
+
+    Validates strictly -- every non-blank line must be a JSON object with
+    a string ``type`` -- so ``repro report`` doubles as a trace lint.
+    """
+    events: list[dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise FormatError(
+                        f"{path}:{lineno}: not valid JSON: {exc}"
+                    ) from exc
+                if not isinstance(event, dict) or not isinstance(
+                    event.get("type"), str
+                ):
+                    raise FormatError(
+                        f"{path}:{lineno}: trace events must be JSON objects "
+                        "with a string 'type' field"
+                    )
+                events.append(event)
+    except OSError as exc:
+        raise FormatError(f"cannot read trace file {path!r}: {exc}") from exc
+    return events

@@ -36,6 +36,9 @@ import numpy as np
 from ..config import CompressionConfig
 from ..core.pipeline import CompressionStats, WaveletCompressor
 from ..exceptions import ConfigurationError
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry
+from ..obs.trace import Span, get_tracer
 
 __all__ = [
     "SlabExecutor",
@@ -57,6 +60,34 @@ def _compress_slab(
 ) -> tuple[bytes, CompressionStats]:
     """Worker-side unit of work; module-level so it pickles."""
     return WaveletCompressor(config).compress_with_stats(slab)
+
+
+def _compress_slab_traced(
+    config: CompressionConfig,
+    slab: np.ndarray,
+    index: int,
+    parent_ctx: dict | None,
+) -> tuple[bytes, CompressionStats, list[Span]]:
+    """Traced worker-side unit of work: compress one slab under a fresh
+    local tracer and ship the finished spans home with the result.
+
+    A brand-new :class:`~repro.obs.trace.Tracer` is swapped in for the
+    duration of the call so state inherited across ``fork`` -- an enabled
+    parent tracer, buffered spans, sink file descriptors shared with the
+    parent process -- can never leak into (or out of) the worker.  The
+    ``slab`` span is parented on the caller's span context, so adopted
+    spans slot under the parent's ``chunked_compress``/``compress`` tree;
+    ids embed the worker PID, so they cannot collide with parent ids.
+    """
+    tracer = _trace.Tracer()
+    tracer.enable()
+    previous = _trace.swap_tracer(tracer)
+    try:
+        with tracer.span("slab", parent=parent_ctx, index=index):
+            blob, stats = WaveletCompressor(config).compress_with_stats(slab)
+    finally:
+        _trace.swap_tracer(previous)
+    return blob, stats, tracer.drain()
 
 
 class SlabExecutor(ABC):
@@ -92,8 +123,13 @@ class SerialExecutor(SlabExecutor):
     def compress_slabs(
         self, slabs: Sequence[np.ndarray], config: CompressionConfig
     ) -> list[tuple[bytes, CompressionStats]]:
+        tracer = get_tracer()
         compressor = WaveletCompressor(config)
-        return [compressor.compress_with_stats(slab) for slab in slabs]
+        results = []
+        for index, slab in enumerate(slabs):
+            with tracer.span("slab", index=index):
+                results.append(compressor.compress_with_stats(slab))
+        return results
 
 
 class MultiprocessExecutor(SlabExecutor):
@@ -160,9 +196,34 @@ class MultiprocessExecutor(SlabExecutor):
             return SerialExecutor().compress_slabs(slabs, config)
         pool = self._ensure_pool()
         if pool is not None:
-            futures = [pool.submit(_compress_slab, config, slab) for slab in slabs]
+            tracer = get_tracer()
+            traced = tracer.enabled
+            wall_start = time.perf_counter()
+            futures = []
             try:
-                return [f.result() for f in futures]
+                if traced:
+                    ctx = tracer.context()
+                    futures = [
+                        pool.submit(_compress_slab_traced, config, slab, i, ctx)
+                        for i, slab in enumerate(slabs)
+                    ]
+                else:
+                    futures = [
+                        pool.submit(_compress_slab, config, slab) for slab in slabs
+                    ]
+                if traced:
+                    results = []
+                    worker_spans: list[list[Span]] = []
+                    for f in futures:
+                        blob, stats, spans = f.result()
+                        results.append((blob, stats))
+                        worker_spans.append(spans)
+                    # Adopt in slab order so the parent trace lists slab
+                    # spans deterministically, not in completion order.
+                    for spans in worker_spans:
+                        tracer.adopt(spans)
+                else:
+                    results = [f.result() for f in futures]
             except Exception as exc:  # BrokenProcessPool and friends
                 for f in futures:
                     f.cancel()
@@ -172,8 +233,33 @@ class MultiprocessExecutor(SlabExecutor):
                         f"process pool failed while compressing slabs: {exc}"
                     ) from exc
                 self.fallback_reason = f"pool broke mid-flight: {exc}"
+            else:
+                self._observe_pool_run(results, time.perf_counter() - wall_start)
+                return results
         # Determinism makes the serial fallback transparent: same bytes.
         return SerialExecutor().compress_slabs(slabs, config)
+
+    def _observe_pool_run(
+        self,
+        results: Sequence[tuple[bytes, CompressionStats]],
+        wall_seconds: float,
+    ) -> None:
+        """Record pool-level metrics the workers cannot (their registries
+        die with them): per-slab stats, slab durations, utilization."""
+        registry = get_registry()
+        compute = 0.0
+        for _blob, stats in results:
+            registry.observe_stats(stats)
+            seconds = stats.total_compression_seconds
+            compute += seconds
+            registry.histogram("executor.slab_seconds").observe(seconds)
+        registry.counter("executor.slabs").inc(len(results))
+        registry.counter("executor.pool_runs").inc()
+        registry.gauge("executor.workers").set(self.workers)
+        if wall_seconds > 0:
+            registry.gauge("executor.utilization").set(
+                compute / (wall_seconds * self.workers)
+            )
 
     def close(self) -> None:
         pool, self._pool = self._pool, None

@@ -1,0 +1,23 @@
+"""Fixtures for the observability tests.
+
+The tracer and metrics registry are process-global; every test here gets
+them in a clean state and leaves them disabled so no tracing leaks into
+(or out of) other test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    tracer = get_tracer()
+    registry = get_registry()
+    tracer.reset()
+    registry.reset()
+    yield
+    tracer.reset()
+    registry.reset()

@@ -1,0 +1,173 @@
+"""Unit tests for the metrics registry and the stage taxonomy."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import CompressionStats, WaveletCompressor
+from repro.obs import (
+    STAGES,
+    MetricsRegistry,
+    get_registry,
+    stage_parent,
+    top_level_seconds,
+)
+
+
+class TestStageTaxonomy:
+    def test_canonical_stages_are_top_level(self):
+        for stage in STAGES:
+            assert stage_parent(stage) is None
+
+    def test_substages_map_to_backend(self):
+        assert stage_parent("temp_write") == "backend"
+        assert stage_parent("gzip") == "backend"
+        assert stage_parent("backend.block") == "backend"
+
+    def test_dotted_names_default_to_prefix(self):
+        assert stage_parent("chunked.framing") == "chunked"
+
+    def test_substage_excluded_when_parent_present(self):
+        timings = {"backend": 2.0, "temp_write": 0.5, "gzip": 1.5}
+        assert top_level_seconds(timings) == pytest.approx(2.0)
+
+    def test_orphan_substage_still_counts(self):
+        # The old hardcoded exclusion list would silently drop this cost.
+        assert top_level_seconds({"temp_write": 0.5}) == pytest.approx(0.5)
+        assert top_level_seconds({"gzip": 1.5, "wavelet": 1.0}) == pytest.approx(2.5)
+
+    def test_full_pipeline_timings(self):
+        timings = {s: 1.0 for s in STAGES}
+        timings.update(temp_write=0.25, gzip=0.75)
+        assert top_level_seconds(timings) == pytest.approx(5.0)
+
+
+class TestMetricTypes:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        assert registry.counter("c").value == pytest.approx(3.5)
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.gauge("g").set(7.0)
+        assert registry.gauge("g").value == 7.0
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_counter_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestExport:
+    def test_snapshot_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(2)
+        registry.gauge("a.c").set(1.5)
+        snap = registry.snapshot()
+        assert snap == {"a.b": 2, "a.c": 1.5}
+
+    def test_nested_folds_dotted_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("gzip.seconds").set(1.0)
+        registry.gauge("gzip_mt.4.seconds").set(0.25)
+        nested = registry.nested()
+        assert nested["gzip"]["seconds"] == 1.0
+        assert nested["gzip_mt"]["4"]["seconds"] == 0.25
+
+    def test_nested_leaf_and_prefix_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(1)
+        registry.counter("a.b").inc(2)
+        nested = registry.nested()
+        assert nested["a"]["value"] == 1
+        assert nested["a"]["b"] == 2
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert "a" not in registry
+
+
+class TestStatsBridge:
+    def _stats(self, smooth2d) -> CompressionStats:
+        _blob, stats = WaveletCompressor().compress_with_stats(smooth2d)
+        return stats
+
+    def test_observe_stats_writes_expected_names(self, smooth2d):
+        registry = MetricsRegistry()
+        stats = self._stats(smooth2d)
+        registry.observe_stats(stats)
+        snap = registry.snapshot()
+        assert snap["pipeline.calls"] == 1
+        assert snap["pipeline.bytes_in"] == stats.original_bytes
+        assert snap["pipeline.bytes_out"] == stats.compressed_bytes
+        assert snap["pipeline.seconds"]["count"] == 1
+        for key in stats.timings:
+            assert f"pipeline.stage.{key}.seconds" in snap
+
+    def test_from_metrics_round_trip(self, smooth2d):
+        registry = MetricsRegistry()
+        stats = self._stats(smooth2d)
+        stats.to_metrics(registry)
+        view = CompressionStats.from_metrics(registry.snapshot())
+        assert view.original_bytes == stats.original_bytes
+        assert view.compressed_bytes == stats.compressed_bytes
+        assert view.n_coefficients == stats.n_coefficients
+        assert view.n_quantized == stats.n_quantized
+        assert view.timings.keys() == stats.timings.keys()
+        assert view.total_compression_seconds == pytest.approx(
+            stats.total_compression_seconds
+        )
+
+    def test_pipeline_records_to_global_registry(self, smooth2d):
+        registry = get_registry()
+        WaveletCompressor().compress_with_stats(smooth2d)
+        assert registry.counter("pipeline.calls").value == 1
+        WaveletCompressor().compress_with_stats(smooth2d)
+        assert registry.counter("pipeline.calls").value == 2
+
+    def test_stats_total_excludes_substage_refinements(self):
+        stats = CompressionStats()
+        stats.timings = {"backend": 2.0, "temp_write": 0.5, "gzip": 1.5}
+        assert stats.total_compression_seconds == pytest.approx(2.0)

@@ -1,0 +1,158 @@
+"""Unit tests for TraceReport and the tree renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import WaveletCompressor
+from repro.exceptions import FormatError
+from repro.obs import (
+    STAGES,
+    JsonlSink,
+    TraceReport,
+    get_tracer,
+    load_trace,
+    render_tree,
+)
+
+
+def _compress_trace(tmp_path, arr, config=None):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = get_tracer()
+    sink = JsonlSink(path)
+    tracer.enable(sink)
+    try:
+        WaveletCompressor(config).compress_with_stats(arr)
+    finally:
+        tracer.disable()
+        sink.close()
+    return path
+
+
+class TestFromJsonl:
+    def test_pipeline_trace_has_all_stages(self, tmp_path, smooth2d):
+        report = TraceReport.from_jsonl(_compress_trace(tmp_path, smooth2d))
+        breakdown = report.stage_breakdown()
+        assert list(breakdown)[: len(STAGES)] == list(STAGES)
+        assert all(v >= 0 for v in breakdown.values())
+
+    def test_load_trace_shorthand(self, tmp_path, smooth2d):
+        report = load_trace(_compress_trace(tmp_path, smooth2d))
+        assert report.span_count() > 0
+
+    def test_rejects_span_without_name(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a", "span_id": "1-1", "start": 0.0}\n'
+            '{"type": "span", "name": "b", "span_id": "1-2"}\n'
+        )
+        with pytest.raises(FormatError, match="'start'"):
+            TraceReport.from_jsonl(str(path))
+
+    def test_rejects_metrics_without_values(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "metrics"}\n')
+        with pytest.raises(FormatError, match="values"):
+            TraceReport.from_jsonl(str(path))
+
+    def test_unknown_event_types_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta", "format": "repro-trace", "version": 1}\n'
+                        '{"type": "future-thing", "x": 1}\n')
+        assert TraceReport.from_jsonl(str(path)).span_count() == 0
+
+
+class TestAggregation:
+    def _span(self, name, span_id, parent_id=None, start=0.0, duration=1.0, pid=1):
+        return {
+            "type": "span", "name": name, "span_id": span_id,
+            "parent_id": parent_id, "trace_id": "1-1", "start": start,
+            "end": start + duration, "duration": duration, "pid": pid,
+            "tid": 1, "attrs": {},
+        }
+
+    def test_substage_listed_after_stages(self):
+        report = TraceReport([
+            self._span("backend", "1-1", duration=2.0),
+            self._span("backend.block", "1-2", "1-1", duration=0.5),
+            self._span("wavelet", "1-3", duration=1.0),
+        ])
+        assert list(report.stage_breakdown()) == [
+            "wavelet", "backend", "backend.block",
+        ]
+
+    def test_substage_refines_not_adds(self):
+        report = TraceReport([
+            self._span("backend", "1-1", duration=2.0),
+            self._span("temp_write", "1-2", "1-1", duration=0.5),
+            self._span("gzip", "1-3", "1-1", duration=1.5),
+        ])
+        text = report.render_breakdown()
+        # total counts the backend bar once, not backend + its refinements
+        assert "total" in text
+        assert "2000.00 ms" in text
+
+    def test_processes_sorted_unique(self):
+        report = TraceReport([
+            self._span("a", "1-1", pid=30),
+            self._span("b", "1-2", pid=10),
+            self._span("c", "1-3", pid=30),
+        ])
+        assert report.processes() == [10, 30]
+
+    def test_non_stage_spans_not_in_breakdown(self):
+        report = TraceReport([self._span("compress", "1-1")])
+        assert report.stage_breakdown() == {}
+
+    def test_to_dict_shape(self):
+        report = TraceReport(
+            [self._span("wavelet", "1-1")], metrics={"pipeline.calls": 1}
+        )
+        data = report.to_dict()
+        assert data["span_count"] == 1
+        assert data["stage_breakdown"] == {"wavelet": 1.0}
+        assert data["metrics"] == {"pipeline.calls": 1}
+
+
+class TestRendering:
+    def test_render_contains_sections(self, tmp_path, smooth2d):
+        report = TraceReport.from_jsonl(_compress_trace(tmp_path, smooth2d))
+        text = report.render(tree=True)
+        assert "stage breakdown (paper Fig. 9)" in text
+        assert "span tree" in text
+        assert "compress" in text
+
+    def test_empty_trace_renders(self):
+        report = TraceReport([])
+        assert "(no stage spans in this trace)" in report.render_breakdown()
+        assert "(no spans)" in report.render_tree()
+        assert "(no metrics snapshot in this trace)" in report.render_metrics()
+
+    def test_tree_nests_children(self):
+        spans = [
+            {"type": "span", "name": "root", "span_id": "1-1", "parent_id": None,
+             "start": 0.0, "duration": 3.0, "pid": 1, "attrs": {}},
+            {"type": "span", "name": "kid", "span_id": "1-2", "parent_id": "1-1",
+             "start": 1.0, "duration": 1.0, "pid": 1, "attrs": {}},
+        ]
+        text = render_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  kid")
+
+    def test_tree_elides_long_sibling_lists(self):
+        spans = [{"type": "span", "name": "root", "span_id": "r", "parent_id": None,
+                  "start": 0.0, "duration": 1.0, "pid": 1, "attrs": {}}]
+        spans += [
+            {"type": "span", "name": f"c{i}", "span_id": f"c-{i}", "parent_id": "r",
+             "start": float(i), "duration": 0.1, "pid": 1, "attrs": {}}
+            for i in range(20)
+        ]
+        text = render_tree(spans, max_children=5)
+        assert "... 15 more" in text
+
+    def test_orphan_parent_becomes_root(self):
+        spans = [{"type": "span", "name": "lost", "span_id": "1-2",
+                  "parent_id": "gone", "start": 0.0, "duration": 1.0,
+                  "pid": 1, "attrs": {}}]
+        assert render_tree(spans).startswith("lost")

@@ -118,6 +118,19 @@ class TestWorkers:
         assert info["rows"] == smooth2d.shape[0]
         assert tuple(info["chunk_header"]["shape"])[1:] == smooth2d.shape[1:]
 
+    def test_inspect_chunked_reports_size_stats(self, tmp_path, npy, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        main(["compress", npy, rpz, "--workers", "2", "--chunk-rows", "16"])
+        capsys.readouterr()
+        assert main(["inspect", rpz]) == 0
+        info = json.loads(capsys.readouterr().out)
+        stats = info["chunk_bytes_stats"]
+        sizes = info["chunk_bytes"]
+        assert stats["min"] == min(sizes)
+        assert stats["max"] == max(sizes)
+        assert stats["total"] == sum(sizes)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
     def test_bad_worker_count(self, tmp_path, npy, capsys):
         assert main(["compress", npy, str(tmp_path / "f.rpz"), "--workers", "0"]) == 1
         assert "error:" in capsys.readouterr().err
@@ -146,6 +159,104 @@ class TestTune:
     def test_unreachable_is_an_error(self, npy, capsys):
         assert main(["tune", npy, "--tolerance", "1e-18"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointCommand:
+    def test_checkpoint_writes_complete_checkpoint(self, tmp_path, npy, capsys):
+        ckdir = str(tmp_path / "ck")
+        assert main(["checkpoint", npy, ckdir, "--step", "5"]) == 0
+        assert "step 5" in capsys.readouterr().out
+        assert main(["verify", ckdir]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_checkpoint_with_workers(self, tmp_path, npy, capsys):
+        ckdir = str(tmp_path / "ck")
+        assert main([
+            "checkpoint", npy, ckdir, "--step", "0",
+            "--workers", "2", "--chunk-rows", "16",
+        ]) == 0
+        assert main(["verify", ckdir]) == 0
+
+    def test_duplicate_step_is_an_error(self, tmp_path, npy, capsys):
+        ckdir = str(tmp_path / "ck")
+        assert main(["checkpoint", npy, ckdir, "--step", "1"]) == 0
+        assert main(["checkpoint", npy, ckdir, "--step", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceAndReport:
+    def test_compress_trace_then_report(self, tmp_path, npy, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["compress", npy, rpz, "--trace", trace]) == 0
+        err = capsys.readouterr().err
+        assert "trace written" in err
+        assert main(["report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown (paper Fig. 9)" in out
+        for stage in ("wavelet", "quantization", "encoding", "formatting", "backend"):
+            assert stage in out
+        assert "pipeline.bytes_in" in out  # metrics snapshot made it in
+
+    def test_workers_trace_includes_worker_spans(self, tmp_path, npy, capsys):
+        from repro.obs import TraceReport
+
+        rpz = str(tmp_path / "f.rpz")
+        trace = str(tmp_path / "t.jsonl")
+        assert main([
+            "compress", npy, rpz, "--workers", "2", "--chunk-rows", "16",
+            "--trace", trace,
+        ]) == 0
+        capsys.readouterr()
+        report = TraceReport.from_jsonl(trace)
+        names = {s["name"] for s in report.spans}
+        assert {"chunked_compress", "slab", "compress"} <= names
+        breakdown = report.stage_breakdown()
+        assert set(breakdown) >= {"wavelet", "quantization", "encoding",
+                                  "formatting", "backend"}
+
+    def test_decompress_trace(self, tmp_path, npy, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        out_npy = str(tmp_path / "o.npy")
+        trace = str(tmp_path / "t.jsonl")
+        main(["compress", npy, rpz])
+        capsys.readouterr()
+        assert main(["decompress", rpz, out_npy, "--trace", trace]) == 0
+        assert main(["report", trace]) == 0
+        assert "decompress" in capsys.readouterr().out
+
+    def test_checkpoint_trace(self, tmp_path, npy, capsys):
+        ckdir = str(tmp_path / "ck")
+        trace = str(tmp_path / "t.jsonl")
+        assert main([
+            "checkpoint", npy, ckdir, "--step", "0", "--trace", trace,
+        ]) == 0
+        assert main(["report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out
+
+    def test_report_tree_and_json(self, tmp_path, npy, capsys):
+        rpz = str(tmp_path / "f.rpz")
+        trace = str(tmp_path / "t.jsonl")
+        main(["compress", npy, rpz, "--trace", trace])
+        capsys.readouterr()
+        assert main(["report", trace, "--tree"]) == 0
+        assert "span tree" in capsys.readouterr().out
+        assert main(["report", trace, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["span_count"] > 0
+        assert "stage_breakdown" in data
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_disabled_leaves_no_file(self, tmp_path, npy):
+        rpz = str(tmp_path / "f.rpz")
+        assert main(["compress", npy, rpz]) == 0
+        assert not list(tmp_path.glob("*.jsonl"))
 
 
 class TestErrorHandling:
