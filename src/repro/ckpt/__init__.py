@@ -10,12 +10,37 @@ from .interval import (
     optimal_interval_with_compression,
     young_interval,
 )
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjectingStore,
+    FaultPlan,
+)
 from .incremental import DeltaRecord, IncrementalArrayStore
-from .manager import CheckpointManager, deserialize_array, serialize_array_lossless
-from .manifest import ArrayEntry, CheckpointManifest, array_key, manifest_key
+from .manager import (
+    CheckpointManager,
+    RepairEvent,
+    deserialize_array,
+    serialize_array_lossless,
+)
+from .manifest import (
+    ArrayEntry,
+    CheckpointManifest,
+    ParityEntry,
+    array_key,
+    manifest_key,
+    parity_key,
+)
 from .multilevel import CheckpointLevel, MultiLevelCheckpointManager
 from .protocol import ArrayRegistry, Checkpointable, registry_from_checkpointable
-from .redundancy import ParityGroup, encode_parity_group, reconstruct_member
+from .redundancy import (
+    ParityGroup,
+    encode_parity,
+    encode_parity_group,
+    rebuild_member,
+    reconstruct_member,
+)
+from .resilience import ResilientStore, RetryPolicy
 from .store import CountingStore, DirectoryStore, MemoryStore, Store, ThrottledStore
 
 __all__ = [
@@ -24,19 +49,30 @@ __all__ = [
     "registry_from_checkpointable",
     "ArrayEntry",
     "CheckpointManifest",
+    "ParityEntry",
     "array_key",
     "manifest_key",
+    "parity_key",
     "Store",
     "MemoryStore",
     "DirectoryStore",
     "CountingStore",
     "ThrottledStore",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjectingStore",
+    "FAULT_KINDS",
+    "ResilientStore",
+    "RetryPolicy",
     "CheckpointManager",
+    "RepairEvent",
     "IncrementalArrayStore",
     "DeltaRecord",
     "ParityGroup",
     "encode_parity_group",
     "reconstruct_member",
+    "encode_parity",
+    "rebuild_member",
     "serialize_array_lossless",
     "deserialize_array",
     "CheckpointLevel",

@@ -1,0 +1,310 @@
+"""Deterministic fault injection for checkpoint stores.
+
+The storage layer's resilience claims are only as good as the faults they
+were tested against, so this module makes faults first-class: a
+:class:`FaultPlan` decides -- deterministically, from a seed -- which store
+operations fail and how, and :class:`FaultInjectingStore` wraps any
+:class:`~repro.ckpt.store.Store` to act those failures out.  The taxonomy
+covers the four ways a checkpoint write or read goes wrong in practice:
+
+``transient``
+    The operation raises :class:`~repro.exceptions.TransientStorageError`
+    and leaves the store untouched; a retry succeeds.  Models NFS hiccups,
+    EINTR, brief network partitions.
+``torn``
+    A ``put`` persists only a prefix of the payload.  Models a writer that
+    died mid-write on a medium without atomic rename.
+``bitflip``
+    On ``put``, the payload lands with one bit flipped (corruption at
+    rest); on ``get``, the returned copy has one bit flipped while the
+    store stays intact (a transient misread a CRC-aware re-read heals).
+``missing``
+    A ``put`` is silently dropped (the blob never lands); a ``get``
+    spuriously reports the key absent once.
+
+Plans compose with the :mod:`repro.failure` machinery: build one from a
+:class:`~repro.failure.distributions.FailureDistribution` and the same
+MTBF model that drives the run simulator also drives which store ops die.
+All randomness flows through one seeded :class:`numpy.random.Generator`
+with a fixed draw discipline, so a given seed and operation sequence
+always produce the same faults -- the property the CI determinism job
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, StorageError, TransientStorageError
+from ..failure.distributions import FailureDistribution
+from ..obs.metrics import get_registry
+from .store import Store
+
+__all__ = [
+    "FAULT_TRANSIENT",
+    "FAULT_TORN",
+    "FAULT_BITFLIP",
+    "FAULT_MISSING",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjectingStore",
+]
+
+FAULT_TRANSIENT = "transient"
+FAULT_TORN = "torn"
+FAULT_BITFLIP = "bitflip"
+FAULT_MISSING = "missing"
+
+#: Canonical order; also the per-operation draw order of :class:`FaultPlan`.
+FAULT_KINDS = (FAULT_TRANSIENT, FAULT_TORN, FAULT_BITFLIP, FAULT_MISSING)
+
+#: Which store operations each fault kind can hit.
+_ELIGIBLE: dict[str, tuple[str, ...]] = {
+    FAULT_TRANSIENT: ("put", "get"),
+    FAULT_TORN: ("put",),
+    FAULT_BITFLIP: ("put", "get"),
+    FAULT_MISSING: ("put", "get"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded for assertions and repair-event logs."""
+
+    index: int  # global operation index (puts and gets share one counter)
+    op: str  # "put" | "get"
+    key: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "op": self.op,
+            "key": self.key,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
+
+class FaultPlan:
+    """Seed-driven schedule deciding which store operations fail, and how.
+
+    Two construction modes:
+
+    * **Rate mode** (``rates={kind: probability}``): every eligible
+      operation draws one uniform variate per kind, in :data:`FAULT_KINDS`
+      order, first hit wins.  The fixed draw discipline keeps the RNG
+      stream aligned with the operation sequence, so identical seeds give
+      identical fault placements.
+    * **Schedule mode** (``schedule=[(op_index, kind), ...]``): explicit
+      deterministic placements by global operation index; what
+      :meth:`from_distribution` builds from a failure-time distribution.
+
+    The two modes are mutually exclusive.  ``max_faults`` bounds the total
+    number of injections in either mode (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        rates: Mapping[str, float] | None = None,
+        schedule: Iterable[tuple[int, str]] | None = None,
+        max_faults: int | None = None,
+    ) -> None:
+        if rates is not None and schedule is not None:
+            raise ConfigurationError(
+                "FaultPlan takes either rates or an explicit schedule, not both"
+            )
+        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._rates: dict[str, float] = {}
+        for kind, p in dict(rates or {}).items():
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+            if not 0.0 <= float(p) <= 1.0:
+                raise ConfigurationError(
+                    f"fault rate for {kind!r} must be in [0, 1], got {p}"
+                )
+            self._rates[kind] = float(p)
+        self._schedule: dict[int, str] = {}
+        for op_index, kind in schedule or ():
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+            self._schedule[int(op_index)] = kind
+        if max_faults is not None and max_faults < 0:
+            raise ConfigurationError(f"max_faults must be >= 0, got {max_faults}")
+        self.max_faults = max_faults
+        self._injected = 0
+        self._op_index = -1  # advanced before each decision
+
+    @classmethod
+    def from_distribution(
+        cls,
+        dist: FailureDistribution,
+        *,
+        horizon_ops: int,
+        op_cost_sec: float = 1.0,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        seed: int = 0,
+        max_faults: int | None = None,
+    ) -> "FaultPlan":
+        """Convert a failure-time distribution into a per-operation schedule.
+
+        Each store operation advances a simulated clock by ``op_cost_sec``;
+        a failure at time ``t`` hits operation ``floor(t / op_cost_sec)``.
+        The fault kind at each hit is drawn uniformly from ``kinds``.  This
+        is the composition hook with :mod:`repro.failure`: the same MTBF
+        model that schedules node deaths in the run simulator schedules
+        storage faults here.
+        """
+        if horizon_ops < 0:
+            raise ConfigurationError(f"horizon_ops must be >= 0, got {horizon_ops}")
+        if op_cost_sec <= 0:
+            raise ConfigurationError(f"op_cost_sec must be > 0, got {op_cost_sec}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+        rng = np.random.default_rng(seed)
+        times = dist.failure_times(horizon_ops * op_cost_sec, rng)
+        schedule = [
+            (int(t // op_cost_sec), str(rng.choice(kinds))) for t in times
+        ]
+        return cls(seed=seed, schedule=schedule, max_faults=max_faults)
+
+    # -- decision ----------------------------------------------------------
+
+    def draw(self, op: str) -> str | None:
+        """The fault kind for the next operation of type ``op``, or None.
+
+        Advances the global operation counter; rate mode consumes exactly
+        one uniform variate per fault kind regardless of the outcome, so
+        the stream stays aligned with the op sequence.
+        """
+        self._op_index += 1
+        if self.max_faults is not None and self._injected >= self.max_faults:
+            return None
+        hit: str | None = self._schedule.get(self._op_index)
+        if hit is not None and op not in _ELIGIBLE[hit]:
+            hit = None
+        if self._rates:
+            draws = {kind: float(self._rng.random()) for kind in FAULT_KINDS}
+            for kind in FAULT_KINDS:
+                rate = self._rates.get(kind, 0.0)
+                if rate and op in _ELIGIBLE[kind] and draws[kind] < rate:
+                    hit = kind
+                    break
+        if hit is not None:
+            self._injected += 1
+        return hit
+
+    def position(self, n: int) -> int:
+        """A deterministic position in ``[0, n)`` (bit/cut placement)."""
+        if n <= 0:
+            return 0
+        return int(self._rng.integers(0, n))
+
+    @property
+    def op_index(self) -> int:
+        """Index of the last decided operation (-1 before any)."""
+        return self._op_index
+
+    @property
+    def injected(self) -> int:
+        return self._injected
+
+
+class FaultInjectingStore(Store):
+    """Store wrapper that acts out a :class:`FaultPlan` on ``put``/``get``.
+
+    Metadata operations (``exists``/``delete``/``list_keys``) pass through
+    untouched -- the interesting failure surface is the data path.  Every
+    injection is appended to :attr:`events` and counted in the global
+    metrics registry under ``store.faults.<kind>``.
+    """
+
+    def __init__(self, inner: Store, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.events: list[FaultEvent] = []
+
+    def _record(self, op: str, key: str, kind: str, **detail: Any) -> None:
+        self.events.append(
+            FaultEvent(
+                index=self.plan.op_index, op=op, key=key, kind=kind, detail=detail
+            )
+        )
+        get_registry().counter(f"store.faults.{kind}").inc()
+
+    @staticmethod
+    def _flip_bit(data: bytes, bit: int) -> bytes:
+        buf = bytearray(data)
+        buf[bit // 8] ^= 1 << (bit % 8)
+        return bytes(buf)
+
+    def put(self, key: str, data: bytes) -> None:
+        kind = self.plan.draw("put")
+        if kind is None:
+            self.inner.put(key, data)
+            return
+        if kind == FAULT_TRANSIENT:
+            self._record("put", key, kind)
+            raise TransientStorageError(
+                f"injected transient I/O error writing {key!r}"
+            )
+        if kind == FAULT_TORN and len(data) > 0:
+            cut = self.plan.position(len(data))
+            self._record("put", key, kind, cut=cut, size=len(data))
+            self.inner.put(key, data[:cut])
+            return
+        if kind == FAULT_BITFLIP and len(data) > 0:
+            bit = self.plan.position(len(data) * 8)
+            self._record("put", key, kind, bit=bit)
+            self.inner.put(key, self._flip_bit(data, bit))
+            return
+        if kind == FAULT_MISSING:
+            self._record("put", key, kind)
+            return  # dropped write: the blob never lands
+        # empty payloads cannot be torn or bit-flipped; write them intact
+        self.inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        kind = self.plan.draw("get")
+        if kind is None:
+            return self.inner.get(key)
+        if kind == FAULT_TRANSIENT:
+            self._record("get", key, kind)
+            raise TransientStorageError(
+                f"injected transient I/O error reading {key!r}"
+            )
+        if kind == FAULT_MISSING:
+            self._record("get", key, kind)
+            raise StorageError(
+                f"no object stored under key {key!r} (injected spurious miss)"
+            )
+        data = self.inner.get(key)
+        if kind == FAULT_BITFLIP and len(data) > 0:
+            bit = self.plan.position(len(data) * 8)
+            self._record("get", key, kind, bit=bit)
+            return self._flip_bit(data, bit)
+        return data
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)

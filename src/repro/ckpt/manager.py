@@ -8,23 +8,37 @@ The write protocol is crash-consistent: array blobs go in first and the
 manifest last, so a checkpoint is visible if and only if it is complete.
 Every restore verifies blob sizes and CRC32s against the manifest before
 any data reaches the application.
+
+With a :class:`~repro.config.ResilienceConfig` the storage path is also
+*self-healing*: transient I/O errors are retried with backoff (the store
+is wrapped in a :class:`~repro.ckpt.resilience.ResilientStore`), and with
+``parity=True`` every checkpoint additionally writes one XOR-parity blob
+per array group so a restore or ``verify(repair=True)`` transparently
+reconstructs any single corrupt-or-missing blob -- CRC mismatch -> parity
+repair -> re-verify -> rewrite the healed blob -- falling back to
+:class:`~repro.exceptions.CorruptionError` only when repair is impossible.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from typing import Any, Mapping
 
 import numpy as np
 
-from ..config import CompressionConfig
+from ..config import CompressionConfig, ResilienceConfig
 from ..core import container
 from ..core.chunked import CHUNK_MAGIC, chunked_compress, chunked_decompress
 from ..core.pipeline import WaveletCompressor
 from ..exceptions import (
     CheckpointError,
     CheckpointNotFoundError,
+    CorruptionError,
     FormatError,
+    IntegrityError,
     RestoreError,
+    StorageError,
 )
 from ..lossless import get_codec
 from ..obs.metrics import get_registry
@@ -33,17 +47,48 @@ from .manifest import (
     MANIFEST_FILENAME,
     ArrayEntry,
     CheckpointManifest,
+    ParityEntry,
     array_key,
     manifest_key,
+    parity_key,
     validate_app_meta,
 )
 from .protocol import ArrayRegistry
+from .redundancy import encode_parity, rebuild_member
+from .resilience import ResilientStore, RetryPolicy
 from .store import Store
 
-__all__ = ["CheckpointManager", "serialize_array_lossless", "deserialize_array"]
+__all__ = [
+    "CheckpointManager",
+    "RepairEvent",
+    "serialize_array_lossless",
+    "deserialize_array",
+]
 
 _LOSSLESS_KIND = "lossless-array"
 _FLOAT_DTYPES = (np.float32, np.float64)
+
+
+@dataclass(frozen=True)
+class RepairEvent:
+    """One successful parity reconstruction, recorded in
+    :attr:`CheckpointManager.repair_log` (and the fault-injection CI
+    artifact)."""
+
+    step: int
+    kind: str  # "member" (an array blob) or "parity" (a parity blob)
+    name: str  # array name, or the parity blob's store key
+    reason: str  # what was wrong before the repair
+    rewritten: bool  # healed bytes were written back to the store
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "step": self.step,
+            "kind": self.kind,
+            "name": self.name,
+            "reason": self.reason,
+            "rewritten": self.rewritten,
+        }
 
 
 def serialize_array_lossless(
@@ -141,6 +186,14 @@ class CheckpointManager:
     backend_block_bytes:
         When set, overrides ``config.backend_block_bytes`` (the threaded
         backends' block size; changes the emitted bytes for them).
+    resilience:
+        Fault-tolerance knobs (see :class:`~repro.config.ResilienceConfig`).
+        ``retries > 0`` wraps the store in a
+        :class:`~repro.ckpt.resilience.ResilientStore` (bounded retry with
+        deterministic backoff + CRC-aware re-read); ``parity=True`` writes
+        one XOR-parity blob per array group and enables transparent
+        single-blob reconstruction on restore/verify.  ``None`` keeps the
+        historic fail-fast behaviour.
     """
 
     def __init__(
@@ -156,9 +209,23 @@ class CheckpointManager:
         chunk_rows: int = 256,
         backend_threads: int | None = None,
         backend_block_bytes: int | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.registry = registry
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        if self.resilience.retries > 0 and not isinstance(store, ResilientStore):
+            store = ResilientStore(
+                store,
+                RetryPolicy(
+                    max_attempts=self.resilience.retries + 1,
+                    base_delay=self.resilience.retry_base_delay,
+                    max_delay=self.resilience.retry_max_delay,
+                    jitter=self.resilience.retry_jitter,
+                    seed=self.resilience.retry_seed,
+                ),
+            )
         self.store = store
+        self.repair_log: list[RepairEvent] = []
         self.config = config if config is not None else CompressionConfig()
         overrides: dict[str, Any] = {}
         if backend_threads is not None:
@@ -239,6 +306,7 @@ class CheckpointManager:
         meta = validate_app_meta(app_meta)
         tracer = get_tracer()
         entries: list[ArrayEntry] = []
+        blob_by_name: dict[str, bytes] = {}
         with tracer.span("checkpoint", step=step) as root:
             for name in self.registry.names():
                 arr = np.asarray(self.registry.get(name))
@@ -273,6 +341,7 @@ class CheckpointManager:
                         params = {}
                     self.store.put(array_key(step, name), blob)
                     sp_arr.set(codec=codec, stored_bytes=len(blob))
+                blob_by_name[name] = blob
                 entries.append(
                     ArrayEntry(
                         name=name,
@@ -285,8 +354,10 @@ class CheckpointManager:
                         crc32=ArrayEntry.checksum(blob),
                     )
                 )
+            parity_entries = self._write_parity(step, entries, blob_by_name)
             manifest = CheckpointManifest(
-                step=step, entries=tuple(entries), app_meta=meta
+                step=step, entries=tuple(entries), app_meta=meta,
+                parity=parity_entries,
             )
             with tracer.span("ckpt.manifest_write"):
                 self.store.put(manifest_key(step), manifest.to_json())
@@ -310,6 +381,47 @@ class CheckpointManager:
         steps = self.steps()
         for step in steps[: max(0, len(steps) - self.retention)]:
             self.delete(step)
+
+    # -- parity ----------------------------------------------------------------
+
+    def _write_parity(
+        self,
+        step: int,
+        entries: list[ArrayEntry],
+        blob_by_name: Mapping[str, bytes],
+    ) -> tuple[ParityEntry, ...]:
+        """Encode and store one XOR-parity blob per array group."""
+        if not self.resilience.parity or not entries:
+            return ()
+        group_size = self.resilience.parity_group_size or len(entries)
+        parity_entries: list[ParityEntry] = []
+        registry = get_registry()
+        with get_tracer().span("ckpt.parity_write", step=step) as sp:
+            for g, start in enumerate(range(0, len(entries), group_size)):
+                members = tuple(
+                    e.name for e in entries[start : start + group_size]
+                )
+                blob = encode_parity([blob_by_name[n] for n in members])
+                key = parity_key(step, g)
+                self.store.put(key, blob)
+                parity_entries.append(
+                    ParityEntry(
+                        key=key,
+                        members=members,
+                        block_len=len(blob),
+                        stored_bytes=len(blob),
+                        crc32=ArrayEntry.checksum(blob),
+                    )
+                )
+            sp.set(
+                n_groups=len(parity_entries),
+                parity_bytes=sum(p.stored_bytes for p in parity_entries),
+            )
+        registry.counter("ckpt.parity.blobs").inc(len(parity_entries))
+        registry.counter("ckpt.parity.bytes").inc(
+            sum(p.stored_bytes for p in parity_entries)
+        )
+        return tuple(parity_entries)
 
     # -- enumerate -------------------------------------------------------------
 
@@ -337,18 +449,175 @@ class CheckpointManager:
 
     # -- read ------------------------------------------------------------------
 
-    def load_arrays(self, step: int) -> dict[str, np.ndarray]:
-        """Decode every array of checkpoint ``step`` after verifying CRCs."""
+    def _fetch_entry_blob(self, step: int, entry: ArrayEntry) -> bytes:
+        """Read and CRC-verify one array blob.
+
+        A :class:`~repro.ckpt.resilience.ResilientStore` gets the verified
+        read (CRC mismatch triggers a backoff re-read before it counts as
+        corruption at rest); any other store reads once and verifies.
+        """
+        key = array_key(step, entry.name)
+        if isinstance(self.store, ResilientStore):
+            blob = self.store.get_verified(key, entry.crc32, entry.stored_bytes)
+        else:
+            blob = self.store.get(key)
+        entry.verify(blob)
+        return blob
+
+    @staticmethod
+    def _corruption(
+        step: int, name: str, exc: Exception, *, repairable: bool = False
+    ) -> CorruptionError:
+        """A pointed unrecoverable-damage error for one array blob.
+
+        ``repairable`` distinguishes "the manifest has parity but repair
+        was not requested" (point the user at it) from "nothing can heal
+        this".
+        """
+        hint = (
+            "parity repair was not attempted (pass --repair / repair=True)"
+            if repairable
+            else "no parity repair is available"
+        )
+        if isinstance(exc, StorageError):
+            return CorruptionError(
+                f"checkpoint {step} is missing blob for array {name!r} and "
+                f"{hint}: {exc}"
+            )
+        return CorruptionError(
+            f"array {name!r} of checkpoint {step} is corrupt and "
+            f"{hint}: {exc}"
+        )
+
+    def _collect_verified_blobs(
+        self, step: int, manifest: CheckpointManifest, *, repair: bool
+    ) -> dict[str, bytes]:
+        """Verified blob per array, parity-healing the fixable failures.
+
+        The detect-retry-repair ladder: every blob is read (retried and
+        CRC-re-read by a resilient store), failures are collected rather
+        than aborting the loop, and -- when ``repair`` is on and the
+        manifest carries parity -- each parity group reconstructs its
+        single bad member, re-verifies the healed bytes against the
+        manifest and rewrites them.  Anything beyond that raises
+        :class:`~repro.exceptions.CorruptionError`.
+        """
+        blobs: dict[str, bytes] = {}
+        bad: dict[str, Exception] = {}
+        for entry in manifest.entries:
+            try:
+                blobs[entry.name] = self._fetch_entry_blob(step, entry)
+            except (StorageError, FormatError, IntegrityError) as exc:
+                bad[entry.name] = exc
+        if not bad:
+            return blobs
+        if not repair or not manifest.parity:
+            name = sorted(bad)[0]
+            raise self._corruption(
+                step, name, bad[name], repairable=bool(manifest.parity)
+            )
+        self._repair_members(step, manifest, blobs, bad)
+        return blobs
+
+    def _repair_members(
+        self,
+        step: int,
+        manifest: CheckpointManifest,
+        blobs: dict[str, bytes],
+        bad: dict[str, Exception],
+    ) -> None:
+        """Heal every failed array blob in ``bad`` through its parity group
+        (mutates ``blobs``); raises when any failure is unrepairable."""
+        registry = get_registry()
+        tracer = get_tracer()
+        unassigned = set(bad)
+        for pe in manifest.parity:
+            lost = [n for n in pe.members if n in bad]
+            unassigned -= set(lost)
+            if not lost:
+                continue
+            if len(lost) > 1:
+                detail = "; ".join(f"{n}: {bad[n]}" for n in sorted(lost))
+                raise CorruptionError(
+                    f"checkpoint {step}: parity group {pe.key!r} can repair "
+                    f"one member, but {sorted(lost)} are all corrupt or "
+                    f"missing ({detail})"
+                )
+            name = lost[0]
+            try:
+                pblob = self.store.get(pe.key)
+                pe.verify(pblob)
+            except (StorageError, FormatError) as exc:
+                raise CorruptionError(
+                    f"checkpoint {step}: cannot repair array {name!r}: parity "
+                    f"blob {pe.key!r} is itself corrupt or missing ({exc}); "
+                    f"original fault: {bad[name]}"
+                ) from bad[name]
+            lost_index = pe.members.index(name)
+            survivors = {
+                i: blobs[n] for i, n in enumerate(pe.members) if i != lost_index
+            }
+            entry = manifest.entry(name)
+            with tracer.span(
+                "ckpt.repair", step=step, array=name, parity=pe.key
+            ) as sp:
+                try:
+                    healed = rebuild_member(
+                        pblob, survivors, len(pe.members), lost_index
+                    )
+                    entry.verify(healed)
+                except (RestoreError, FormatError) as exc:
+                    raise CorruptionError(
+                        f"checkpoint {step}: parity reconstruction of array "
+                        f"{name!r} did not produce the recorded bytes ({exc}); "
+                        f"original fault: {bad[name]}"
+                    ) from exc
+                rewritten = False
+                if self.resilience.repair_rewrite:
+                    try:
+                        self.store.put(array_key(step, name), healed)
+                        rewritten = True
+                    except StorageError:
+                        pass  # the restore still succeeds from the healed copy
+                sp.set(reason=str(bad[name]), rewritten=rewritten)
+            blobs[name] = healed
+            self.repair_log.append(
+                RepairEvent(
+                    step=step,
+                    kind="member",
+                    name=name,
+                    reason=str(bad[name]),
+                    rewritten=rewritten,
+                )
+            )
+            registry.counter("ckpt.repair.healed").inc()
+            if rewritten:
+                registry.counter("ckpt.repair.rewrites").inc()
+        if unassigned:
+            name = sorted(unassigned)[0]
+            raise self._corruption(step, name, bad[name])
+
+    def load_arrays(
+        self, step: int, *, repair: bool | None = None
+    ) -> dict[str, np.ndarray]:
+        """Decode every array of checkpoint ``step`` after verifying CRCs.
+
+        ``repair`` controls parity reconstruction of corrupt-or-missing
+        blobs; the default (``None``) enables it exactly when the manifest
+        carries parity groups, so parity-enabled checkpoints heal
+        transparently and plain ones keep failing fast.
+        """
         tracer = get_tracer()
         manifest = self.read_manifest(step)
+        if repair is None:
+            repair = bool(manifest.parity)
+        blobs = self._collect_verified_blobs(step, manifest, repair=repair)
         arrays: dict[str, np.ndarray] = {}
         for entry in manifest.entries:
             with tracer.span(
                 "ckpt.array_load", array=entry.name, codec=entry.codec
             ):
-                blob = self.store.get(array_key(step, entry.name))
-                entry.verify(blob)
-                arr = deserialize_array(blob)
+                arr = deserialize_array(blobs[entry.name])
             if tuple(arr.shape) != entry.shape:
                 raise RestoreError(
                     f"array {entry.name!r} decoded to shape {arr.shape}, "
@@ -357,26 +626,68 @@ class CheckpointManager:
             arrays[entry.name] = arr
         return arrays
 
-    def restore(self, step: int | None = None) -> CheckpointManifest:
+    def restore(
+        self, step: int | None = None, *, repair: bool | None = None
+    ) -> CheckpointManifest:
         """Load checkpoint ``step`` (default: latest) into the registry."""
         if step is None:
             step = self.latest_step()
             if step is None:
                 raise CheckpointNotFoundError("store holds no checkpoints")
         with get_tracer().span("restore", step=step):
-            arrays = self.load_arrays(step)
+            arrays = self.load_arrays(step, repair=repair)
             self.registry.restore(arrays)
         get_registry().counter("ckpt.restores").inc()
         return self.read_manifest(step)
 
-    def verify(self, step: int) -> CheckpointManifest:
-        """CRC-verify every blob of ``step`` without touching the registry."""
+    def verify(self, step: int, *, repair: bool = False) -> CheckpointManifest:
+        """CRC-verify every blob of ``step`` without touching the registry.
+
+        With ``repair=True``, any single corrupt-or-missing member per
+        parity group is reconstructed, re-verified and rewritten to the
+        store, and a damaged parity blob is re-encoded from its (verified)
+        members; only unrepairable damage raises
+        :class:`~repro.exceptions.CorruptionError`.  Healed blobs are
+        recorded in :attr:`repair_log`.
+        """
         manifest = self.read_manifest(step)
-        for entry in manifest.entries:
-            key = array_key(step, entry.name)
-            if not self.store.exists(key):
-                raise FormatError(f"checkpoint {step} is missing blob {key!r}")
-            entry.verify(self.store.get(key))
+        blobs = self._collect_verified_blobs(step, manifest, repair=repair)
+        registry = get_registry()
+        for pe in manifest.parity:
+            try:
+                pblob = self.store.get(pe.key)
+                pe.verify(pblob)
+                continue
+            except (StorageError, FormatError) as exc:
+                if not repair:
+                    raise CorruptionError(
+                        f"checkpoint {step}: parity blob {pe.key!r} is "
+                        f"corrupt or missing: {exc}"
+                    ) from exc
+                reason = str(exc)
+            with get_tracer().span(
+                "ckpt.repair", step=step, parity=pe.key, kind="parity"
+            ):
+                fresh = encode_parity([blobs[n] for n in pe.members])
+                try:
+                    pe.verify(fresh)
+                except FormatError as exc:
+                    raise CorruptionError(
+                        f"checkpoint {step}: re-encoded parity for "
+                        f"{pe.key!r} does not match the manifest record "
+                        f"({exc}); the manifest itself is inconsistent"
+                    ) from exc
+                self.store.put(pe.key, fresh)
+            self.repair_log.append(
+                RepairEvent(
+                    step=step,
+                    kind="parity",
+                    name=pe.key,
+                    reason=reason,
+                    rewritten=True,
+                )
+            )
+            registry.counter("ckpt.repair.parity_rebuilt").inc()
         return manifest
 
     def delete(self, step: int) -> None:

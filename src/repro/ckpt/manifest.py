@@ -15,7 +15,15 @@ from typing import Any, Mapping
 
 from ..exceptions import FormatError
 
-__all__ = ["ArrayEntry", "CheckpointManifest", "manifest_key", "array_key", "MANIFEST_FILENAME"]
+__all__ = [
+    "ArrayEntry",
+    "ParityEntry",
+    "CheckpointManifest",
+    "manifest_key",
+    "array_key",
+    "parity_key",
+    "MANIFEST_FILENAME",
+]
 
 MANIFEST_FILENAME = "manifest.json"
 _STEP_WIDTH = 10  # zero-padded so lexicographic key order == numeric order
@@ -29,6 +37,11 @@ def manifest_key(step: int) -> str:
 def array_key(step: int, name: str) -> str:
     """Store key of one array blob inside checkpoint ``step``."""
     return f"ckpt/{int(step):0{_STEP_WIDTH}d}/{name}.bin"
+
+
+def parity_key(step: int, group: int) -> str:
+    """Store key of one parity blob inside checkpoint ``step``."""
+    return f"ckpt/{int(step):0{_STEP_WIDTH}d}/parity-{int(group):04d}.bin"
 
 
 @dataclass(frozen=True)
@@ -71,6 +84,39 @@ class ArrayEntry:
 
 
 @dataclass(frozen=True)
+class ParityEntry:
+    """Metadata of one XOR-parity blob covering a group of array blobs.
+
+    ``members`` are array names in manifest order; any single
+    corrupt-or-missing member blob is reconstructible from the parity blob
+    plus the surviving members (see :mod:`repro.ckpt.redundancy`).  The
+    parity blob carries its own CRC so a damaged parity block is detected
+    rather than trusted during repair.
+    """
+
+    key: str
+    members: tuple[str, ...]
+    block_len: int
+    stored_bytes: int = 0
+    crc32: int = 0
+
+    def verify(self, payload: bytes) -> None:
+        """Raise :class:`FormatError` unless ``payload`` is the recorded
+        parity blob."""
+        if len(payload) != self.stored_bytes:
+            raise FormatError(
+                f"parity blob {self.key!r} is {len(payload)} bytes, "
+                f"manifest records {self.stored_bytes}"
+            )
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if crc != self.crc32:
+            raise FormatError(
+                f"parity blob {self.key!r}: CRC {crc:#010x} does not match "
+                f"manifest {self.crc32:#010x}; parity block is corrupt"
+            )
+
+
+@dataclass(frozen=True)
 class CheckpointManifest:
     """The metadata record of one complete checkpoint."""
 
@@ -78,6 +124,7 @@ class CheckpointManifest:
     entries: tuple[ArrayEntry, ...]
     app_meta: dict[str, Any] = field(default_factory=dict)
     format_version: int = 1
+    parity: tuple[ParityEntry, ...] = ()
 
     @property
     def total_raw_bytes(self) -> int:
@@ -115,6 +162,12 @@ class CheckpointManifest:
                 {**asdict(e), "shape": list(e.shape)} for e in self.entries
             ],
         }
+        # Emitted only when parity groups exist, so parity-free manifests
+        # stay byte-identical to format_version 1 output.
+        if self.parity:
+            doc["parity"] = [
+                {**asdict(p), "members": list(p.members)} for p in self.parity
+            ]
         return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
 
     @classmethod
@@ -137,11 +190,22 @@ class CheckpointManifest:
                 )
                 for e in doc["entries"]
             )
+            parity = tuple(
+                ParityEntry(
+                    key=p["key"],
+                    members=tuple(str(m) for m in p["members"]),
+                    block_len=int(p["block_len"]),
+                    stored_bytes=int(p["stored_bytes"]),
+                    crc32=int(p["crc32"]),
+                )
+                for p in doc.get("parity", [])
+            )
             return cls(
                 step=int(doc["step"]),
                 entries=entries,
                 app_meta=dict(doc.get("app_meta", {})),
                 format_version=int(doc.get("format_version", 1)),
+                parity=parity,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FormatError(f"manifest is missing fields: {exc}") from exc

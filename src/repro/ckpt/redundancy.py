@@ -19,9 +19,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Mapping
+
 from ..exceptions import CheckpointError, RestoreError
 
-__all__ = ["ParityGroup", "encode_parity_group", "reconstruct_member"]
+__all__ = [
+    "ParityGroup",
+    "encode_parity_group",
+    "reconstruct_member",
+    "encode_parity",
+    "rebuild_member",
+]
 
 _LEN_BYTES = 8  # each member is length-prefixed inside its padded block
 
@@ -108,4 +116,70 @@ def reconstruct_member(group: ParityGroup, lost_index: int) -> bytes:
         if i == lost_index:
             continue
         np.bitwise_xor(acc, np.frombuffer(member, dtype=np.uint8), out=acc)
+    return _unpad_block(acc.tobytes())
+
+
+# -- store-level parity ------------------------------------------------------
+#
+# The checkpoint manager persists only the parity *bytes* next to the member
+# blobs it already stores, so repair works from raw material: the parity
+# block plus whichever members survived.  A padded empty blob is all zeros
+# (length prefix 0), i.e. an XOR no-op -- groups of a single real member are
+# therefore encoded by padding the member list with b"" sentinels, and
+# reconstruction never needs to know they exist.
+
+
+def encode_parity(blobs: list[bytes]) -> bytes:
+    """XOR parity block over raw blobs, for storing next to them.
+
+    Unlike :func:`encode_parity_group` this accepts a single-member list
+    (the parity degenerates to a padded replica) and returns only the
+    parity bytes; the block length is ``len(result)`` and each member's
+    padded block is implied by its raw bytes.
+    """
+    if not blobs:
+        raise CheckpointError("a parity block needs >= 1 member, got 0")
+    padded = list(blobs) + [b""] * max(0, 2 - len(blobs))
+    return encode_parity_group(padded).parity
+
+
+def rebuild_member(
+    parity: bytes,
+    survivors: Mapping[int, bytes],
+    group_size: int,
+    lost_index: int,
+) -> bytes:
+    """Rebuild the raw blob of one lost member from parity + survivors.
+
+    ``survivors`` maps member index -> raw blob for every member of the
+    group *except* ``lost_index``; ``group_size`` is the real member count
+    the parity was encoded over.  Raises :class:`RestoreError` when more
+    than one member is unaccounted for (single parity cannot recover two
+    losses) or when the reconstructed block carries a corrupt length
+    prefix.
+    """
+    if not 0 <= lost_index < group_size:
+        raise RestoreError(
+            f"lost index {lost_index} out of range for group of {group_size}"
+        )
+    expected = set(range(group_size)) - {lost_index}
+    if set(survivors) != expected:
+        missing = sorted(expected - set(survivors))
+        raise RestoreError(
+            f"parity can rebuild exactly one member; members {missing} are "
+            f"also unavailable"
+        )
+    block_len = len(parity)
+    acc = np.frombuffer(parity, dtype=np.uint8).copy()
+    for index, blob in survivors.items():
+        if _LEN_BYTES + len(blob) > block_len:
+            raise RestoreError(
+                f"survivor member {index} is {len(blob)} bytes, larger than "
+                f"the parity block of {block_len} bytes allows"
+            )
+        np.bitwise_xor(
+            acc,
+            np.frombuffer(_pad_block(blob, block_len), dtype=np.uint8),
+            out=acc,
+        )
     return _unpad_block(acc.tobytes())

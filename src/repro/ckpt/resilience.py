@@ -1,0 +1,203 @@
+"""Retry, backoff and CRC-aware re-read for checkpoint stores.
+
+The storage path used to be fail-fast: one transient ``OSError`` aborted
+a checkpoint even though the write would have succeeded a moment later.
+:class:`ResilientStore` wraps any :class:`~repro.ckpt.store.Store` with
+bounded retry under a :class:`RetryPolicy` -- exponential backoff with
+deterministic, seeded jitter, so test runs and the CI fault-injection
+matrix reproduce exactly -- and adds :meth:`ResilientStore.get_verified`,
+which treats a CRC mismatch like any other transient read failure and
+re-reads before anyone concludes the blob is corrupt at rest.
+
+Retry counts surface in the global metrics registry (``store.retry.*``)
+and each retried operation opens a ``store.retry`` span, so traces show
+where a run burned time waiting out faults.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, IntegrityError, StorageError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .store import Store
+
+__all__ = ["RetryPolicy", "ResilientStore"]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per operation, including the first (``1`` disables
+        retry).  Bounded by construction -- there is no retry-forever mode.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Backoff factor between consecutive retries.
+    max_delay:
+        Cap on any single sleep.
+    jitter:
+        Fraction of each delay drawn uniformly from ``[0, jitter * delay)``
+        and added, decorrelating concurrent retriers.  Deterministic under
+        ``seed``.
+    seed:
+        Seed of the jitter RNG; ``None`` draws fresh entropy (production),
+        an int reproduces exactly (tests, CI fault matrix).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or isinstance(
+            self.max_attempts, bool
+        ) or self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be an int >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0:
+            raise ConfigurationError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.multiplier < 1:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {self.max_delay}")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delays(self, rng: np.random.Generator) -> list[float]:
+        """The sleep before each retry (length ``max_attempts - 1``)."""
+        out = []
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+            if self.jitter:
+                delay += float(rng.random()) * self.jitter * delay
+            out.append(min(delay, self.max_delay))
+        return out
+
+
+class ResilientStore(Store):
+    """Store wrapper retrying failed operations under a :class:`RetryPolicy`.
+
+    ``put`` and ``get`` (the data path) retry on any
+    :class:`~repro.exceptions.StorageError`; metadata operations pass
+    through fail-fast, matching the manager's usage where a failed
+    ``exists`` is advisory.  ``sleep`` is injectable so tests and
+    simulations substitute a recording stub for :func:`time.sleep`;
+    either way :attr:`slept_seconds` accumulates the backoff total.
+    """
+
+    def __init__(
+        self,
+        inner: Store,
+        policy: RetryPolicy | None = None,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = np.random.default_rng(self.policy.seed)
+        self.retries = 0
+        self.giveups = 0
+        self.slept_seconds = 0.0
+
+    def _run(self, op: str, key: str, fn: Callable[[], _T]) -> _T:
+        delays = self.policy.delays(self._rng)
+        registry = get_registry()
+        for attempt in range(self.policy.max_attempts):
+            try:
+                return fn()
+            except StorageError as exc:
+                if attempt >= len(delays):
+                    self.giveups += 1
+                    registry.counter("store.retry.giveups").inc()
+                    raise
+                delay = delays[attempt]
+                self.retries += 1
+                self.slept_seconds += delay
+                registry.counter("store.retry.attempts").inc()
+                registry.histogram("store.retry.delay_seconds").observe(delay)
+                with get_tracer().span(
+                    "store.retry", op=op, key=key, attempt=attempt + 1
+                ) as sp:
+                    sp.set(error=str(exc))
+                    self._sleep(delay)
+        raise AssertionError("unreachable: loop returns or raises")
+
+    def put(self, key: str, data: bytes) -> None:
+        self._run("put", key, lambda: self.inner.put(key, data))
+
+    def get(self, key: str) -> bytes:
+        return self._run("get", key, lambda: self.inner.get(key))
+
+    def get_verified(
+        self, key: str, crc32: int, nbytes: int | None = None
+    ) -> bytes:
+        """Read ``key`` and require the payload to match ``crc32``.
+
+        A mismatch (or wrong length, when ``nbytes`` is given) counts as a
+        failed attempt and triggers a re-read under the same backoff
+        budget -- the cheap remedy for transient read corruption.  When
+        every attempt mismatches, raises
+        :class:`~repro.exceptions.IntegrityError`: the blob is corrupt *at
+        rest* and only parity repair can help.
+        """
+
+        def read() -> bytes:
+            data = self.inner.get(key)
+            if nbytes is not None and len(data) != nbytes:
+                get_registry().counter("store.retry.crc_rereads").inc()
+                raise _ReadMismatch(
+                    f"blob {key!r} is {len(data)} bytes, expected {nbytes}"
+                )
+            crc = zlib.crc32(data) & 0xFFFFFFFF
+            if crc != crc32 & 0xFFFFFFFF:
+                get_registry().counter("store.retry.crc_rereads").inc()
+                raise _ReadMismatch(
+                    f"blob {key!r} read back CRC {crc:#010x}, "
+                    f"expected {crc32 & 0xFFFFFFFF:#010x}"
+                )
+            return data
+
+        try:
+            return self._run("get", key, read)
+        except _ReadMismatch as exc:
+            raise IntegrityError(
+                f"{exc} after {self.policy.max_attempts} attempt(s); "
+                "the stored blob is corrupt"
+            ) from None
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+
+class _ReadMismatch(StorageError):
+    """Internal: a verified read came back with the wrong bytes."""

@@ -55,6 +55,24 @@ def _check_key(key: str) -> str:
     return key
 
 
+def _fsync_dir(path: str) -> None:
+    """Flush a directory's entry table so a completed rename survives a
+    crash.  Best-effort: platforms that cannot open a directory for fsync
+    (no ``O_DIRECTORY``, or fsync on directories unsupported) degrade to
+    the pre-fsync durability rather than failing the write."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class MemoryStore(Store):
     """Dict-backed store (unit tests and in-memory checkpointing)."""
 
@@ -102,8 +120,35 @@ class DirectoryStore(Store):
     def _path(self, key: str) -> str:
         return os.path.join(self.root, *_check_key(key).split("/"))
 
+    def _collision_guard(self, key: str, path: str) -> None:
+        """Reject keys whose path collides with an existing key's path.
+
+        ``put("a", ...)`` then ``put("a/b", ...)`` maps key ``a`` to a
+        file *and* to a directory -- impossible on a filesystem.  Name
+        both keys instead of letting the write die with a raw
+        ``NotADirectoryError``.
+        """
+        parts = _check_key(key).split("/")
+        cur = self.root
+        for i, part in enumerate(parts[:-1]):
+            cur = os.path.join(cur, part)
+            if os.path.isfile(cur):
+                raise StorageError(
+                    f"key {key!r} collides with existing key "
+                    f"{'/'.join(parts[: i + 1])!r}: a key cannot also be a "
+                    f"prefix of deeper keys"
+                )
+        if os.path.isdir(path):
+            child = next(iter(self.list_keys(key + "/")), None)
+            suffix = f" (e.g. {child!r})" if child else ""
+            raise StorageError(
+                f"key {key!r} collides with existing keys under "
+                f"{key + '/'!r}{suffix}"
+            )
+
     def put(self, key: str, data: bytes) -> None:
         path = self._path(key)
+        self._collision_guard(key, path)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
@@ -113,6 +158,9 @@ class DirectoryStore(Store):
                     fh.flush()
                     os.fsync(fh.fileno())
                 os.replace(tmp, path)
+                # the data blocks are durable (fsync above); the *rename*
+                # is only durable once the parent directory is flushed too
+                _fsync_dir(os.path.dirname(path))
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -195,7 +243,10 @@ class ThrottledStore(Store):
     Stands in for the shared parallel filesystem of paper Section IV-D: no
     real sleeping happens, but every put/get accrues
     ``latency + nbytes / bandwidth`` seconds into :attr:`simulated_seconds`,
-    which the scaling model and the failure simulator read.
+    which the scaling model and the failure simulator read.  Metadata
+    operations (``exists``/``delete``/``list_keys``) move no payload but
+    still cost a round trip, so each accrues ``latency`` seconds --
+    without it the Section IV-D model undercounts manifest traffic.
     """
 
     def __init__(
@@ -228,10 +279,15 @@ class ThrottledStore(Store):
         return data
 
     def exists(self, key: str) -> bool:
-        return self.inner.exists(key)
+        found = self.inner.exists(key)
+        self.simulated_seconds += self.latency
+        return found
 
     def delete(self, key: str) -> None:
         self.inner.delete(key)
+        self.simulated_seconds += self.latency
 
     def list_keys(self, prefix: str = "") -> list[str]:
-        return self.inner.list_keys(prefix)
+        keys = self.inner.list_keys(prefix)
+        self.simulated_seconds += self.latency
+        return keys

@@ -21,8 +21,14 @@ tune
     Find the smallest division number meeting an error tolerance.
 checkpoint
     Write one array as a complete checkpoint into a directory store.
+    ``--parity`` adds an XOR-parity blob per array group so any single
+    corrupt-or-missing blob is reconstructible; ``--retries N`` rides
+    over transient I/O errors with bounded exponential backoff.
 verify
-    CRC-verify every checkpoint in a checkpoint directory.
+    CRC-verify every checkpoint in a checkpoint directory.  With
+    ``--repair``, reconstruct any single corrupt-or-missing blob per
+    parity group, rewrite the healed bytes, and exit 0 once the store
+    verifies clean.
 report
     Render the profiling report of a ``--trace`` JSONL file: the Fig. 9
     stage breakdown, recorded metrics and (optionally) the span tree.
@@ -43,7 +49,7 @@ from typing import Iterator
 import numpy as np
 
 from . import __version__
-from .config import CompressionConfig, ObservabilityConfig
+from .config import CompressionConfig, ObservabilityConfig, ResilienceConfig
 from .core.chunked import CHUNK_MAGIC, chunked_compress_with_stats, chunked_decompress
 from .core.errors import error_report
 from .core.pipeline import WaveletCompressor, inspect as inspect_blob
@@ -132,6 +138,38 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--wavelet", choices=("haar", "cdf53"), default="haar",
         help="transform family: the paper's haar or JPEG 2000 cdf53 [default: haar]",
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser, *, parity: bool) -> None:
+    if parity:
+        parser.add_argument(
+            "--parity", action="store_true",
+            help="write an XOR-parity blob per array group; restore/verify "
+                 "can then reconstruct any single corrupt-or-missing blob",
+        )
+        parser.add_argument(
+            "--parity-group-size", type=int, default=None, metavar="G",
+            help="arrays per parity group [default: all arrays in one group]",
+        )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per store operation after a failure, with "
+             "exponential backoff + jitter [default: 0 = fail fast]",
+    )
+    parser.add_argument(
+        "--retry-base-delay", type=float, default=0.05, metavar="S",
+        help="backoff before the first retry, in seconds; doubles per "
+             "retry [default: 0.05]",
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace) -> ResilienceConfig:
+    return ResilienceConfig(
+        retries=args.retries,
+        retry_base_delay=args.retry_base_delay,
+        parity=getattr(args, "parity", False),
+        parity_group_size=getattr(args, "parity_group_size", None),
     )
 
 
@@ -231,12 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-rows", type=int, default=256, metavar="R",
         help="slab height for --workers > 1 [default: 256]",
     )
+    _add_resilience_args(p, parity=True)
     _add_trace_arg(p)
 
     p = sub.add_parser(
         "verify", help="CRC-verify every checkpoint in a directory store"
     )
     p.add_argument("directory", help="checkpoint directory (DirectoryStore root)")
+    p.add_argument(
+        "--repair", action="store_true",
+        help="parity-reconstruct any single corrupt-or-missing blob per "
+             "group, rewrite the healed bytes, and report the store clean",
+    )
+    _add_resilience_args(p, parity=False)
 
     p = sub.add_parser(
         "report", help="render the profiling report of a --trace JSONL file"
@@ -329,33 +374,36 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     import os
 
-    from .ckpt.manifest import CheckpointManifest, array_key, manifest_key
+    from .ckpt.manager import CheckpointManager
+    from .ckpt.protocol import ArrayRegistry
     from .ckpt.store import DirectoryStore
 
     if not os.path.isdir(args.directory):
         raise ReproError(f"not a directory: {args.directory!r}")
-    store = DirectoryStore(args.directory)
-    steps = []
-    for key in store.list_keys("ckpt/"):
-        parts = key.split("/")
-        if len(parts) == 3 and parts[2] == "manifest.json":
-            steps.append(int(parts[1]))
+    # verify never touches the registry, so an empty one suffices
+    manager = CheckpointManager(
+        ArrayRegistry(),
+        DirectoryStore(args.directory),
+        resilience=_resilience_from_args(args),
+    )
+    steps = manager.steps()
     if not steps:
         print("no checkpoints found")
         return 0
     failures = 0
-    for step in sorted(steps):
-        manifest = CheckpointManifest.from_json(store.get(manifest_key(step)))
-        status = "ok"
+    for step in steps:
+        healed_before = len(manager.repair_log)
         try:
-            for entry in manifest.entries:
-                key = array_key(step, entry.name)
-                if not store.exists(key):
-                    raise ReproError(f"missing blob {key!r}")
-                entry.verify(store.get(key))
+            manifest = manager.verify(step, repair=args.repair)
         except ReproError as exc:
+            manifest = manager.read_manifest(step)
             status = f"CORRUPT ({exc})"
             failures += 1
+        else:
+            healed = manager.repair_log[healed_before:]
+            status = "ok" if not healed else (
+                "healed " + ", ".join(e.name for e in healed)
+            )
         print(
             f"step {step:10d}: {len(manifest.entries)} arrays, "
             f"{manifest.total_stored_bytes} bytes, "
@@ -382,12 +430,16 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             config=config,
             workers=args.workers,
             chunk_rows=args.chunk_rows,
+            resilience=_resilience_from_args(args),
         ) as manager:
             manifest = manager.checkpoint(args.step)
+    parity_note = (
+        f", {len(manifest.parity)} parity group(s)" if manifest.parity else ""
+    )
     print(
         f"step {manifest.step}: {len(manifest.entries)} array(s), "
         f"{manifest.total_stored_bytes} bytes stored "
-        f"(rate {manifest.compression_rate_percent:.2f}%)"
+        f"(rate {manifest.compression_rate_percent:.2f}%){parity_note}"
     )
     return 0
 

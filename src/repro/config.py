@@ -18,6 +18,7 @@ from .exceptions import ConfigurationError
 __all__ = [
     "CompressionConfig",
     "ObservabilityConfig",
+    "ResilienceConfig",
     "DEFAULT_BACKEND_BLOCK_BYTES",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",
@@ -248,6 +249,90 @@ class CompressionConfig:
     def lossless(self) -> bool:
         """True when the configuration performs no quantization."""
         return self.quantizer == QUANTIZER_NONE
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the checkpoint storage path survives faults.
+
+    Bundles the two independent remedies of the self-healing store: bounded
+    retry with exponential backoff (transient I/O errors) and XOR-parity
+    redundancy (corrupt-or-missing blobs at rest).  Like
+    :class:`ObservabilityConfig`, nothing here changes the bytes of any
+    array blob -- a parity-enabled checkpoint stores *extra* parity blobs
+    and records them in the manifest, but every array blob is identical to
+    a parity-free write.
+
+    Parameters
+    ----------
+    retries:
+        Extra attempts per ``put``/``get`` after the first failure
+        (``0`` keeps the old fail-fast behaviour).  Always bounded.
+    retry_base_delay:
+        Backoff before the first retry, in seconds; doubles per retry up
+        to ``retry_max_delay``.
+    retry_max_delay:
+        Cap on any single backoff sleep.
+    retry_jitter:
+        Jitter fraction added to each delay (deterministic under
+        ``retry_seed``).
+    retry_seed:
+        Seed of the jitter RNG; ``None`` draws fresh entropy.
+    parity:
+        Write one XOR-parity blob per array group at checkpoint time and
+        use it to reconstruct any single corrupt-or-missing blob on
+        restore/verify.
+    parity_group_size:
+        Arrays per parity group (manifest order); ``None`` puts every
+        array of the checkpoint into one group.  Smaller groups tolerate
+        more simultaneous failures (one per group) at proportionally more
+        parity storage.
+    repair_rewrite:
+        After a successful parity reconstruction, write the healed blob
+        back to the store so the next reader finds it intact.
+    """
+
+    retries: int = 0
+    retry_base_delay: float = 0.05
+    retry_max_delay: float = 2.0
+    retry_jitter: float = 0.1
+    retry_seed: int | None = 0
+    parity: bool = False
+    parity_group_size: int | None = None
+    repair_rewrite: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool) \
+                or self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be an int >= 0, got {self.retries!r}"
+            )
+        if self.retry_base_delay < 0:
+            raise ConfigurationError(
+                f"retry_base_delay must be >= 0, got {self.retry_base_delay}"
+            )
+        if self.retry_max_delay < 0:
+            raise ConfigurationError(
+                f"retry_max_delay must be >= 0, got {self.retry_max_delay}"
+            )
+        if not 0 <= self.retry_jitter <= 1:
+            raise ConfigurationError(
+                f"retry_jitter must be in [0, 1], got {self.retry_jitter}"
+            )
+        if self.parity_group_size is not None:
+            if (
+                not isinstance(self.parity_group_size, int)
+                or isinstance(self.parity_group_size, bool)
+                or self.parity_group_size < 1
+            ):
+                raise ConfigurationError(
+                    "parity_group_size must be an int >= 1 or None, got "
+                    f"{self.parity_group_size!r}"
+                )
+
+    def replace(self, **changes: Any) -> "ResilienceConfig":
+        """Return a copy with ``changes`` applied (validates eagerly)."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,9 @@ __all__ = [
     "CheckpointError",
     "CheckpointNotFoundError",
     "RestoreError",
+    "CorruptionError",
     "StorageError",
+    "TransientStorageError",
     "TuningError",
 ]
 
@@ -60,6 +62,28 @@ class RestoreError(CheckpointError):
 
 class StorageError(ReproError):
     """A storage backend failed to read or write an object."""
+
+
+class TransientStorageError(StorageError):
+    """A storage operation failed in a way that may succeed on retry.
+
+    Raised by fault injection (and available to real backends) for the
+    transient I/O error class -- the NFS hiccups and EINTR-style failures
+    that bounded retry with backoff is designed to ride over.  The store
+    state is unchanged: a failed ``put`` wrote nothing, a failed ``get``
+    read nothing.
+    """
+
+
+class CorruptionError(RestoreError, FormatError):
+    """Stored checkpoint data is damaged beyond what repair can recover.
+
+    Derives from both :class:`RestoreError` (the checkpoint cannot come
+    back) and :class:`FormatError` (the on-store bytes are wrong), so
+    callers watching either hierarchy see it.  Raised only after every
+    available remedy -- retry, CRC-aware re-read, parity reconstruction --
+    has been exhausted; it never masks silently-wrong data.
+    """
 
 
 class TuningError(ReproError):

@@ -1,0 +1,186 @@
+"""Unit tests for deterministic store fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckpt.faults import (
+    FAULT_BITFLIP,
+    FAULT_KINDS,
+    FAULT_MISSING,
+    FAULT_TORN,
+    FAULT_TRANSIENT,
+    FaultInjectingStore,
+    FaultPlan,
+)
+from repro.ckpt.store import MemoryStore
+from repro.exceptions import (
+    ConfigurationError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.failure.distributions import ExponentialFailures
+
+
+class TestFaultPlan:
+    def test_no_rates_no_schedule_never_faults(self):
+        plan = FaultPlan(seed=1)
+        assert all(plan.draw("put") is None for _ in range(100))
+
+    def test_rate_mode_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            plan = FaultPlan(seed=7, rates={FAULT_TRANSIENT: 0.3})
+            outcomes.append([plan.draw("put") for _ in range(50)])
+        assert outcomes[0] == outcomes[1]
+        assert FAULT_TRANSIENT in outcomes[0]
+        assert None in outcomes[0]
+
+    def test_different_seeds_differ(self):
+        plan_a = FaultPlan(seed=1, rates={FAULT_BITFLIP: 0.5})
+        plan_b = FaultPlan(seed=2, rates={FAULT_BITFLIP: 0.5})
+        a = [plan_a.draw("put") for _ in range(64)]
+        b = [plan_b.draw("put") for _ in range(64)]
+        assert a != b
+
+    def test_schedule_mode_hits_exact_ops(self):
+        plan = FaultPlan(schedule=[(0, FAULT_TORN), (2, FAULT_MISSING)])
+        assert plan.draw("put") == FAULT_TORN
+        assert plan.draw("put") is None
+        assert plan.draw("put") == FAULT_MISSING
+
+    def test_schedule_respects_eligibility(self):
+        # torn writes cannot hit a get
+        plan = FaultPlan(schedule=[(0, FAULT_TORN)])
+        assert plan.draw("get") is None
+
+    def test_max_faults_bounds_injection(self):
+        plan = FaultPlan(seed=0, rates={FAULT_TRANSIENT: 1.0}, max_faults=2)
+        kinds = [plan.draw("put") for _ in range(10)]
+        assert kinds[:2] == [FAULT_TRANSIENT, FAULT_TRANSIENT]
+        assert kinds[2:] == [None] * 8
+        assert plan.injected == 2
+
+    def test_rates_and_schedule_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rates={FAULT_TORN: 0.1}, schedule=[(0, FAULT_TORN)])
+
+    @pytest.mark.parametrize("bad", [{"nope": 0.5}, {FAULT_TORN: 1.5}])
+    def test_rate_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rates=bad)
+
+    def test_from_distribution_composes_with_failure_model(self):
+        dist = ExponentialFailures(mtbf=10.0)
+        a = FaultPlan.from_distribution(dist, horizon_ops=200, seed=3)
+        b = FaultPlan.from_distribution(dist, horizon_ops=200, seed=3)
+        hits_a = [a.draw("put") for _ in range(200)]
+        hits_b = [b.draw("put") for _ in range(200)]
+        assert hits_a == hits_b
+        injected = [k for k in hits_a if k is not None]
+        assert injected, "an MTBF of 10 ops over 200 ops should fault"
+        assert set(injected) <= set(FAULT_KINDS)
+
+
+class TestFaultInjectingStore:
+    def _store(self, **plan_kwargs):
+        inner = MemoryStore()
+        return inner, FaultInjectingStore(inner, FaultPlan(**plan_kwargs))
+
+    def test_clean_plan_is_transparent(self):
+        inner, store = self._store(seed=0)
+        store.put("k", b"payload")
+        assert store.get("k") == b"payload"
+        assert inner.get("k") == b"payload"
+        assert store.events == []
+
+    def test_transient_put_leaves_store_untouched(self):
+        inner, store = self._store(schedule=[(0, FAULT_TRANSIENT)])
+        with pytest.raises(TransientStorageError, match="injected transient"):
+            store.put("k", b"x")
+        assert not inner.exists("k")
+        store.put("k", b"x")  # the retry succeeds
+        assert inner.get("k") == b"x"
+
+    def test_torn_put_persists_a_prefix(self):
+        inner, store = self._store(schedule=[(0, FAULT_TORN)])
+        store.put("k", b"0123456789")
+        stored = inner.get("k")
+        assert len(stored) < 10
+        assert b"0123456789".startswith(stored)
+        (event,) = store.events
+        assert event.kind == FAULT_TORN and event.detail["size"] == 10
+
+    def test_bitflip_put_corrupts_exactly_one_bit(self):
+        inner, store = self._store(schedule=[(0, FAULT_BITFLIP)])
+        data = bytes(64)
+        store.put("k", data)
+        stored = inner.get("k")
+        assert len(stored) == 64
+        flipped = [i for i in range(64) if stored[i] != data[i]]
+        assert len(flipped) == 1
+        assert bin(stored[flipped[0]] ^ data[flipped[0]]).count("1") == 1
+
+    def test_bitflip_get_is_transient(self):
+        inner, store = self._store(schedule=[(1, FAULT_BITFLIP)])
+        store.put("k", bytes(16))
+        assert store.get("k") != bytes(16)  # misread
+        assert store.get("k") == bytes(16)  # store was never touched
+        assert inner.get("k") == bytes(16)
+
+    def test_missing_put_drops_the_write(self):
+        inner, store = self._store(schedule=[(0, FAULT_MISSING)])
+        store.put("k", b"x")
+        assert not inner.exists("k")
+
+    def test_missing_get_reports_spurious_miss(self):
+        _inner, store = self._store(schedule=[(1, FAULT_MISSING)])
+        store.put("k", b"x")
+        with pytest.raises(StorageError, match="spurious"):
+            store.get("k")
+        assert store.get("k") == b"x"
+
+    def test_metadata_ops_pass_through(self):
+        inner, store = self._store(schedule=[(0, FAULT_TRANSIENT)])
+        inner.put("k", b"x")
+        assert store.exists("k")
+        assert store.list_keys() == ["k"]
+        store.delete("k")
+        assert not inner.exists("k")
+        assert store.events == []  # no put/get ever ran
+
+    def test_events_record_op_index_and_key(self):
+        _inner, store = self._store(
+            schedule=[(0, FAULT_TRANSIENT), (2, FAULT_MISSING)]
+        )
+        with pytest.raises(TransientStorageError):
+            store.put("a", b"1")
+        store.put("a", b"1")
+        store.put("b", b"2")  # dropped
+        assert [(e.index, e.op, e.key, e.kind) for e in store.events] == [
+            (0, "put", "a", FAULT_TRANSIENT),
+            (2, "put", "b", FAULT_MISSING),
+        ]
+        assert all(isinstance(e.to_dict(), dict) for e in store.events)
+
+    def test_empty_payload_never_torn_or_flipped(self):
+        inner, store = self._store(
+            schedule=[(0, FAULT_TORN), (1, FAULT_BITFLIP)]
+        )
+        store.put("a", b"")
+        store.put("b", b"")
+        assert inner.get("a") == b"" and inner.get("b") == b""
+
+    def test_fault_counters_reach_registry(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        before = (
+            registry.counter("store.faults.transient").value
+            if "store.faults.transient" in registry
+            else 0.0
+        )
+        _inner, store = self._store(schedule=[(0, FAULT_TRANSIENT)])
+        with pytest.raises(TransientStorageError):
+            store.put("k", b"x")
+        assert registry.counter("store.faults.transient").value == before + 1

@@ -104,3 +104,42 @@ class TestAppMeta:
     def test_non_serializable_rejected(self):
         with pytest.raises(FormatError):
             validate_app_meta({"f": object()})
+
+
+class TestParityEntries:
+    def _parity_entry(self):
+        from repro.ckpt.manifest import ParityEntry
+
+        payload = b"\x00" * 16
+        import zlib
+
+        return ParityEntry(
+            key="ckpt/0000000007/parity-0000.bin",
+            members=("a", "b"),
+            block_len=16,
+            stored_bytes=16,
+            crc32=zlib.crc32(payload) & 0xFFFFFFFF,
+        ), payload
+
+    def test_roundtrip_with_parity(self):
+        pe, _ = self._parity_entry()
+        manifest = CheckpointManifest(
+            step=7, entries=(make_entry("a"), make_entry("b")), parity=(pe,)
+        )
+        back = CheckpointManifest.from_json(manifest.to_json())
+        assert back == manifest
+        assert back.parity[0].members == ("a", "b")
+
+    def test_no_parity_keeps_json_byte_stable(self):
+        """A parity-free manifest serialises exactly as it did before the
+        parity field existed -- old readers and golden files stay valid."""
+        manifest = CheckpointManifest(step=1, entries=(make_entry("a"),))
+        assert b'"parity"' not in manifest.to_json()
+
+    def test_parity_entry_verify(self):
+        pe, payload = self._parity_entry()
+        pe.verify(payload)
+        with pytest.raises(FormatError, match="CRC"):
+            pe.verify(b"\x01" + payload[1:])
+        with pytest.raises(FormatError, match="bytes"):
+            pe.verify(payload + b"\x00")

@@ -88,3 +88,108 @@ class TestWithCompressor:
         assert restored.shape == smooth3d.shape
         # redundancy cost is ~1/N of the *compressed* size, far below raw
         assert group.stored_bytes < smooth3d.nbytes
+
+
+class TestReconstructEdgeCases:
+    """Satellite coverage: unequal sizes, empty blobs, parity-block
+    reconstruction, and corrupted length prefixes."""
+
+    def test_wildly_unequal_member_sizes(self, rng):
+        blobs = [b"x", rng.bytes(4096), b"ab", rng.bytes(1)]
+        group = encode_parity_group(blobs)
+        for lost in range(4):
+            assert reconstruct_member(group, lost) == blobs[lost]
+
+    @pytest.mark.parametrize("lost", [0, 1, 2])
+    def test_empty_members_reconstruct_to_empty(self, rng, lost):
+        blobs = [b"", rng.bytes(50), b""]
+        group = encode_parity_group(blobs)
+        assert reconstruct_member(group, lost) == blobs[lost]
+
+    def test_parity_block_itself_is_reconstructible(self, blobs):
+        """Losing the *parity* blob is recoverable too: XOR of all padded
+        members reproduces it exactly (what verify --repair relies on)."""
+        group = encode_parity_group(blobs)
+        acc = np.zeros(group.block_len, dtype=np.uint8)
+        for member in group.members:
+            np.bitwise_xor(
+                acc, np.frombuffer(member, dtype=np.uint8), out=acc
+            )
+        assert acc.tobytes() == group.parity
+        from repro.ckpt.redundancy import encode_parity
+
+        assert encode_parity(list(blobs)) == group.parity
+
+    def test_corrupted_length_prefix_raises_restore_error(self, blobs):
+        """A bit flip inside the 8-byte length prefix must surface as
+        RestoreError, never as silently truncated/expanded data."""
+        group = encode_parity_group(blobs)
+        bad_parity = bytearray(group.parity)
+        bad_parity[0] ^= 0xFF  # low byte of the XORed length prefixes
+        bad = ParityGroup(
+            members=group.members,
+            parity=bytes(bad_parity),
+            block_len=group.block_len,
+        )
+        with pytest.raises(RestoreError, match="length prefix"):
+            reconstruct_member(bad, 2)
+
+
+class TestStoreLevelParity:
+    """encode_parity / rebuild_member: the raw-bytes API the manager uses."""
+
+    def test_round_trip_any_single_loss(self, blobs):
+        from repro.ckpt.redundancy import encode_parity, rebuild_member
+
+        parity = encode_parity(blobs)
+        for lost in range(len(blobs)):
+            survivors = {
+                i: b for i, b in enumerate(blobs) if i != lost
+            }
+            assert rebuild_member(parity, survivors, len(blobs), lost) == blobs[lost]
+
+    def test_single_member_degenerates_to_replica(self, rng):
+        from repro.ckpt.redundancy import encode_parity, rebuild_member
+
+        blob = rng.bytes(37)
+        parity = encode_parity([blob])
+        assert rebuild_member(parity, {}, 1, 0) == blob
+
+    def test_empty_list_rejected(self):
+        from repro.ckpt.redundancy import encode_parity
+
+        with pytest.raises(CheckpointError, match=">= 1 member"):
+            encode_parity([])
+
+    def test_two_losses_rejected(self, blobs):
+        from repro.ckpt.redundancy import encode_parity, rebuild_member
+
+        parity = encode_parity(blobs)
+        survivors = {i: b for i, b in enumerate(blobs) if i not in (1, 2)}
+        with pytest.raises(RestoreError, match="also unavailable"):
+            rebuild_member(parity, survivors, len(blobs), 1)
+
+    def test_lost_index_out_of_range(self, blobs):
+        from repro.ckpt.redundancy import encode_parity, rebuild_member
+
+        parity = encode_parity(blobs)
+        with pytest.raises(RestoreError, match="out of range"):
+            rebuild_member(parity, dict(enumerate(blobs)), len(blobs), 9)
+
+    def test_oversized_survivor_rejected(self):
+        from repro.ckpt.redundancy import encode_parity, rebuild_member
+
+        parity = encode_parity([b"ab", b"cd"])
+        with pytest.raises(RestoreError, match="larger than"):
+            rebuild_member(parity, {0: b"way too long" * 10}, 2, 1)
+
+    def test_corrupt_prefix_from_damaged_survivor(self, rng):
+        from repro.ckpt.redundancy import encode_parity, rebuild_member
+
+        blobs = [rng.bytes(40), rng.bytes(40)]
+        parity = encode_parity(blobs)
+        # survivor damaged to the full block length: its bytes land in the
+        # length-prefix region and corrupt the reconstructed prefix
+        damaged = b"\xff" * len(parity)
+        with pytest.raises(RestoreError, match="length prefix|larger than"):
+            rebuild_member(parity, {0: damaged}, 2, 1)

@@ -1,0 +1,166 @@
+"""Unit tests for retry/backoff and CRC-aware re-read."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.ckpt.faults import (
+    FAULT_BITFLIP,
+    FAULT_TRANSIENT,
+    FaultInjectingStore,
+    FaultPlan,
+)
+from repro.ckpt.resilience import ResilientStore, RetryPolicy
+from repro.ckpt.store import MemoryStore
+from repro.exceptions import (
+    ConfigurationError,
+    IntegrityError,
+    StorageError,
+)
+
+
+def crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3,
+            jitter=0.0,
+        )
+        delays = policy.delays(np.random.default_rng(0))
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=9)
+        a = policy.delays(np.random.default_rng(policy.seed))
+        b = policy.delays(np.random.default_rng(policy.seed))
+        assert a == b
+        base = RetryPolicy(
+            max_attempts=4, base_delay=0.1, jitter=0.0
+        ).delays(np.random.default_rng(0))
+        assert all(d >= raw for d, raw in zip(a, base))
+
+    def test_single_attempt_means_no_retry(self):
+        assert RetryPolicy(max_attempts=1).delays(np.random.default_rng(0)) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"max_delay": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+def _fast_policy(attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(max_attempts=attempts, base_delay=0.0, jitter=0.0)
+
+
+class TestResilientStore:
+    def test_rides_over_transient_faults(self):
+        plan = FaultPlan(schedule=[(0, FAULT_TRANSIENT), (2, FAULT_TRANSIENT)])
+        faulty = FaultInjectingStore(MemoryStore(), plan)
+        store = ResilientStore(faulty, _fast_policy())
+        store.put("k", b"payload")  # op 0 transient, op 1 succeeds
+        assert store.get("k") == b"payload"  # op 2 transient, op 3 succeeds
+        assert store.retries == 2
+        assert store.giveups == 0
+
+    def test_bounded_gives_up_and_raises(self):
+        class AlwaysDown(MemoryStore):
+            def put(self, key, data):
+                raise StorageError("disk on fire")
+
+        store = ResilientStore(AlwaysDown(), _fast_policy(attempts=3))
+        with pytest.raises(StorageError, match="disk on fire"):
+            store.put("k", b"x")
+        assert store.retries == 2  # attempts 2 and 3
+        assert store.giveups == 1
+
+    def test_sleep_is_injectable_and_accounted(self):
+        naps: list[float] = []
+
+        class FlakyOnce(MemoryStore):
+            fails = [True]
+
+            def put(self, key, data):
+                if self.fails:
+                    self.fails.pop()
+                    raise StorageError("blip")
+                super().put(key, data)
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.25, jitter=0.0)
+        store = ResilientStore(FlakyOnce(), policy, sleep=naps.append)
+        store.put("k", b"x")
+        assert naps == [0.25]
+        assert store.slept_seconds == pytest.approx(0.25)
+
+    def test_metadata_ops_fail_fast(self):
+        class BrokenMeta(MemoryStore):
+            def exists(self, key):
+                raise StorageError("meta down")
+
+        store = ResilientStore(BrokenMeta(), _fast_policy())
+        with pytest.raises(StorageError):
+            store.exists("k")
+        assert store.retries == 0
+
+    def test_get_verified_rereads_transient_corruption(self):
+        data = b"x" * 128
+        plan = FaultPlan(schedule=[(1, FAULT_BITFLIP)])
+        faulty = FaultInjectingStore(MemoryStore(), plan)
+        store = ResilientStore(faulty, _fast_policy())
+        store.put("k", data)
+        # first read comes back flipped; the re-read heals it
+        assert store.get_verified("k", crc(data), len(data)) == data
+        assert store.retries == 1
+
+    def test_get_verified_detects_corruption_at_rest(self):
+        inner = MemoryStore()
+        store = ResilientStore(inner, _fast_policy())
+        inner.put("k", b"wrong bytes")
+        with pytest.raises(IntegrityError, match="corrupt"):
+            store.get_verified("k", crc(b"right bytes"), len(b"right bytes"))
+        assert store.giveups == 1
+
+    def test_get_verified_checks_length(self):
+        inner = MemoryStore()
+        store = ResilientStore(inner, _fast_policy(attempts=1))
+        inner.put("k", b"short")
+        with pytest.raises(IntegrityError, match="bytes"):
+            store.get_verified("k", crc(b"short"), 100)
+
+    def test_retry_metrics_reach_registry(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        before = (
+            registry.counter("store.retry.attempts").value
+            if "store.retry.attempts" in registry
+            else 0.0
+        )
+        plan = FaultPlan(schedule=[(0, FAULT_TRANSIENT)])
+        store = ResilientStore(
+            FaultInjectingStore(MemoryStore(), plan), _fast_policy()
+        )
+        store.put("k", b"x")
+        assert registry.counter("store.retry.attempts").value == before + 1
+
+    def test_passthrough_metadata(self):
+        store = ResilientStore(MemoryStore(), _fast_policy())
+        store.put("a/b", b"1")
+        assert store.exists("a/b")
+        assert store.list_keys("a/") == ["a/b"]
+        store.delete("a/b")
+        assert not store.exists("a/b")

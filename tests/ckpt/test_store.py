@@ -146,3 +146,68 @@ class TestThrottledStore:
             ThrottledStore(MemoryStore(), 0.0)
         with pytest.raises(StorageError):
             ThrottledStore(MemoryStore(), 10.0, latency_sec=-1)
+
+
+class TestDirectoryStoreCollisions:
+    def test_key_under_existing_file_key_is_pointed(self, tmp_path):
+        store = DirectoryStore(str(tmp_path))
+        store.put("a", b"1")
+        with pytest.raises(StorageError, match=r"'a/b' collides .* 'a'"):
+            store.put("a/b", b"2")
+
+    def test_key_over_existing_deeper_keys_is_pointed(self, tmp_path):
+        store = DirectoryStore(str(tmp_path))
+        store.put("a/b", b"1")
+        with pytest.raises(StorageError, match=r"'a' collides .* 'a/b'"):
+            store.put("a", b"2")
+
+    def test_deep_ancestor_collision_names_the_blocking_key(self, tmp_path):
+        store = DirectoryStore(str(tmp_path))
+        store.put("x/y", b"1")
+        with pytest.raises(StorageError, match=r"'x/y/z/w' collides .* 'x/y'"):
+            store.put("x/y/z/w", b"2")
+
+    def test_original_keys_survive_a_rejected_write(self, tmp_path):
+        store = DirectoryStore(str(tmp_path))
+        store.put("a/b", b"payload")
+        with pytest.raises(StorageError):
+            store.put("a", b"2")
+        assert store.get("a/b") == b"payload"
+        assert store.list_keys() == ["a/b"]
+
+
+class TestDirectoryStoreDurability:
+    def test_put_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):
+        synced: list[str] = []
+        from repro.ckpt import store as store_mod
+
+        monkeypatch.setattr(
+            store_mod, "_fsync_dir", lambda path: synced.append(path)
+        )
+        store = DirectoryStore(str(tmp_path))
+        store.put("deep/key", b"x")
+        assert synced == [os.path.join(store.root, "deep")]
+
+    def test_fsync_dir_is_best_effort(self, tmp_path):
+        from repro.ckpt.store import _fsync_dir
+
+        _fsync_dir(str(tmp_path / "does-not-exist"))  # no exception
+        _fsync_dir(str(tmp_path))
+
+
+class TestThrottledStoreMetadataLatency:
+    def test_metadata_ops_each_cost_one_latency(self):
+        store = ThrottledStore(MemoryStore(), 1e9, latency_sec=0.01)
+        store.put("k", b"x" * 1000)
+        after_put = store.simulated_seconds
+        store.exists("k")
+        store.list_keys()
+        store.delete("k")
+        assert store.simulated_seconds == pytest.approx(after_put + 0.03)
+
+    def test_zero_latency_metadata_is_free(self):
+        store = ThrottledStore(MemoryStore(), 1e9)
+        store.exists("k")
+        store.list_keys()
+        store.delete("k")
+        assert store.simulated_seconds == 0.0
