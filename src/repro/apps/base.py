@@ -8,13 +8,16 @@ drive any of them interchangeably.
 
 from __future__ import annotations
 
-from typing import Mapping, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..exceptions import ReproError
 
-__all__ = ["ProxyApp", "run_steps", "state_allclose"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ckpt.manager import CheckpointManager
+
+__all__ = ["ProxyApp", "run_steps", "run_with_checkpoints", "state_allclose"]
 
 
 @runtime_checkable
@@ -40,6 +43,39 @@ def run_steps(app: ProxyApp, n: int) -> ProxyApp:
     for _ in range(n):
         app.step()
     return app
+
+
+def run_with_checkpoints(
+    app: ProxyApp,
+    manager: "CheckpointManager",
+    *,
+    total_steps: int,
+    interval: int,
+    final: bool = True,
+    app_meta: Mapping[str, Any] | None = None,
+) -> list[int]:
+    """Step ``app`` to ``total_steps``, committing a checkpoint every
+    ``interval`` steps (and at the final step when ``final`` is set).
+
+    Restart-aware: the app may already be mid-run (restored from a
+    committed generation), and steps whose generation is already committed
+    are skipped rather than rewritten -- exactly what an incarnation
+    resuming past its predecessor's checkpoints needs.  Returns the steps
+    checkpointed by *this* call.
+    """
+    if total_steps < 0:
+        raise ReproError(f"total_steps must be >= 0, got {total_steps}")
+    if interval < 1:
+        raise ReproError(f"interval must be >= 1, got {interval}")
+    written: list[int] = []
+    while app.step_index < total_steps:
+        app.step()
+        s = int(app.step_index)
+        due = s % interval == 0 or (final and s == total_steps)
+        if due and s not in manager.steps():
+            manager.checkpoint(s, app_meta)
+            written.append(s)
+    return written
 
 
 def state_allclose(

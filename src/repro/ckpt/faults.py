@@ -38,7 +38,12 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, StorageError, TransientStorageError
+from ..exceptions import (
+    ConfigurationError,
+    SimulatedCrash,
+    StorageError,
+    TransientStorageError,
+)
 from ..failure.distributions import FailureDistribution
 from ..obs.metrics import get_registry
 from .store import Store
@@ -52,6 +57,13 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultInjectingStore",
+    "CRASH_BEFORE",
+    "CRASH_TORN",
+    "CRASH_AFTER",
+    "CRASH_MODES",
+    "CrashPoint",
+    "CrashPlan",
+    "CrashInjectingStore",
 ]
 
 FAULT_TRANSIENT = "transient"
@@ -308,3 +320,198 @@ class FaultInjectingStore(Store):
 
     def list_keys(self, prefix: str = "") -> list[str]:
         return self.inner.list_keys(prefix)
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+
+# -- process-death injection ---------------------------------------------------
+#
+# Faults above model the *storage medium* misbehaving while the writer
+# lives on.  Crash points model the opposite: the medium is fine but the
+# writing process dies at an arbitrary store operation -- the Tsubame2.5
+# failure mode (paper SSV) that motivates checkpointing in the first place,
+# and exactly what the two-phase commit journal must survive.
+
+CRASH_BEFORE = "before"  # die before the operation touches the store
+CRASH_TORN = "torn"  # a put persists only a prefix, then the process dies
+CRASH_AFTER = "after"  # the operation completes durably, then the process dies
+
+CRASH_MODES = (CRASH_BEFORE, CRASH_TORN, CRASH_AFTER)
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One scheduled process death, pinned to a global operation index.
+
+    ``op_index`` counts ``put``/``get`` operations (one shared counter, as
+    in :class:`FaultPlan`); ``mode`` decides what the store retains:
+    ``before`` leaves it untouched, ``torn`` persists a deterministic
+    prefix of the payload (puts only; on a get it degrades to ``before``),
+    ``after`` completes the operation first.  Together the three modes
+    place a death strictly before, inside, and strictly after any protocol
+    step -- mid-blob, post-blob/pre-manifest, post-manifest/pre-marker.
+    """
+
+    op_index: int
+    mode: str = CRASH_BEFORE
+
+    def __post_init__(self) -> None:
+        if int(self.op_index) < 0:
+            raise ConfigurationError(
+                f"crash op_index must be >= 0, got {self.op_index}"
+            )
+        if self.mode not in CRASH_MODES:
+            raise ConfigurationError(
+                f"unknown crash mode {self.mode!r}; expected one of {CRASH_MODES}"
+            )
+
+
+class CrashPlan:
+    """Seed-driven schedule of process deaths by store-operation index.
+
+    Built from explicit :class:`CrashPoint` placements (the crash-matrix
+    tests enumerate every index of the commit protocol) or from a
+    :class:`~repro.failure.distributions.FailureDistribution` via
+    :meth:`from_distribution` -- the same MTBF models that drive the run
+    simulator then decide *when* the process dies, with the crash mode
+    drawn from a seeded RNG.  Each point fires at most once; the plan is
+    exhausted when every point has fired.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[CrashPoint | tuple[int, str]] = (),
+        *,
+        seed: int = 0,
+    ) -> None:
+        self._points: dict[int, CrashPoint] = {}
+        for p in points:
+            point = p if isinstance(p, CrashPoint) else CrashPoint(int(p[0]), str(p[1]))
+            self._points[int(point.op_index)] = point
+        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._op_index = -1
+        self.fired: list[CrashPoint] = []
+
+    @classmethod
+    def from_distribution(
+        cls,
+        dist: FailureDistribution,
+        *,
+        horizon_ops: int,
+        op_cost_sec: float = 1.0,
+        modes: tuple[str, ...] = CRASH_MODES,
+        seed: int = 0,
+    ) -> "CrashPlan":
+        """Schedule crashes from a failure-time distribution.
+
+        Mirrors :meth:`FaultPlan.from_distribution`: each store operation
+        advances a simulated clock by ``op_cost_sec``, a failure at time
+        ``t`` kills operation ``floor(t / op_cost_sec)``, and the crash
+        mode at each death is drawn uniformly from ``modes``.
+        """
+        if horizon_ops < 0:
+            raise ConfigurationError(f"horizon_ops must be >= 0, got {horizon_ops}")
+        if op_cost_sec <= 0:
+            raise ConfigurationError(f"op_cost_sec must be > 0, got {op_cost_sec}")
+        for mode in modes:
+            if mode not in CRASH_MODES:
+                raise ConfigurationError(
+                    f"unknown crash mode {mode!r}; expected one of {CRASH_MODES}"
+                )
+        rng = np.random.default_rng(seed)
+        times = dist.failure_times(horizon_ops * op_cost_sec, rng)
+        points = [
+            CrashPoint(int(t // op_cost_sec), str(rng.choice(modes))) for t in times
+        ]
+        return cls(points, seed=seed)
+
+    def draw(self, op: str) -> CrashPoint | None:
+        """The crash point for the next operation, or None to proceed."""
+        self._op_index += 1
+        point = self._points.pop(self._op_index, None)
+        if point is not None:
+            self.fired.append(point)
+        return point
+
+    def position(self, n: int) -> int:
+        """Deterministic torn-write cut position in ``[0, n)``."""
+        if n <= 0:
+            return 0
+        return int(self._rng.integers(0, n))
+
+    @property
+    def op_index(self) -> int:
+        return self._op_index
+
+    @property
+    def pending(self) -> int:
+        """Crash points that have not fired yet."""
+        return len(self._points)
+
+
+class CrashInjectingStore(Store):
+    """Store wrapper that kills the writer at scheduled :class:`CrashPoint`\\ s.
+
+    A firing point raises :class:`~repro.exceptions.SimulatedCrash` --
+    which no retry or repair layer catches -- after mutating the store
+    according to the point's mode.  Wrap this *outside* any
+    :class:`~repro.ckpt.resilience.ResilientStore` so a simulated death is
+    never retried away, and *inside* the test harness that models the
+    scheduler restarting the job.  Metadata operations pass through: a
+    directory listing cannot tear a commit.
+    """
+
+    def __init__(self, inner: Store, plan: CrashPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.events: list[FaultEvent] = []
+
+    def _crash(self, op: str, key: str, point: CrashPoint) -> None:
+        self.events.append(
+            FaultEvent(
+                index=self.plan.op_index,
+                op=op,
+                key=key,
+                kind=f"crash-{point.mode}",
+                detail={"op_index": point.op_index},
+            )
+        )
+        get_registry().counter("store.crashes").inc()
+        raise SimulatedCrash(
+            f"injected process death at store op {point.op_index} "
+            f"({point.mode} {op} of {key!r})"
+        )
+
+    def put(self, key: str, data: bytes) -> None:
+        point = self.plan.draw("put")
+        if point is None:
+            self.inner.put(key, data)
+            return
+        if point.mode == CRASH_TORN and len(data) > 0:
+            self.inner.put(key, data[: self.plan.position(len(data))])
+        elif point.mode == CRASH_AFTER:
+            self.inner.put(key, data)
+        self._crash("put", key, point)
+
+    def get(self, key: str) -> bytes:
+        point = self.plan.draw("get")
+        if point is None:
+            return self.inner.get(key)
+        if point.mode == CRASH_AFTER:
+            self.inner.get(key)  # the read completes, its result dies with us
+        self._crash("get", key, point)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+    def sync(self) -> None:
+        self.inner.sync()

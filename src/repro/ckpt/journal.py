@@ -1,0 +1,313 @@
+"""Two-phase checkpoint commit: blobs, barrier, manifest, commit marker.
+
+The paper's premise (SSI, SSV) is that processes die at arbitrary moments,
+which includes *while a checkpoint is being written*.  A generation is
+therefore never trusted just because its files exist; it counts only once
+a tiny commit marker -- published in one atomic ``put`` after everything
+it seals is durable -- says so.  The write-ahead discipline is the one
+SCR and FTI use for multi-level checkpointing:
+
+1. **Blob phase** -- every array and parity blob is written under the
+   generation prefix ``ckpt/<step>/``.  The generation is *pending*: a
+   reader must ignore it.
+2. **Barrier** -- :meth:`~repro.ckpt.store.Store.sync` flushes the blob
+   fan-out so nothing in later phases can be reordered before the data.
+3. **Manifest phase** -- the manifest (format_version
+   :data:`COMMIT_FORMAT_VERSION`) is written, then a second barrier.
+4. **Publish** -- a :class:`CommitMarker` recording the manifest's CRC32
+   and length lands at ``ckpt/<step>/COMMIT`` in a single atomic put.
+   Only now is the generation *committed*.
+
+A crash at any instant leaves either a committed generation (marker
+present and matching) or a torn one (anything else) -- and torn
+generations are garbage, reaped by :mod:`repro.ckpt.recovery` at the next
+start.  There is no intermediate state a restore could half-trust.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+
+from ..exceptions import (
+    CheckpointNotFoundError,
+    CommitError,
+    FormatError,
+)
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .manifest import CheckpointManifest, manifest_key
+from .store import Store
+
+__all__ = [
+    "COMMIT_FILENAME",
+    "COMMIT_FORMAT_VERSION",
+    "commit_key",
+    "generation_prefix",
+    "CommitMarker",
+    "CommitTransaction",
+    "CommitJournal",
+    "load_marker",
+    "is_committed",
+]
+
+COMMIT_FILENAME = "COMMIT"
+
+#: Manifest ``format_version`` written by the journal.  Version 1 manifests
+#: predate commit markers; version >= 2 promises that a marker was published,
+#: so a v2 manifest *without* a valid marker is evidence of a torn commit.
+COMMIT_FORMAT_VERSION = 2
+
+_STEP_WIDTH = 10  # keep in lockstep with repro.ckpt.manifest
+
+
+def generation_prefix(step: int) -> str:
+    """Store-key prefix owning every object of generation ``step``."""
+    return f"ckpt/{int(step):0{_STEP_WIDTH}d}/"
+
+
+def commit_key(step: int) -> str:
+    """Store key of the commit marker for ``step``."""
+    return generation_prefix(step) + COMMIT_FILENAME
+
+
+@dataclass(frozen=True)
+class CommitMarker:
+    """The atomic publish record sealing one checkpoint generation.
+
+    Besides announcing "this generation is complete", the marker pins the
+    exact manifest it seals (CRC32 + length), so a marker paired with a
+    later-damaged or swapped manifest is detected as torn rather than
+    trusted.  ``n_entries``/``n_parity`` are redundant summaries used in
+    recovery diagnostics.
+    """
+
+    step: int
+    manifest_crc32: int
+    manifest_bytes: int
+    n_entries: int
+    n_parity: int = 0
+    format_version: int = COMMIT_FORMAT_VERSION
+
+    def to_json(self) -> bytes:
+        return json.dumps(
+            {
+                "format_version": self.format_version,
+                "step": self.step,
+                "manifest_crc32": self.manifest_crc32,
+                "manifest_bytes": self.manifest_bytes,
+                "n_entries": self.n_entries,
+                "n_parity": self.n_parity,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "CommitMarker":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FormatError(f"commit marker is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise FormatError(
+                f"commit marker must be a JSON object, got {type(doc).__name__}"
+            )
+        try:
+            return cls(
+                step=int(doc["step"]),
+                manifest_crc32=int(doc["manifest_crc32"]),
+                manifest_bytes=int(doc["manifest_bytes"]),
+                n_entries=int(doc["n_entries"]),
+                n_parity=int(doc.get("n_parity", 0)),
+                format_version=int(doc.get("format_version", COMMIT_FORMAT_VERSION)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"commit marker is missing fields: {exc}") from exc
+
+    def matches(self, manifest_payload: bytes) -> bool:
+        """Whether ``manifest_payload`` is the exact manifest this marker
+        sealed."""
+        return (
+            len(manifest_payload) == self.manifest_bytes
+            and (zlib.crc32(manifest_payload) & 0xFFFFFFFF) == self.manifest_crc32
+        )
+
+
+def load_marker(store: Store, step: int) -> CommitMarker:
+    """Read and parse the commit marker of ``step``.
+
+    Raises :class:`CheckpointNotFoundError` when no marker exists and
+    :class:`FormatError` when the marker bytes are damaged (a crash while
+    the marker itself was being written on a non-atomic medium).
+    """
+    key = commit_key(step)
+    if not store.exists(key):
+        raise CheckpointNotFoundError(f"no commit marker for step {step}")
+    return CommitMarker.from_json(store.get(key))
+
+
+def is_committed(store: Store, step: int) -> bool:
+    """Whether generation ``step`` is fully committed.
+
+    True iff a parseable marker exists, it names ``step``, and the
+    manifest it seals is present with matching length and CRC32.  Anything
+    else -- absent marker, torn marker bytes, missing or substituted
+    manifest -- is not committed.
+    """
+    try:
+        marker = load_marker(store, step)
+    except (CheckpointNotFoundError, FormatError):
+        return False
+    if marker.step != int(step):
+        return False
+    mkey = manifest_key(step)
+    if not store.exists(mkey):
+        return False
+    return marker.matches(store.get(mkey))
+
+
+class CommitTransaction:
+    """One in-flight checkpoint commit (phases 1-4 above).
+
+    Obtained from :meth:`CommitJournal.begin`; blob puts go through
+    :meth:`put_blob` so the journal can confine them to the generation
+    prefix and refuse writes after :meth:`seal`.
+    """
+
+    def __init__(self, journal: "CommitJournal", step: int) -> None:
+        self.journal = journal
+        self.store = journal.store
+        self.step = int(step)
+        self.prefix = generation_prefix(step)
+        self.blob_keys: list[str] = []
+        self._sealed = False
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def put_blob(self, key: str, data: bytes) -> None:
+        """Phase-1 write of one array/parity blob under the pending prefix."""
+        if self._sealed:
+            raise CommitError(
+                f"transaction for step {self.step} is already sealed; "
+                f"no further blobs may join the generation"
+            )
+        if not key.startswith(self.prefix):
+            raise CommitError(
+                f"blob key {key!r} is outside generation prefix {self.prefix!r}"
+            )
+        if key in (manifest_key(self.step), commit_key(self.step)):
+            raise CommitError(
+                f"key {key!r} is reserved for the commit protocol; "
+                f"blobs may not impersonate the manifest or marker"
+            )
+        self.store.put(key, data)
+        self.blob_keys.append(key)
+
+    def seal(self, manifest: CheckpointManifest) -> CommitMarker:
+        """Phases 2-4: barrier, manifest, barrier, atomic marker publish."""
+        if self._sealed:
+            raise CommitError(f"transaction for step {self.step} is already sealed")
+        if int(manifest.step) != self.step:
+            raise CommitError(
+                f"manifest is for step {manifest.step}, transaction owns "
+                f"step {self.step}"
+            )
+        if manifest.format_version < COMMIT_FORMAT_VERSION:
+            raise CommitError(
+                f"journal commits require manifest format_version >= "
+                f"{COMMIT_FORMAT_VERSION}, got {manifest.format_version}"
+            )
+        tracer = get_tracer()
+        with tracer.span(
+            "ckpt.commit", step=self.step, n_blobs=len(self.blob_keys)
+        ) as sp:
+            # barrier: the blob fan-out must be durable before any metadata
+            # that references it can land
+            self.store.sync()
+            payload = manifest.to_json()
+            with tracer.span("ckpt.manifest_write"):
+                self.store.put(manifest_key(self.step), payload)
+            # barrier: the manifest must be durable before the marker that
+            # promises it exists
+            self.store.sync()
+            marker = CommitMarker(
+                step=self.step,
+                manifest_crc32=zlib.crc32(payload) & 0xFFFFFFFF,
+                manifest_bytes=len(payload),
+                n_entries=len(manifest.entries),
+                n_parity=len(manifest.parity),
+            )
+            self.store.put(commit_key(self.step), marker.to_json())
+            sp.set(manifest_bytes=len(payload), n_entries=len(manifest.entries))
+        self._sealed = True
+        get_registry().counter("ckpt.commits").inc()
+        return marker
+
+    def abort(self) -> None:
+        """Best-effort reap of everything this transaction wrote.
+
+        Only callable before :meth:`seal`; a sealed generation is
+        committed and owned by retention, not the transaction.
+        """
+        if self._sealed:
+            raise CommitError(
+                f"transaction for step {self.step} is sealed; a committed "
+                f"generation cannot be aborted"
+            )
+        reap_generation(self.store, self.step)
+        self.blob_keys.clear()
+
+
+def reap_generation(store: Store, step: int) -> int:
+    """Delete every object of generation ``step``; returns keys removed.
+
+    Deletion order makes a crash *during* the reap safe: the marker goes
+    first (the generation atomically stops looking committed), then the
+    manifest, then blobs -- so a half-reaped generation re-classifies as
+    torn or orphaned, never as committed, and reaping is idempotent.
+    """
+    removed = 0
+    ckey = commit_key(step)
+    if store.exists(ckey):
+        store.delete(ckey)
+        removed += 1
+    mkey = manifest_key(step)
+    if store.exists(mkey):
+        store.delete(mkey)
+        removed += 1
+    for key in store.list_keys(generation_prefix(step)):
+        store.delete(key)
+        removed += 1
+    return removed
+
+
+class CommitJournal:
+    """Factory for :class:`CommitTransaction`\\ s over one store.
+
+    ``begin`` is where the crash-consistency contract starts: a step that
+    is already *committed* is refused (overwriting published data is a
+    protocol violation), while stale *uncommitted* leftovers at the same
+    step -- the residue of this process's predecessor dying mid-commit --
+    are reaped so the retry starts from a clean prefix.
+    """
+
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    def begin(self, step: int) -> CommitTransaction:
+        step = int(step)
+        if step < 0:
+            raise CommitError(f"step must be >= 0, got {step}")
+        if is_committed(self.store, step):
+            raise CommitError(
+                f"step {step} already holds a committed checkpoint; "
+                f"delete it before rewriting"
+            )
+        stale = self.store.list_keys(generation_prefix(step))
+        if stale:
+            removed = reap_generation(self.store, step)
+            get_registry().counter("ckpt.journal.stale_reaped").inc(removed)
+        return CommitTransaction(self, step)

@@ -4,8 +4,13 @@ Ties together the array registry (what to save), a store (where), and the
 compression layer (how): float arrays default to the paper's lossy wavelet
 pipeline, everything else to a lossless codec, with per-array overrides.
 
-The write protocol is crash-consistent: array blobs go in first and the
-manifest last, so a checkpoint is visible if and only if it is complete.
+The write protocol is crash-consistent via the two-phase commit journal
+(:mod:`repro.ckpt.journal`): array and parity blobs land under a pending
+generation prefix, a sync barrier makes them durable, the manifest follows,
+and a tiny commit marker -- published in one atomic put -- makes the
+generation visible.  :meth:`CheckpointManager.steps` only ever reports
+committed generations, so a crash at any instant leaves nothing a restore
+could half-trust; :mod:`repro.ckpt.recovery` reaps the debris at startup.
 Every restore verifies blob sizes and CRC32s against the manifest before
 any data reaches the application.
 
@@ -37,12 +42,22 @@ from ..exceptions import (
     CorruptionError,
     FormatError,
     IntegrityError,
+    NonFiniteDataError,
     RestoreError,
+    SimulatedCrash,
     StorageError,
 )
 from ..lossless import get_codec
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from .journal import (
+    COMMIT_FILENAME,
+    COMMIT_FORMAT_VERSION,
+    CommitJournal,
+    CommitTransaction,
+    is_committed,
+    reap_generation,
+)
 from .manifest import (
     MANIFEST_FILENAME,
     ArrayEntry,
@@ -132,7 +147,13 @@ def deserialize_array(blob: bytes) -> np.ndarray:
             raise FormatError(f"lossless array header is malformed: {exc}") from exc
         if "data" not in sections:
             raise FormatError("lossless array container is missing its data section")
-        data = np.frombuffer(sections["data"], dtype=dtype)
+        try:
+            data = np.frombuffer(sections["data"], dtype=dtype)
+        except ValueError as exc:
+            raise FormatError(
+                f"lossless array payload of {len(sections['data'])} bytes is "
+                f"not a whole number of {dtype} items: {exc}"
+            ) from exc
         expected = 1
         for s in shape:
             expected *= s
@@ -225,6 +246,7 @@ class CheckpointManager:
                 ),
             )
         self.store = store
+        self.journal = CommitJournal(self.store)
         self.repair_log: list[RepairEvent] = []
         self.config = config if config is not None else CompressionConfig()
         overrides: dict[str, Any] = {}
@@ -301,10 +323,34 @@ class CheckpointManager:
         step = int(step)
         if step < 0:
             raise CheckpointError(f"step must be >= 0, got {step}")
-        if self.store.exists(manifest_key(step)):
-            raise CheckpointError(f"checkpoint for step {step} already exists")
+        if is_committed(self.store, step):
+            raise CheckpointError(
+                f"checkpoint for step {step} already exists (committed); "
+                f"delete it before rewriting"
+            )
         meta = validate_app_meta(app_meta)
         tracer = get_tracer()
+        txn = self.journal.begin(step)
+        try:
+            return self._checkpoint_txn(txn, step, meta, tracer)
+        except SimulatedCrash:
+            raise  # the process "died"; nothing may clean up after it
+        except BaseException:
+            # a live failure (bad input, compression error, full store):
+            # reap the pending generation so no orphan outlives the attempt
+            try:
+                txn.abort()
+            except StorageError:
+                pass  # recovery will reap it at the next start
+            raise
+
+    def _checkpoint_txn(
+        self,
+        txn: CommitTransaction,
+        step: int,
+        meta: dict[str, Any],
+        tracer: Any,
+    ) -> CheckpointManifest:
         entries: list[ArrayEntry] = []
         blob_by_name: dict[str, bytes] = {}
         with tracer.span("checkpoint", step=step) as root:
@@ -315,20 +361,33 @@ class CheckpointManager:
                     "ckpt.array", array=name, mode=mode, nbytes=int(arr.nbytes)
                 ) as sp_arr:
                     if mode == "lossy":
-                        if self.workers > 1 and arr.ndim >= 1 and arr.shape[0] > 1:
-                            blob = chunked_compress(
-                                arr,
-                                how,
-                                chunk_rows=self.chunk_rows,
-                                executor=self._slab_executor(),
-                            )
-                            codec = "wavelet-lossy-chunked"
-                            params = dict(how.to_dict(), chunk_rows=self.chunk_rows)
-                        else:
-                            compressor = WaveletCompressor(how)
-                            blob = compressor.compress(arr)
-                            codec = "wavelet-lossy"
-                            params = how.to_dict()
+                        try:
+                            if (
+                                self.workers > 1
+                                and arr.ndim >= 1
+                                and arr.shape[0] > 1
+                            ):
+                                blob = chunked_compress(
+                                    arr,
+                                    how,
+                                    chunk_rows=self.chunk_rows,
+                                    executor=self._slab_executor(),
+                                )
+                                codec = "wavelet-lossy-chunked"
+                                params = dict(
+                                    how.to_dict(), chunk_rows=self.chunk_rows
+                                )
+                            else:
+                                compressor = WaveletCompressor(how)
+                                blob = compressor.compress(arr)
+                                codec = "wavelet-lossy"
+                                params = how.to_dict()
+                        except NonFiniteDataError as exc:
+                            raise NonFiniteDataError(
+                                f"array {name!r}: {exc} (pin it to the "
+                                f"lossless path with policy={{{name!r}: "
+                                f"'lossless'}} if NaN/Inf are legitimate)"
+                            ) from exc
                     else:
                         blob = serialize_array_lossless(
                             arr,
@@ -339,7 +398,7 @@ class CheckpointManager:
                         )
                         codec = f"lossless:{how}"
                         params = {}
-                    self.store.put(array_key(step, name), blob)
+                    txn.put_blob(array_key(step, name), blob)
                     sp_arr.set(codec=codec, stored_bytes=len(blob))
                 blob_by_name[name] = blob
                 entries.append(
@@ -354,13 +413,13 @@ class CheckpointManager:
                         crc32=ArrayEntry.checksum(blob),
                     )
                 )
-            parity_entries = self._write_parity(step, entries, blob_by_name)
+            parity_entries = self._write_parity(txn, entries, blob_by_name)
             manifest = CheckpointManifest(
                 step=step, entries=tuple(entries), app_meta=meta,
+                format_version=COMMIT_FORMAT_VERSION,
                 parity=parity_entries,
             )
-            with tracer.span("ckpt.manifest_write"):
-                self.store.put(manifest_key(step), manifest.to_json())
+            txn.seal(manifest)
             root.set(
                 n_arrays=len(entries),
                 raw_bytes=sum(e.raw_bytes for e in entries),
@@ -386,13 +445,14 @@ class CheckpointManager:
 
     def _write_parity(
         self,
-        step: int,
+        txn: CommitTransaction,
         entries: list[ArrayEntry],
         blob_by_name: Mapping[str, bytes],
     ) -> tuple[ParityEntry, ...]:
         """Encode and store one XOR-parity blob per array group."""
         if not self.resilience.parity or not entries:
             return ()
+        step = txn.step
         group_size = self.resilience.parity_group_size or len(entries)
         parity_entries: list[ParityEntry] = []
         registry = get_registry()
@@ -403,7 +463,7 @@ class CheckpointManager:
                 )
                 blob = encode_parity([blob_by_name[n] for n in members])
                 key = parity_key(step, g)
-                self.store.put(key, blob)
+                txn.put_blob(key, blob)
                 parity_entries.append(
                     ParityEntry(
                         key=key,
@@ -426,16 +486,29 @@ class CheckpointManager:
     # -- enumerate -------------------------------------------------------------
 
     def steps(self) -> list[int]:
-        """Steps of every *complete* checkpoint, ascending."""
-        found = []
+        """Steps of every *committed* checkpoint, ascending.
+
+        Committed means both the manifest and the journal's COMMIT marker
+        are present -- a cheap key-listing check.  Torn generations (a
+        crash killed the commit before the marker) never appear here;
+        :func:`repro.ckpt.recovery.recover` classifies and reaps them with
+        full marker/manifest cross-checks.
+        """
+        manifests: set[int] = set()
+        markers: set[int] = set()
         for key in self.store.list_keys("ckpt/"):
             parts = key.split("/")
-            if len(parts) == 3 and parts[2] == MANIFEST_FILENAME:
-                try:
-                    found.append(int(parts[1]))
-                except ValueError:
-                    continue
-        return sorted(found)
+            if len(parts) != 3:
+                continue
+            try:
+                step = int(parts[1])
+            except ValueError:
+                continue
+            if parts[2] == MANIFEST_FILENAME:
+                manifests.add(step)
+            elif parts[2] == COMMIT_FILENAME:
+                markers.add(step)
+        return sorted(manifests & markers)
 
     def latest_step(self) -> int | None:
         steps = self.steps()
@@ -633,7 +706,11 @@ class CheckpointManager:
         if step is None:
             step = self.latest_step()
             if step is None:
-                raise CheckpointNotFoundError("store holds no checkpoints")
+                raise CheckpointNotFoundError("store holds no committed checkpoints")
+        elif int(step) not in self.steps():
+            raise CheckpointNotFoundError(
+                f"no committed checkpoint for step {step} (torn or absent)"
+            )
         with get_tracer().span("restore", step=step):
             arrays = self.load_arrays(step, repair=repair)
             self.registry.restore(arrays)
@@ -691,9 +768,7 @@ class CheckpointManager:
         return manifest
 
     def delete(self, step: int) -> None:
-        """Remove checkpoint ``step`` (manifest first, so it disappears
-        atomically from :meth:`steps`)."""
-        self.store.delete(manifest_key(step))
-        prefix = f"ckpt/{int(step):010d}/"
-        for key in self.store.list_keys(prefix):
-            self.store.delete(key)
+        """Remove checkpoint ``step`` (commit marker first, so it
+        disappears atomically from :meth:`steps`; a crash mid-delete
+        leaves a torn generation that recovery reaps)."""
+        reap_generation(self.store, step)

@@ -198,6 +198,11 @@ class ResilientStore(Store):
     def list_keys(self, prefix: str = "") -> list[str]:
         return self.inner.list_keys(prefix)
 
+    def sync(self) -> None:
+        """Forwarded without retry: a failed durability barrier must fail
+        the commit rather than be papered over."""
+        self.inner.sync()
+
 
 class _ReadMismatch(StorageError):
     """Internal: a verified read came back with the wrong bytes."""

@@ -45,6 +45,18 @@ class Store(ABC):
     def list_keys(self, prefix: str = "") -> list[str]:
         """All keys starting with ``prefix``, sorted."""
 
+    def sync(self) -> None:
+        """Durability barrier: block until previously written data is safe.
+
+        The two-phase commit journal calls this between protocol phases
+        (after the blob fan-out, and again after the manifest) so a crash
+        later in the protocol can never be reordered before the data it
+        depends on.  The default is a no-op -- correct for stores whose
+        ``put`` is already durable on return (:class:`MemoryStore`,
+        :class:`DirectoryStore` with its per-write fsync).  Backends that
+        buffer writes should override it.
+        """
+
 
 def _check_key(key: str) -> str:
     if not isinstance(key, str) or not key:
@@ -203,6 +215,12 @@ class DirectoryStore(Store):
                     keys.append(key)
         return sorted(keys)
 
+    def sync(self) -> None:
+        """Every ``put`` already fsyncs its file and parent directory, so
+        the phase barrier only needs the root's own entry table flushed
+        (covers freshly created generation directories)."""
+        _fsync_dir(self.root)
+
 
 class CountingStore(Store):
     """Wrapper recording operation counts and byte totals (diagnostics)."""
@@ -212,6 +230,7 @@ class CountingStore(Store):
         self.puts = 0
         self.gets = 0
         self.deletes = 0
+        self.syncs = 0
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -235,6 +254,10 @@ class CountingStore(Store):
 
     def list_keys(self, prefix: str = "") -> list[str]:
         return self.inner.list_keys(prefix)
+
+    def sync(self) -> None:
+        self.inner.sync()
+        self.syncs += 1
 
 
 class ThrottledStore(Store):
@@ -291,3 +314,7 @@ class ThrottledStore(Store):
         keys = self.inner.list_keys(prefix)
         self.simulated_seconds += self.latency
         return keys
+
+    def sync(self) -> None:
+        self.inner.sync()
+        self.simulated_seconds += self.latency

@@ -28,7 +28,21 @@ verify
     CRC-verify every checkpoint in a checkpoint directory.  With
     ``--repair``, reconstruct any single corrupt-or-missing blob per
     parity group, rewrite the healed bytes, and exit 0 once the store
-    verifies clean.
+    verifies clean.  Torn and orphaned generations (crash debris the
+    commit journal never published) are reported but do not fail the run.
+restore
+    Restore the newest committed checkpoint (or ``--step``) from a
+    directory store into a ``.npz`` file, walking the fallback ladder of
+    older committed generations when the newest cannot be restored even
+    after retry/parity repair.  Prints a one-line diagnosis: generation
+    used, generations skipped, repairs applied.
+restart
+    Run a proxy application to completion with periodic checkpoint
+    commits, restarting from the newest committed generation after every
+    injected crash (``--crash-mtbf-ops`` schedules process deaths from an
+    exponential MTBF over store operations).  Demonstrates the crash/
+    restart loop end to end: torn generations are reaped at each startup,
+    rework is bounded by the checkpoint interval.
 report
     Render the profiling report of a ``--trace`` JSONL file: the Fig. 9
     stage breakdown, recorded metrics and (optionally) the span tree.
@@ -284,6 +298,89 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(p, parity=False)
 
     p = sub.add_parser(
+        "restore",
+        help="restore the newest committed checkpoint into a .npz file",
+    )
+    p.add_argument("directory", help="checkpoint directory (DirectoryStore root)")
+    p.add_argument("output", help="output .npz file for the restored arrays")
+    p.add_argument(
+        "--step", type=int, default=None, metavar="S",
+        help="restore this step instead of the newest committed generation",
+    )
+    p.add_argument(
+        "--repair", action="store_true",
+        help="force parity repair of corrupt-or-missing blobs during the "
+             "restore (default: repair exactly when the manifest has parity)",
+    )
+    p.add_argument(
+        "--fallback", type=int, default=None, metavar="N",
+        help="try at most N older committed generations when the newest "
+             "fails to restore [default: all older generations]",
+    )
+    p.add_argument(
+        "--no-fallback", action="store_true",
+        help="never fall back: restore the requested/newest generation or fail",
+    )
+    _add_resilience_args(p, parity=False)
+    _add_trace_arg(p)
+
+    p = sub.add_parser(
+        "restart",
+        help="run a proxy app across injected crashes with checkpoint/restart",
+    )
+    p.add_argument("directory", help="checkpoint directory (DirectoryStore root)")
+    p.add_argument(
+        "--app", choices=("heat", "advection"), default="heat",
+        help="proxy application to run [default: heat]",
+    )
+    p.add_argument(
+        "--steps", type=int, required=True, metavar="N",
+        help="total simulation steps to complete",
+    )
+    p.add_argument(
+        "--interval", type=int, required=True, metavar="K",
+        help="commit a checkpoint every K steps",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="seed of the app's initial state [default: 0]",
+    )
+    p.add_argument(
+        "--shape", default="16,16,8", metavar="X,Y,Z",
+        help="3D grid shape of the proxy app [default: 16,16,8]",
+    )
+    p.add_argument(
+        "--crash-mtbf-ops", type=float, default=None, metavar="M",
+        help="mean store operations between injected process deaths "
+             "(exponential MTBF); omit to run without crash injection",
+    )
+    p.add_argument(
+        "--crash-horizon-ops", type=int, default=None, metavar="H",
+        help="operation horizon the crash schedule is drawn over "
+             "[default: 20 x MTBF]",
+    )
+    p.add_argument(
+        "--crash-seed", type=int, default=0, metavar="S",
+        help="seed of the crash schedule [default: 0]",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=100, metavar="R",
+        help="give up after R crash/restart cycles [default: 100]",
+    )
+    p.add_argument(
+        "--fallback", type=int, default=None, metavar="N",
+        help="restore may try at most N older committed generations "
+             "[default: all]",
+    )
+    p.add_argument(
+        "--repair", action="store_true",
+        help="force parity repair during restores",
+    )
+    _add_config_args(p)
+    _add_resilience_args(p, parity=True)
+    _add_trace_arg(p)
+
+    p = sub.add_parser(
         "report", help="render the profiling report of a --trace JSONL file"
     )
     p.add_argument("trace_file", help="JSONL trace written by --trace")
@@ -376,19 +473,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     from .ckpt.manager import CheckpointManager
     from .ckpt.protocol import ArrayRegistry
+    from .ckpt.recovery import GEN_COMMITTED, scan_generations
     from .ckpt.store import DirectoryStore
 
     if not os.path.isdir(args.directory):
         raise ReproError(f"not a directory: {args.directory!r}")
+    store = DirectoryStore(args.directory)
     # verify never touches the registry, so an empty one suffices
     manager = CheckpointManager(
         ArrayRegistry(),
-        DirectoryStore(args.directory),
+        store,
         resilience=_resilience_from_args(args),
     )
+    uncommitted = [
+        g for g in scan_generations(store) if g.state != GEN_COMMITTED
+    ]
+    for gen in uncommitted:
+        print(f"step {gen.step:10d}: {gen.state.upper()} ({gen.reason})")
     steps = manager.steps()
     if not steps:
-        print("no checkpoints found")
+        if uncommitted:
+            print(
+                f"no committed checkpoints; {len(uncommitted)} torn/orphaned "
+                f"generation(s) await recovery"
+            )
+        else:
+            print("no checkpoints found")
         return 0
     failures = 0
     for step in steps:
@@ -396,20 +506,147 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         try:
             manifest = manager.verify(step, repair=args.repair)
         except ReproError as exc:
-            manifest = manager.read_manifest(step)
-            status = f"CORRUPT ({exc})"
             failures += 1
-        else:
-            healed = manager.repair_log[healed_before:]
-            status = "ok" if not healed else (
-                "healed " + ", ".join(e.name for e in healed)
-            )
+            print(f"step {step:10d}: CORRUPT ({exc})")
+            continue
+        healed = manager.repair_log[healed_before:]
+        status = "ok" if not healed else (
+            "healed " + ", ".join(e.name for e in healed)
+        )
         print(
             f"step {step:10d}: {len(manifest.entries)} arrays, "
             f"{manifest.total_stored_bytes} bytes, "
             f"rate {manifest.compression_rate_percent:.1f} % ... {status}"
         )
+    if failures:
+        print(
+            f"error: {failures} of {len(steps)} committed generation(s) "
+            f"failed verification",
+            file=sys.stderr,
+        )
     return 1 if failures else 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    import os
+
+    from .ckpt.manager import CheckpointManager
+    from .ckpt.protocol import ArrayRegistry
+    from .ckpt.recovery import restore_with_fallback
+    from .ckpt.store import DirectoryStore
+
+    if not os.path.isdir(args.directory):
+        raise ReproError(f"not a directory: {args.directory!r}")
+
+    class _CaptureRegistry(ArrayRegistry):
+        """Registry that captures restored arrays instead of writing them
+        into live application buffers (the CLI has none)."""
+
+        def __init__(self) -> None:
+            super().__init__()
+            self.arrays: dict[str, np.ndarray] = {}
+
+        def restore(self, arrays) -> None:  # type: ignore[override]
+            self.arrays = {k: np.asarray(v) for k, v in arrays.items()}
+
+    registry = _CaptureRegistry()
+    manager = CheckpointManager(
+        registry,
+        DirectoryStore(args.directory),
+        resilience=_resilience_from_args(args),
+    )
+    max_fallback = 0 if args.no_fallback else args.fallback
+    with _tracing(args):
+        result = restore_with_fallback(
+            manager,
+            step=args.step,
+            repair=True if args.repair else None,
+            max_fallback=max_fallback,
+        )
+    np.savez(args.output, **registry.arrays)
+    print(
+        f"{args.output}: {len(registry.arrays)} array(s); {result.describe()}"
+    )
+    return 0
+
+
+def _cmd_restart(args: argparse.Namespace) -> int:
+    from .apps.advection import AdvectionProxy
+    from .apps.heat import HeatDiffusionProxy
+    from .ckpt.manager import CheckpointManager
+    from .ckpt.protocol import registry_from_checkpointable
+    from .ckpt.recovery import RestartCoordinator
+    from .ckpt.store import DirectoryStore
+
+    try:
+        shape = tuple(int(x) for x in args.shape.split(","))
+    except ValueError as exc:
+        raise ReproError(f"--shape must be X,Y,Z integers: {exc}") from exc
+    config = _config_from_args(args)
+    resilience = _resilience_from_args(args)
+
+    store = DirectoryStore(args.directory)
+    plan = None
+    if args.crash_mtbf_ops is not None:
+        from .ckpt.faults import CrashInjectingStore, CrashPlan
+        from .failure.distributions import ExponentialFailures
+
+        if args.crash_mtbf_ops <= 0:
+            raise ReproError(
+                f"--crash-mtbf-ops must be positive, got {args.crash_mtbf_ops}"
+            )
+        horizon = args.crash_horizon_ops or int(args.crash_mtbf_ops * 20)
+        plan = CrashPlan.from_distribution(
+            ExponentialFailures(args.crash_mtbf_ops),
+            horizon_ops=horizon,
+            seed=args.crash_seed,
+        )
+        store = CrashInjectingStore(store, plan)
+
+    app_cls = HeatDiffusionProxy if args.app == "heat" else AdvectionProxy
+
+    def app_factory():
+        return app_cls(shape, args.seed)
+
+    def manager_factory(app):
+        return CheckpointManager(
+            registry_from_checkpointable(app),
+            store,
+            config=config,
+            resilience=resilience,
+        )
+
+    coordinator = RestartCoordinator(
+        app_factory,
+        manager_factory,
+        total_steps=args.steps,
+        interval=args.interval,
+        max_restarts=args.max_restarts,
+        repair=True if args.repair else None,
+        max_fallback=args.fallback,
+    )
+    with _tracing(args):
+        report = coordinator.run()
+    for c in report.cycles:
+        if c.crashed:
+            resumed = (
+                f"resumed from {c.restored_step}" if c.restored_step is not None
+                else "cold start"
+            )
+            print(
+                f"cycle {c.attempt:3d}: {resumed}, crashed at step "
+                f"{c.crash_step} ({len(c.recovered_torn)} torn reaped)"
+            )
+        else:
+            print(
+                f"cycle {c.attempt:3d}: completed at step "
+                f"{report.final_step} ({len(c.recovered_torn)} torn reaped)"
+            )
+    print(
+        f"completed {args.steps} steps after {report.restarts} restart(s); "
+        f"{report.rework_steps} step(s) of rework"
+    )
+    return 0
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -463,6 +700,8 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "checkpoint": _cmd_checkpoint,
     "verify": _cmd_verify,
+    "restore": _cmd_restore,
+    "restart": _cmd_restart,
     "report": _cmd_report,
 }
 

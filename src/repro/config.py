@@ -290,6 +290,12 @@ class ResilienceConfig:
     repair_rewrite:
         After a successful parity reconstruction, write the healed blob
         back to the store so the next reader finds it intact.
+    fallback_generations:
+        How many *older* committed generations
+        :func:`repro.ckpt.recovery.restore_with_fallback` may try after
+        the newest one fails restore despite retry and parity repair.
+        ``None`` walks the whole ladder; ``0`` pins restore to the newest
+        committed generation only.
     """
 
     retries: int = 0
@@ -300,6 +306,7 @@ class ResilienceConfig:
     parity: bool = False
     parity_group_size: int | None = None
     repair_rewrite: bool = True
+    fallback_generations: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.retries, int) or isinstance(self.retries, bool) \
@@ -328,6 +335,16 @@ class ResilienceConfig:
                 raise ConfigurationError(
                     "parity_group_size must be an int >= 1 or None, got "
                     f"{self.parity_group_size!r}"
+                )
+        if self.fallback_generations is not None:
+            if (
+                not isinstance(self.fallback_generations, int)
+                or isinstance(self.fallback_generations, bool)
+                or self.fallback_generations < 0
+            ):
+                raise ConfigurationError(
+                    "fallback_generations must be an int >= 0 or None, got "
+                    f"{self.fallback_generations!r}"
                 )
 
     def replace(self, **changes: Any) -> "ResilienceConfig":

@@ -210,8 +210,21 @@ def _chunked_decompress(blob: bytes) -> np.ndarray:
         return np.empty((0,), dtype=np.float64)
     slabs = []
     total_rows = 0
-    for chunk in iter_chunks(blob):
+    for i, chunk in enumerate(iter_chunks(blob)):
         slab = WaveletCompressor.decompress(chunk)
+        if slab.ndim == 0:
+            raise FormatError(
+                f"chunk {i} decoded to a 0-dimensional array; slabs must "
+                f"carry a leading row axis"
+            )
+        if slabs and (
+            slab.shape[1:] != slabs[0].shape[1:] or slab.dtype != slabs[0].dtype
+        ):
+            raise FormatError(
+                f"chunk {i} decoded to shape {slab.shape} dtype {slab.dtype}, "
+                f"incompatible with the stream's slab shape "
+                f"{slabs[0].shape} dtype {slabs[0].dtype}"
+            )
         slabs.append(slab)
         total_rows += slab.shape[0]
     if total_rows != rows:

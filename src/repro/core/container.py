@@ -31,7 +31,7 @@ import struct
 import zlib
 from typing import Any, Mapping
 
-from ..exceptions import FormatError, IntegrityError
+from ..exceptions import ConfigurationError, FormatError, IntegrityError
 from ..lossless import get_codec
 
 __all__ = [
@@ -154,6 +154,11 @@ def read_body(blob: bytes) -> tuple[dict[str, Any], dict[str, bytes]]:
         header = json.loads(blob[offset:end].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise FormatError(f"container header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FormatError(
+            f"container header must be a JSON object, got "
+            f"{type(header).__name__}"
+        )
     offset = end
     end = _need(blob, offset, _U32.size, "section count")
     (n_sections,) = _U32.unpack_from(blob, offset)
@@ -245,7 +250,14 @@ def unwrap_envelope(blob: bytes) -> tuple[bytes, str]:
     except UnicodeDecodeError as exc:
         raise FormatError(f"backend name is not ascii: {exc}") from exc
     offset = end
-    codec = get_codec(backend)
+    try:
+        codec = get_codec(backend)
+    except ConfigurationError as exc:
+        # a flipped bit in the name field turns "zlib" into garbage; that
+        # is blob corruption, not a caller configuration mistake
+        raise FormatError(
+            f"envelope names unknown backend {backend!r}: {exc}"
+        ) from exc
     try:
         body = codec.decompress(blob[offset:])
     except Exception as exc:

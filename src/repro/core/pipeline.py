@@ -31,7 +31,12 @@ from ..obs.trace import get_tracer
 from . import container
 from .bands import high_band_mask
 from .encoding import EncodedPayload, decode_coefficients, encode_coefficients
-from .quantization import bounded_quantize, proposed_quantize, simple_quantize
+from .quantization import (
+    bounded_quantize,
+    non_finite_error,
+    proposed_quantize,
+    simple_quantize,
+)
 from .wavelet import wavelet_forward, wavelet_inverse
 
 __all__ = ["CompressionStats", "WaveletCompressor", "compress", "decompress", "inspect"]
@@ -196,10 +201,7 @@ class WaveletCompressor:
         if a.ndim == 0:
             raise CompressionError("cannot compress a 0-dimensional array")
         if a.size and not np.isfinite(a).all():
-            raise CompressionError(
-                "input contains non-finite values; the Haar transform would "
-                "not round-trip NaN/Inf"
-            )
+            raise non_finite_error(a, "lossy pipeline input")
         return a
 
     def compress(self, arr: np.ndarray) -> bytes:
@@ -395,12 +397,24 @@ class WaveletCompressor:
         missing = {_SEC_BITMAP, _SEC_AVERAGES, _SEC_INDICES, _SEC_RAW} - set(sections)
         if missing:
             raise FormatError(f"container is missing sections: {sorted(missing)}")
+        def _section_array(name: str, dt: np.dtype) -> np.ndarray:
+            # a length-lying container can leave a section that is not a
+            # whole number of items; frombuffer's ValueError must surface
+            # as a format problem, not leak to the caller
+            try:
+                return np.frombuffer(sections[name], dtype=dt)
+            except ValueError as exc:
+                raise FormatError(
+                    f"section {name!r} of {len(sections[name])} bytes is not "
+                    f"a whole number of {dt} items: {exc}"
+                ) from exc
+
         with tracer.span("decoding"):
             payload = EncodedPayload(
-                bitmap=np.frombuffer(sections[_SEC_BITMAP], dtype=np.uint8),
-                averages=np.frombuffer(sections[_SEC_AVERAGES], dtype=np.float64),
-                indices=np.frombuffer(sections[_SEC_INDICES], dtype=index_dtype),
-                raw_values=np.frombuffer(sections[_SEC_RAW], dtype=np.float64),
+                bitmap=_section_array(_SEC_BITMAP, np.dtype(np.uint8)),
+                averages=_section_array(_SEC_AVERAGES, np.dtype(np.float64)),
+                indices=_section_array(_SEC_INDICES, index_dtype),
+                raw_values=_section_array(_SEC_RAW, np.dtype(np.float64)),
                 size=size,
             )
             flat = decode_coefficients(payload)

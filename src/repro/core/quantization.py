@@ -30,7 +30,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import CompressionError, ConfigurationError
+from ..exceptions import (
+    CompressionError,
+    ConfigurationError,
+    NonFiniteDataError,
+)
 
 __all__ = [
     "QuantizationResult",
@@ -39,6 +43,7 @@ __all__ = [
     "bounded_quantize",
     "dequantize",
     "detect_spiked_partitions",
+    "non_finite_error",
 ]
 
 _MAX_BINS = 256  # one byte per encoded index (paper SIII-C)
@@ -85,15 +90,34 @@ class QuantizationResult:
         return int(self.quantized_mask.size)
 
 
+def non_finite_error(arr: np.ndarray, context: str) -> NonFiniteDataError:
+    """A pointed error naming how much of ``arr`` is NaN/Inf and where.
+
+    The range and spike computations below take mins, maxes and bin counts
+    over the data; a single NaN poisons every one of them silently (NaN
+    comparisons are all false), so the caller must reject the array with
+    an error precise enough to act on rather than let garbage bins
+    propagate into the checkpoint.
+    """
+    flat = np.asarray(arr).ravel()
+    bad = ~np.isfinite(flat)
+    n_nan = int(np.isnan(flat).sum())
+    n_inf = int(bad.sum()) - n_nan
+    first = int(np.argmax(bad))
+    return NonFiniteDataError(
+        f"{context} contains {n_nan} NaN and {n_inf} Inf among {flat.size} "
+        f"values (first at flat index {first}); lossy quantization of "
+        f"non-finite data would produce garbage bins -- mask the values or "
+        f"use the lossless path"
+    )
+
+
 def _check_values(values: np.ndarray) -> np.ndarray:
     v = np.asarray(values, dtype=np.float64)
     if v.ndim != 1:
         raise CompressionError(f"quantizer expects a 1D array, got ndim={v.ndim}")
     if v.size and not np.isfinite(v).all():
-        raise CompressionError(
-            "quantizer input contains non-finite values (NaN/Inf); "
-            "lossy compression of non-finite mesh data is unsupported"
-        )
+        raise non_finite_error(v, "quantizer input")
     return v
 
 

@@ -11,15 +11,18 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "CompressionError",
+    "NonFiniteDataError",
     "DecompressionError",
     "FormatError",
     "IntegrityError",
     "CheckpointError",
+    "CommitError",
     "CheckpointNotFoundError",
     "RestoreError",
     "CorruptionError",
     "StorageError",
     "TransientStorageError",
+    "SimulatedCrash",
     "TuningError",
 ]
 
@@ -36,6 +39,20 @@ class CompressionError(ReproError):
     """Compression of an array failed (unsupported dtype, shape, ...)."""
 
 
+class NonFiniteDataError(CompressionError, ValueError):
+    """Lossy-compression input contains NaN or Inf values.
+
+    Derives from :class:`ValueError` as well as
+    :class:`CompressionError`: non-finite mesh data is a *value* problem in
+    the caller's arrays -- quantization ranges and spike detection would
+    silently produce garbage bins from it -- so it is rejected eagerly with
+    a message naming how many values are bad and where the first one sits.
+    Arrays that legitimately carry NaN/Inf (masked oceans, sentinel cells)
+    belong on the lossless path (``policy={name: "lossless"}``), which
+    round-trips them bit-exactly.
+    """
+
+
 class DecompressionError(ReproError):
     """A compressed blob could not be decoded back into an array."""
 
@@ -50,6 +67,17 @@ class IntegrityError(DecompressionError):
 
 class CheckpointError(ReproError):
     """Checkpoint write or bookkeeping failed."""
+
+
+class CommitError(CheckpointError):
+    """The two-phase checkpoint commit protocol was violated.
+
+    Raised by :mod:`repro.ckpt.journal` when a commit cannot begin or
+    finish cleanly -- e.g. the target generation already holds a published
+    commit marker, or the marker does not match the manifest it claims to
+    seal.  Distinct from :class:`StorageError`: the store worked, the
+    *protocol state* is wrong.
+    """
 
 
 class CheckpointNotFoundError(CheckpointError, KeyError):
@@ -72,6 +100,19 @@ class TransientStorageError(StorageError):
     that bounded retry with backoff is designed to ride over.  The store
     state is unchanged: a failed ``put`` wrote nothing, a failed ``get``
     read nothing.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """An injected process death (crash testing only).
+
+    Raised by :class:`repro.ckpt.faults.CrashInjectingStore` at a
+    scheduled :class:`~repro.ckpt.faults.CrashPoint` to model the writer
+    dying mid-commit.  Deliberately *not* a :class:`StorageError`: no
+    retry/repair layer may absorb it -- the whole point is that everything
+    above the store dies with the process and recovery happens on the next
+    start.  Only the restart coordinator (and test harnesses standing in
+    for a scheduler) catch it.
     """
 
 

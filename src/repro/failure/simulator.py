@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..ckpt.manager import CheckpointManager
-from ..ckpt.manifest import manifest_key
 from ..exceptions import ConfigurationError
 from .injector import FailureSchedule
 
@@ -246,7 +245,7 @@ def run_app_with_failures(
     n_failures = 0
     restored_from: list[int] = []
     start_step = app.step_index
-    if not manager.store.exists(manifest_key(app.step_index)):
+    if app.step_index not in manager.steps():
         manager.checkpoint(app.step_index, {"reason": "entry"})
 
     while app.step_index < total_steps:

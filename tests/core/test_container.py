@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import container
-from repro.exceptions import ConfigurationError, FormatError, IntegrityError
+from repro.exceptions import FormatError, IntegrityError
 
 
 HEADER = {"shape": [4, 2], "dtype": "float64", "n": 7}
@@ -121,9 +121,10 @@ class TestEnvelope:
             container.unwrap_envelope(b"ZZZZ" + blob[4:])
 
     def test_unknown_backend_on_unwrap(self):
+        # an unknown name inside a blob is corruption, not a config mistake
         blob = bytearray(container.wrap_envelope(b"data", "zlib"))
         blob[5:9] = b"zzzz"  # overwrite codec name
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(FormatError, match="unknown backend 'zzzz'"):
             container.unwrap_envelope(bytes(blob))
 
     def test_corrupt_deflate_stream(self):

@@ -1,0 +1,263 @@
+"""Seeded fuzz corpus for the decode path: strict failure taxonomy.
+
+Stricter than the corruption fuzzing in ``test_corruption_fuzz``: every
+mutated blob must either decode bit-identically or raise an exception from
+the :class:`~repro.exceptions.DecompressionError` family (``FormatError``
+or ``IntegrityError``).  Foreign exceptions -- ``IndexError``,
+``struct.error``, raw ``ValueError``, ``TypeError``, ``KeyError`` -- mean
+a parser trusted attacker-controlled lengths, and a silently-wrong array
+means a checksum hole.  The corpus is seeded, so a failure reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro import CompressionConfig, WaveletCompressor
+from repro.core.chunked import chunked_compress, chunked_decompress, inspect_chunked
+from repro.core.container import (
+    peek_header,
+    read_body,
+    unwrap_envelope,
+    wrap_envelope,
+    write_body,
+)
+from repro.exceptions import DecompressionError
+
+SEED = 20260806
+
+
+@pytest.fixture(scope="module")
+def pipeline_blob():
+    rng = np.random.default_rng(SEED)
+    arr = np.cumsum(rng.standard_normal((24, 12)), axis=0)
+    return arr, WaveletCompressor(CompressionConfig(n_bins=32)).compress(arr)
+
+
+@pytest.fixture(scope="module")
+def chunked_blob():
+    rng = np.random.default_rng(SEED + 1)
+    arr = np.cumsum(rng.standard_normal((48, 6)), axis=0)
+    return arr, chunked_compress(arr, chunk_rows=16)
+
+
+def _assert_taxonomy(decode, blob, expected, label):
+    """Decode must be bit-identical or raise DecompressionError -- nothing
+    else."""
+    try:
+        out = decode(blob)
+    except DecompressionError:
+        return "rejected"
+    except BaseException as exc:  # noqa: BLE001 - the point of the test
+        raise AssertionError(
+            f"{label}: decode leaked {type(exc).__name__}: {exc}"
+        ) from exc
+    if out.shape == expected.shape and np.array_equal(out, expected):
+        return "ok"
+    raise AssertionError(f"{label}: silently wrong array")
+
+
+def _mutations(blob: bytes, rng: np.random.Generator, n: int):
+    """A seeded stream of (label, mutated-bytes) pairs."""
+    for i in range(n):
+        kind = int(rng.integers(0, 4))
+        if kind == 0:  # truncation
+            cut = int(rng.integers(0, len(blob)))
+            yield f"mut{i}:truncate@{cut}", blob[:cut]
+        elif kind == 1:  # single bit flip
+            pos = int(rng.integers(0, len(blob)))
+            bit = int(rng.integers(0, 8))
+            m = bytearray(blob)
+            m[pos] ^= 1 << bit
+            yield f"mut{i}:bitflip@{pos}.{bit}", bytes(m)
+        elif kind == 2:  # byte-range scramble
+            lo = int(rng.integers(0, len(blob)))
+            hi = min(len(blob), lo + int(rng.integers(1, 64)))
+            m = bytearray(blob)
+            m[lo:hi] = rng.integers(0, 256, size=hi - lo, dtype=np.uint8).tobytes()
+            yield f"mut{i}:scramble@{lo}:{hi}", bytes(m)
+        else:  # splice: duplicate a slice elsewhere (lies about structure)
+            lo = int(rng.integers(0, len(blob)))
+            hi = min(len(blob), lo + int(rng.integers(1, 48)))
+            at = int(rng.integers(0, len(blob)))
+            yield f"mut{i}:splice@{lo}:{hi}->{at}", blob[:at] + blob[lo:hi] + blob[at:]
+
+
+class TestPipelineCorpus:
+    def test_seeded_corpus(self, pipeline_blob):
+        arr, blob = pipeline_blob
+        expected = WaveletCompressor.decompress(blob)
+        rng = np.random.default_rng(SEED + 2)
+        outcomes = {"ok": 0, "rejected": 0}
+        for label, mutated in _mutations(blob, rng, 400):
+            outcomes[
+                _assert_taxonomy(WaveletCompressor.decompress, mutated, expected, label)
+            ] += 1
+        assert outcomes["rejected"] > 0  # the corpus actually bites
+
+    def test_empty_and_tiny_inputs(self, pipeline_blob):
+        arr, blob = pipeline_blob
+        expected = WaveletCompressor.decompress(blob)
+        for n in range(0, 12):
+            _assert_taxonomy(
+                WaveletCompressor.decompress, blob[:n], expected, f"tiny{n}"
+            )
+            _assert_taxonomy(
+                WaveletCompressor.decompress, b"\x00" * n, expected, f"zeros{n}"
+            )
+
+
+class TestChunkedCorpus:
+    def test_seeded_corpus(self, chunked_blob):
+        arr, blob = chunked_blob
+        expected = chunked_decompress(blob)
+        rng = np.random.default_rng(SEED + 3)
+        for label, mutated in _mutations(blob, rng, 300):
+            _assert_taxonomy(chunked_decompress, mutated, expected, label)
+
+    def test_length_lying_chunk_count(self, chunked_blob):
+        """Header claims more/fewer chunks than the stream holds."""
+        arr, blob = chunked_blob
+        expected = chunked_decompress(blob)
+        head = struct.Struct("<HQQ")
+        version, n_chunks, rows = head.unpack_from(blob, 4)
+        for lie in (0, 1, n_chunks - 1, n_chunks + 1, n_chunks + 1000, 2**40):
+            if lie == n_chunks:
+                continue
+            m = bytearray(blob)
+            head.pack_into(m, 4, version, lie, rows)
+            _assert_taxonomy(
+                chunked_decompress, bytes(m), expected, f"n_chunks={lie}"
+            )
+
+    def test_length_lying_row_count(self, chunked_blob):
+        arr, blob = chunked_blob
+        expected = chunked_decompress(blob)
+        head = struct.Struct("<HQQ")
+        version, n_chunks, rows = head.unpack_from(blob, 4)
+        for lie in (0, rows - 1, rows + 1, 2**50):
+            m = bytearray(blob)
+            head.pack_into(m, 4, version, n_chunks, lie)
+            _assert_taxonomy(chunked_decompress, bytes(m), expected, f"rows={lie}")
+
+    def test_length_lying_chunk_length(self, chunked_blob):
+        """A chunk length field pointing past the end of the stream."""
+        arr, blob = chunked_blob
+        expected = chunked_decompress(blob)
+        offset = 4 + struct.calcsize("<HQQ")
+        for lie in (2**30, 2**62, len(blob) * 2):
+            m = bytearray(blob)
+            struct.pack_into("<Q", m, offset, lie)
+            _assert_taxonomy(
+                chunked_decompress, bytes(m), expected, f"chunk_len={lie}"
+            )
+
+    def test_inspect_follows_the_same_taxonomy(self, chunked_blob):
+        arr, blob = chunked_blob
+        rng = np.random.default_rng(SEED + 4)
+        for label, mutated in _mutations(blob, rng, 150):
+            try:
+                inspect_chunked(mutated)
+            except DecompressionError:
+                pass
+            except BaseException as exc:  # noqa: BLE001
+                raise AssertionError(
+                    f"{label}: inspect leaked {type(exc).__name__}: {exc}"
+                ) from exc
+
+
+class TestCraftedContainers:
+    """Hand-built containers that lie about their own structure."""
+
+    def _enveloped(self, header, sections) -> bytes:
+        return wrap_envelope(bytes(write_body(header, sections)), "zlib")
+
+    def test_non_dict_json_header(self):
+        body = bytearray(write_body({}, {"payload": b"1234"}))
+        # splice a JSON array in place of the header object
+        raw = bytes(write_body({"x": 1}, {}))
+        lie = json.dumps([1, 2, 3]).encode()
+        good = json.dumps({"x": 1}, sort_keys=True).encode()
+        assert good in raw
+        forged = raw.replace(good, lie[: len(good)].ljust(len(good), b" "))
+        with pytest.raises(DecompressionError):
+            read_body(forged)
+        del body
+
+    def test_header_length_lies(self):
+        raw = bytes(write_body({"k": "v"}, {"s": b"abcd"}))
+        for lie in (0, 1, len(raw) * 2, 2**31 - 1):
+            m = bytearray(raw)
+            struct.pack_into("<I", m, 6, lie)
+            with pytest.raises(DecompressionError):
+                read_body(bytes(m))
+
+    def test_section_count_lies(self):
+        raw = bytes(write_body({}, {"s": b"abcd"}))
+        hdr_len = struct.unpack_from("<I", raw, 6)[0]
+        count_at = 4 + 2 + 4 + hdr_len
+        for lie in (2, 255, 2**31 - 1):
+            m = bytearray(raw)
+            struct.pack_into("<I", m, count_at, lie)
+            with pytest.raises(DecompressionError):
+                read_body(bytes(m))
+
+    def test_section_payload_length_lies(self):
+        raw = bytes(write_body({}, {"s": b"abcdefgh"}))
+        hdr_len = struct.unpack_from("<I", raw, 6)[0]
+        len_at = 4 + 2 + 4 + hdr_len + 4 + 1 + 1  # count, name len, name "s"
+        for lie in (2**40, len(raw) * 3):
+            m = bytearray(raw)
+            struct.pack_into("<Q", m, len_at, lie)
+            with pytest.raises(DecompressionError):
+                read_body(bytes(m))
+
+    def test_envelope_backend_name_length_lies(self):
+        blob = self._enveloped({"a": 1}, {"s": b"xy"})
+        for lie in (0, 200, 255):
+            m = bytearray(blob)
+            m[4] = lie
+            with pytest.raises(DecompressionError):
+                unwrap_envelope(bytes(m))
+
+    def test_unknown_backend_name(self):
+        blob = self._enveloped({"a": 1}, {"s": b"xy"})
+        name_len = blob[4]
+        m = bytearray(blob)
+        m[5 : 5 + name_len] = b"?" * name_len
+        with pytest.raises(DecompressionError):
+            unwrap_envelope(bytes(m))
+
+    def test_peek_header_taxonomy(self):
+        blob = self._enveloped({"shape": [4, 4]}, {"s": b"1234"})
+        assert peek_header(blob)["shape"] == [4, 4]
+        rng = np.random.default_rng(SEED + 5)
+        for label, mutated in _mutations(blob, rng, 150):
+            try:
+                peek_header(mutated)
+            except DecompressionError:
+                pass
+            except BaseException as exc:  # noqa: BLE001
+                raise AssertionError(
+                    f"{label}: peek_header leaked {type(exc).__name__}: {exc}"
+                ) from exc
+
+    def test_frombuffer_misaligned_section_rejected(self):
+        """A body whose section byte-length is not a whole number of items
+        must be a FormatError, not a raw numpy ValueError."""
+        from repro.exceptions import FormatError
+
+        arr = np.cumsum(np.random.default_rng(SEED + 6).standard_normal((16, 8)), axis=0)
+        blob = WaveletCompressor().compress(arr)
+        body, backend = unwrap_envelope(blob)
+        header, sections = read_body(body)
+        # chop one byte off the averages table -> 8-byte float64 misalign
+        sections = dict(sections)
+        sections["averages"] = sections["averages"][:-1]
+        forged = wrap_envelope(bytes(write_body(header, sections)), backend)
+        with pytest.raises(FormatError, match="whole number"):
+            WaveletCompressor.decompress(forged)

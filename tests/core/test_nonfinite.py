@@ -1,0 +1,177 @@
+"""NaN/Inf guard tests: lossy paths refuse non-finite data pointedly.
+
+Lossy quantization takes mins/maxes/bin counts over the data; a single NaN
+silently poisons all of them.  Every lossy entry point must therefore
+reject non-finite input with a :class:`NonFiniteDataError` that names how
+much is bad and where -- and the lossless path must keep round-tripping
+NaN/Inf bit-exactly, because for some fields (masked oceans, sentinel
+values) they are legitimate state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.manager import CheckpointManager
+from repro.ckpt.protocol import ArrayRegistry
+from repro.ckpt.store import MemoryStore
+from repro.core.chunked import chunked_compress
+from repro.core.pipeline import WaveletCompressor
+from repro.core.quantization import (
+    bounded_quantize,
+    non_finite_error,
+    proposed_quantize,
+    simple_quantize,
+)
+from repro.exceptions import CompressionError, NonFiniteDataError
+
+
+def _laced(shape, *, n_nan=0, n_inf=0, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    arr = rng.standard_normal(shape)
+    flat = arr.ravel()
+    bad = rng.choice(flat.size, size=n_nan + n_inf, replace=False)
+    flat[bad[:n_nan]] = np.nan
+    flat[bad[n_nan:]] = np.inf
+    return arr
+
+
+class TestErrorMessage:
+    def test_counts_and_first_index(self):
+        arr = np.array([1.0, np.nan, np.inf, np.nan, 5.0])
+        err = non_finite_error(arr, "test input")
+        msg = str(err)
+        assert "test input contains 2 NaN and 1 Inf among 5 values" in msg
+        assert "first at flat index 1" in msg
+        assert "lossless" in msg
+
+    def test_negative_inf_counts_as_inf(self):
+        err = non_finite_error(np.array([-np.inf, 0.0]), "x")
+        assert "0 NaN and 1 Inf" in str(err)
+
+    def test_is_both_compression_error_and_value_error(self):
+        err = non_finite_error(np.array([np.nan]), "x")
+        assert isinstance(err, CompressionError)
+        assert isinstance(err, ValueError)
+
+
+class TestQuantizerGuards:
+    @pytest.mark.parametrize(
+        "quantize",
+        [
+            lambda v: simple_quantize(v, 16),
+            lambda v: proposed_quantize(v, 16),
+            lambda v: bounded_quantize(v, 0.1),
+        ],
+        ids=["simple", "proposed", "bounded"],
+    )
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, quantize, bad):
+        v = np.linspace(0.0, 1.0, 64)
+        v[13] = bad
+        with pytest.raises(NonFiniteDataError, match="quantizer input"):
+            quantize(v)
+
+
+class TestPipelineGuard:
+    def test_compress_rejects_nan(self):
+        arr = _laced((16, 16), n_nan=3)
+        with pytest.raises(NonFiniteDataError, match="lossy pipeline input"):
+            WaveletCompressor().compress(arr)
+
+    def test_compress_rejects_inf(self):
+        arr = _laced((16, 16), n_inf=1)
+        with pytest.raises(NonFiniteDataError) as excinfo:
+            WaveletCompressor().compress(arr)
+        assert "0 NaN and 1 Inf" in str(excinfo.value)
+
+    def test_chunked_rejects_nan(self):
+        arr = _laced((32, 8), n_nan=2)
+        with pytest.raises(NonFiniteDataError):
+            chunked_compress(arr, chunk_rows=8)
+
+    def test_finite_data_unaffected(self):
+        arr = np.cumsum(np.random.default_rng(1).standard_normal((16, 16)), axis=0)
+        blob = WaveletCompressor().compress(arr)
+        out = WaveletCompressor.decompress(blob)
+        assert out.shape == arr.shape
+
+
+class TestNaNLacedSmoothFields:
+    """The realistic case: a physical field with NaN holes (masked cells)."""
+
+    def _laced_field(self, n_nan: int = 5) -> np.ndarray:
+        from repro.apps.fields import smooth_field
+
+        rng = np.random.default_rng(9)
+        field = smooth_field((24, 16, 4), rng)
+        flat = field.ravel()
+        flat[rng.choice(flat.size, size=n_nan, replace=False)] = np.nan
+        return field
+
+    def test_lossy_pipeline_rejects_with_counts(self):
+        field = self._laced_field(5)
+        with pytest.raises(NonFiniteDataError) as excinfo:
+            WaveletCompressor().compress(field)
+        assert "5 NaN and 0 Inf" in str(excinfo.value)
+
+    def test_lossless_roundtrip_preserves_nan_mask(self):
+        from repro.ckpt.manager import deserialize_array, serialize_array_lossless
+
+        field = self._laced_field(7)
+        out = deserialize_array(serialize_array_lossless(field, "zlib"))
+        np.testing.assert_array_equal(
+            np.isnan(out), np.isnan(field)
+        )
+        np.testing.assert_array_equal(
+            out.view(np.uint64), field.view(np.uint64)
+        )
+
+
+class TestManagerGuard:
+    def _manager(self, arr, policy=None):
+        reg = ArrayRegistry()
+        reg.register("ocean", arr.copy())
+        return reg, CheckpointManager(reg, MemoryStore(), policy=policy)
+
+    def test_lossy_checkpoint_names_the_array(self):
+        arr = _laced((8, 8), n_nan=2, n_inf=1)
+        _, mgr = self._manager(arr)
+        with pytest.raises(NonFiniteDataError) as excinfo:
+            mgr.checkpoint(1)
+        msg = str(excinfo.value)
+        assert "array 'ocean'" in msg
+        assert "2 NaN and 1 Inf" in msg
+        assert "policy={'ocean': 'lossless'}" in msg
+
+    def test_failed_checkpoint_leaves_no_debris(self):
+        arr = _laced((8, 8), n_nan=1)
+        _, mgr = self._manager(arr)
+        with pytest.raises(NonFiniteDataError):
+            mgr.checkpoint(1)
+        assert mgr.store.list_keys("ckpt/") == []
+        assert mgr.steps() == []
+
+    def test_lossless_policy_roundtrips_nan_bit_exactly(self):
+        arr = _laced((8, 8), n_nan=3, n_inf=2, seed=5)
+        reg, mgr = self._manager(arr, policy={"ocean": "lossless"})
+        mgr.checkpoint(1)
+        # scrub the live array, then restore
+        reg.get("ocean")[:] = 0.0
+        mgr.restore(1)
+        restored = reg.get("ocean")
+        # bit-exact comparison, NaN payloads included
+        np.testing.assert_array_equal(
+            restored.view(np.uint64), arr.view(np.uint64)
+        )
+
+    def test_mixed_registry_only_lossy_arrays_guarded(self):
+        reg = ArrayRegistry()
+        reg.register("clean", np.ones((8, 8)))
+        reg.register("dirty", _laced((8, 8), n_nan=1))
+        mgr = CheckpointManager(
+            reg, MemoryStore(), policy={"dirty": "lossless"}
+        )
+        manifest = mgr.checkpoint(1)
+        assert sorted(manifest.names()) == ["clean", "dirty"]

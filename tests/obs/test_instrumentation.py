@@ -251,8 +251,11 @@ class TestCheckpointSpans:
         assert {a.attrs["array"] for a in arrays} == {"field", "counts"}
         assert {a.attrs["mode"] for a in arrays} == {"lossy", "lossless"}
         assert all(a.parent_id == root.span_id for a in arrays)
+        # the manifest write now sits inside the two-phase commit span
+        (commit,) = _by_name(spans, "ckpt.commit")
+        assert commit.parent_id == root.span_id
         (manifest,) = _by_name(spans, "ckpt.manifest_write")
-        assert manifest.parent_id == root.span_id
+        assert manifest.parent_id == commit.span_id
         assert root.attrs["n_arrays"] == 2
 
         tracer.reset()
