@@ -1,0 +1,95 @@
+"""CI gate: enforce the backend throughput floor from BENCH_backend.json.
+
+Reads the artifact written by ``benchmarks/test_backend_threads.py`` and
+fails (exit 1) when the pooled ``gzip-mt`` pass at the headline thread
+count undercuts ``floor_speedup`` x serial gzip **on a machine where the
+comparison is meaningful**.  The gate trusts the benchmark's own scaling
+verdict:
+
+* ``scaling.status == "inconclusive"`` (fewer than 2 effective cores) ->
+  exit 0 with an explicit skip notice.  A one-core runner must never
+  pass or fail a scaling claim.
+* fewer than 4 effective cores -> exit 0 with a skip notice; the floor
+  assumes the pool has at least the headline thread count to spread over.
+* otherwise -> compare ``gzip_mt.4.speedup_vs_serial`` against
+  ``floor_speedup`` (default 1.5) and fail below it.
+
+Usage::
+
+    python benchmarks/check_backend_floor.py [path/to/BENCH_backend.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench_results",
+    "BENCH_backend.json",
+)
+HEADLINE_THREADS = "4"
+DEFAULT_FLOOR = 1.5
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"backend floor: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    scaling = bench.get("scaling")
+    if not isinstance(scaling, dict) or "status" not in scaling:
+        print(
+            "backend floor: BENCH_backend.json has no scaling verdict -- "
+            "regenerate it with benchmarks/test_backend_threads.py",
+            file=sys.stderr,
+        )
+        return 1
+
+    floor = float(bench.get("floor_speedup", DEFAULT_FLOOR))
+    eff = int(bench.get("effective_cores", 0))
+    if scaling["status"] == "inconclusive":
+        print(
+            "backend floor: SKIPPED -- scaling verdict is inconclusive "
+            f"({scaling.get('reason', 'no reason recorded')})"
+        )
+        return 0
+    if eff < 4:
+        print(
+            f"backend floor: SKIPPED -- only {eff} effective cores; the "
+            f"{floor}x floor assumes >= 4"
+        )
+        return 0
+
+    try:
+        speedup = float(bench["gzip_mt"][HEADLINE_THREADS]["speedup_vs_serial"])
+    except (KeyError, TypeError, ValueError):
+        print(
+            "backend floor: gzip_mt.4.speedup_vs_serial missing from "
+            f"{path} -- regenerate the artifact",
+            file=sys.stderr,
+        )
+        return 1
+
+    if speedup < floor:
+        print(
+            f"backend floor: FAIL -- gzip-mt@{HEADLINE_THREADS} threads is "
+            f"{speedup:.2f}x serial gzip, below the {floor}x floor "
+            f"({eff} effective cores)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"backend floor: OK -- gzip-mt@{HEADLINE_THREADS} threads is "
+        f"{speedup:.2f}x serial gzip (floor {floor}x, {eff} effective cores)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_PATH))

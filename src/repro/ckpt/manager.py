@@ -200,13 +200,13 @@ class CheckpointManager:
         When set, overrides ``config.backend_threads`` for the default
         lossy configuration and the lossless path: the final deflate pass
         of each blob runs block-parallel on that many threads when the
-        backend is ``gzip-mt``/``zlib-mt``.  Composes with ``workers``
-        (process-level slab parallelism) -- each worker process deflates
-        its own slab body with this many threads.  Output bytes are
-        identical for every value.
+        backend is ``gzip-mt``/``zlib-mt``/``zstd``/``lz4``.  Composes
+        with ``workers`` (process-level slab parallelism) -- each worker
+        process compresses its own slab body with this many threads.
+        Output bytes are identical for every value.
     backend_block_bytes:
         When set, overrides ``config.backend_block_bytes`` (the threaded
-        backends' block size; changes the emitted bytes for them).
+        backends' block-size cap; changes the emitted bytes for them).
     resilience:
         Fault-tolerance knobs (see :class:`~repro.config.ResilienceConfig`).
         ``retries > 0`` wraps the store in a

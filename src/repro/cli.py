@@ -6,8 +6,9 @@ compress
     Compress a ``.npy`` array into a ``.rpz`` blob.  ``--workers N``
     compresses leading-axis slabs in ``N`` worker processes (chunked
     stream format, byte-identical to the serial stream);
-    ``--backend gzip-mt --backend-threads T`` additionally deflates each
-    body block-parallel on ``T`` threads (composes with ``--workers``).
+    ``--backend gzip-mt --backend-threads T`` (likewise ``zlib-mt``,
+    ``zstd``, ``lz4``) additionally compresses each body block-parallel
+    on ``T`` threads of a shared pool (composes with ``--workers``).
 decompress
     Decode a ``.rpz`` blob back into a ``.npy`` array (single pipeline
     blobs and chunked streams are auto-detected).
@@ -128,8 +129,10 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend", default="zlib",
-        help="lossless backend applied to the container; 'gzip-mt'/'zlib-mt' "
-             "deflate fixed-size blocks on a thread pool [default: zlib]",
+        help="lossless backend applied to the container; 'gzip-mt'/'zlib-mt'/"
+             "'zstd'/'lz4' compress blocks on a shared thread pool (zstd/lz4 "
+             "fall back to zlib block bodies when the native library is "
+             "missing) [default: zlib]",
     )
     parser.add_argument(
         "--backend-level", type=int, default=6, metavar="LVL",
@@ -137,12 +140,14 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend-threads", type=int, default=None, metavar="T",
-        help="thread count for the block-parallel backends (gzip-mt/zlib-mt); "
-             "output bytes are identical for every T [default: one per core]",
+        help="thread count for the block-parallel backends "
+             "(gzip-mt/zlib-mt/zstd/lz4); output bytes are identical for "
+             "every T [default: one per effective core]",
     )
     parser.add_argument(
         "--backend-block-bytes", type=int, default=None, metavar="B",
-        help="block size the threaded backends split the body into "
+        help="block-size cap the threaded backends split the body into; "
+             "large bodies auto-tune below the cap deterministically "
              "[default: 1 MiB]",
     )
     parser.add_argument(

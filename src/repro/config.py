@@ -43,7 +43,8 @@ MAX_LEVELS = "max"
 
 _BACKENDS_HINT = (
     "known backends are registered in repro.lossless (e.g. 'zlib', 'gzip', "
-    "'gzip-mt', 'zlib-mt', 'tempfile-gzip', 'rle', 'xor-delta', 'none')"
+    "'gzip-mt', 'zlib-mt', 'zstd', 'lz4', 'tempfile-gzip', 'rle', "
+    "'xor-delta', 'none')"
 )
 
 #: Default block size of the thread-parallel backends (1 MiB), mirrored
@@ -83,16 +84,19 @@ class CompressionConfig:
         Compression level forwarded to the backend when it supports one.
     backend_threads:
         Thread count for the block-parallel backends (``gzip-mt`` /
-        ``zlib-mt``); ``None`` lets the codec pick one thread per core and
-        single-threaded backends ignore it.  Purely an execution knob: the
-        emitted stream is byte-identical for every thread count, so it is
-        never recorded in headers/manifests (see :meth:`to_dict`).
+        ``zlib-mt`` / ``zstd`` / ``lz4``); ``None`` lets the codec pick
+        one thread per effective core and single-threaded backends ignore
+        it.  Purely an execution knob: the emitted stream is
+        byte-identical for every thread count, so it is never recorded in
+        headers/manifests (see :meth:`to_dict`).
     backend_block_bytes:
-        Block size the thread-parallel backends split the formatted body
-        into (default 1 MiB).  Unlike ``backend_threads`` this *does*
-        change the emitted bytes for those backends; it is serialized only
-        when it differs from the default so existing v1 container headers
-        stay byte-stable.
+        Block-size *cap* the thread-parallel backends split the formatted
+        body into (default 1 MiB; bodies over 1 MiB auto-tune the block
+        size downward to a fixed target block count -- a pure function of
+        the body length, so the bytes stay deterministic).  Unlike
+        ``backend_threads`` this *does* change the emitted bytes for those
+        backends; it is serialized only when it differs from the default
+        so existing v1 container headers stay byte-stable.
     error_bound:
         Only for ``quantizer="bounded"``: the guaranteed maximum *absolute*
         error of any reconstructed element.  The pipeline derives the

@@ -207,8 +207,8 @@ def wrap_envelope(
 
     ``body`` may be any bytes-like object (e.g. the ``bytearray`` returned
     by :func:`write_body`).  ``threads`` and ``block_bytes`` reach the
-    block-parallel backends (``gzip-mt``/``zlib-mt``); single-threaded
-    codecs ignore them.
+    block-parallel backends (``gzip-mt``/``zlib-mt``/``zstd``/``lz4``);
+    single-threaded codecs ignore them.
     """
     kwargs: dict[str, Any] = {"level": level, "threads": threads}
     if block_bytes is not None:

@@ -17,6 +17,15 @@ with symmetric boundary extension (mirrored neighbours at the edges).
 The inverse runs the steps backwards with flipped signs, so the transform
 round-trips to floating-point precision like the Haar implementation.
 
+Kernel style: every step is a slab-sized NumPy ufunc call writing straight
+into the destination band via ``out=`` -- no per-element Python and, since
+the boundary-mirroring rewrite, no ``np.concatenate`` temporaries either.
+Earlier versions built six concatenated edge-padded copies of the ``d``
+band per axis call; the interior is now computed with plain shifted slices
+and the two mirrored edge samples are patched separately (mirroring makes
+``(x + x) / 2 == x`` and ``(d + d) / 4 == d / 2`` exactly in IEEE-754, so
+the edge formulas below are bit-identical to the padded versions).
+
 Packed layout matches :mod:`repro.core.wavelet`: low band (the ``s``
 samples, plus the unpaired tail of an odd axis) in ``[0, ceil(n/2))``,
 high band (``d``) in ``[ceil(n/2), n)`` -- so all band bookkeeping,
@@ -52,24 +61,33 @@ def cdf53_forward_axis(
     m = odd.shape[-1]
     ne = even.shape[-1]
 
-    # predict: d[i] = odd[i] - (even[i] + even[i+1]) / 2, mirroring the
-    # right edge (even[ne] := even[ne-1] when n is even and 2i+2 == n).
-    right = even[..., 1:]
-    if right.shape[-1] < m:  # n even: last predict needs a mirrored sample
-        right = np.concatenate([right, even[..., -1:]], axis=-1)
-    d = odd - 0.5 * (even[..., :m] + right)
+    # predict: d[i] = odd[i] - (even[i] + even[i+1]) / 2.  The interior
+    # (both even neighbours exist) is one fused slab kernel into the high
+    # band; for even n the last predict mirrors even[m-1] onto itself,
+    # collapsing to a plain difference.
+    d = o[..., ne:]
+    k = m if n % 2 else m - 1  # predicts with a true right neighbour
+    np.add(even[..., :k], even[..., 1 : k + 1], out=d[..., :k])
+    d[..., :k] *= 0.5
+    np.subtract(odd[..., :k], d[..., :k], out=d[..., :k])
+    if not n % 2:
+        np.subtract(odd[..., m - 1], even[..., m - 1], out=d[..., m - 1])
 
     # update: s[i] = even[i] + (d[i-1] + d[i]) / 4 with d[-1] := d[0] and,
-    # for an unpaired trailing even sample, d[m] := d[m-1].
-    d_left = np.concatenate([d[..., :1], d[..., :-1]], axis=-1)
-    d_right = d if ne == m else np.concatenate([d, d[..., -1:]], axis=-1)
-    d_left = d_left if ne == m else np.concatenate(
-        [d[..., :1], d], axis=-1
-    )[..., :ne]
-    s = even + 0.25 * (d_left[..., :ne] + d_right[..., :ne])
-
-    o[..., :ne] = s
-    o[..., ne:] = d
+    # for an unpaired trailing even sample, d[m] := d[m-1].  Interior into
+    # the low band; the two mirrored edges reduce to even +/- d/2... i.e.
+    # even[0] + d[0]/2 and (odd n) even[ne-1] + d[m-1]/2.
+    s = o[..., :ne]
+    hi = ne if ne == m else ne - 1  # s indices with two distinct d terms
+    if hi > 1:
+        np.add(d[..., : hi - 1], d[..., 1:hi], out=s[..., 1:hi])
+        s[..., 1:hi] *= 0.25
+        s[..., 1:hi] += even[..., 1:hi]
+    np.multiply(d[..., 0], 0.5, out=s[..., 0])
+    s[..., 0] += even[..., 0]
+    if ne != m:
+        np.multiply(d[..., m - 1], 0.5, out=s[..., ne - 1])
+        s[..., ne - 1] += even[..., ne - 1]
     return np.moveaxis(o, -1, axis)
 
 
@@ -87,21 +105,29 @@ def cdf53_inverse_axis(
     ne = n - m
     s = a[..., :ne]
     d = a[..., ne:]
+    even = o[..., 0::2]  # strided destination views of the output
+    odd = o[..., 1::2]
 
-    # undo update: even[i] = s[i] - (d[i-1] + d[i]) / 4
-    d_left = np.concatenate([d[..., :1], d[..., :-1]], axis=-1)
-    d_right = d if ne == m else np.concatenate([d, d[..., -1:]], axis=-1)
-    d_left = d_left if ne == m else np.concatenate(
-        [d[..., :1], d], axis=-1
-    )[..., :ne]
-    even = s - 0.25 * (d_left[..., :ne] + d_right[..., :ne])
+    # undo update: even[i] = s[i] - (d[i-1] + d[i]) / 4 (same mirroring
+    # as the forward step, written directly into the interleaved slots).
+    hi = ne if ne == m else ne - 1
+    if hi > 1:
+        np.add(d[..., : hi - 1], d[..., 1:hi], out=even[..., 1:hi])
+        even[..., 1:hi] *= 0.25
+        np.subtract(s[..., 1:hi], even[..., 1:hi], out=even[..., 1:hi])
+    np.multiply(d[..., 0], 0.5, out=even[..., 0])
+    np.subtract(s[..., 0], even[..., 0], out=even[..., 0])
+    if ne != m:
+        np.multiply(d[..., m - 1], 0.5, out=even[..., ne - 1])
+        np.subtract(s[..., ne - 1], even[..., ne - 1], out=even[..., ne - 1])
 
-    # undo predict: odd[i] = d[i] + (even[i] + even[i+1]) / 2
-    right = even[..., 1:]
-    if right.shape[-1] < m:
-        right = np.concatenate([right, even[..., -1:]], axis=-1)
-    odd = d + 0.5 * (even[..., :m] + right)
-
-    o[..., 0::2] = even
-    o[..., 1::2] = odd
+    # undo predict: odd[i] = d[i] + (even[i] + even[i+1]) / 2, reading the
+    # even samples just reconstructed above (disjoint interleaved slots,
+    # so the in-place ufuncs never alias element-wise).
+    k = m if n % 2 else m - 1
+    np.add(even[..., :k], even[..., 1 : k + 1], out=odd[..., :k])
+    odd[..., :k] *= 0.5
+    odd[..., :k] += d[..., :k]
+    if not n % 2:
+        np.add(d[..., m - 1], even[..., m - 1], out=odd[..., m - 1])
     return np.moveaxis(o, -1, axis)

@@ -112,13 +112,27 @@ def non_finite_error(arr: np.ndarray, context: str) -> NonFiniteDataError:
     )
 
 
-def _check_values(values: np.ndarray) -> np.ndarray:
+def _validate_1d(values: np.ndarray) -> np.ndarray:
     v = np.asarray(values, dtype=np.float64)
     if v.ndim != 1:
         raise CompressionError(f"quantizer expects a 1D array, got ndim={v.ndim}")
-    if v.size and not np.isfinite(v).all():
-        raise non_finite_error(v, "quantizer input")
     return v
+
+
+def _finite_range(v: np.ndarray) -> tuple[float, float]:
+    """``(min, max)`` of ``v``, doubling as the NaN/Inf rejection pass.
+
+    One fused reduction replaces the old ``np.isfinite(v).all()`` check,
+    which allocated a same-sized bool temporary and made an extra full
+    pass before the quantizers recomputed min/max anyway: a NaN anywhere
+    poisons the min, and an Inf endpoint shows up directly, so finiteness
+    of the two scalars certifies the whole (non-empty) array.
+    """
+    lo = float(v.min())
+    hi = float(v.max())
+    if not (np.isfinite(lo) and np.isfinite(hi)):
+        raise non_finite_error(v, "quantizer input")
+    return lo, hi
 
 
 def _check_bins(n_bins: int) -> None:
@@ -132,14 +146,20 @@ def _partition_indices(v: np.ndarray, lo: float, hi: float, n: int) -> np.ndarra
     """Equal-width partition index of each value of ``v`` in ``[lo, hi]``.
 
     The top edge is inclusive (a value equal to ``hi`` lands in the last
-    partition), matching the closed range the paper divides.
+    partition), matching the closed range the paper divides.  Slab-sized
+    kernel: one float scratch mutated in place plus the int result --
+    the naive ``((v - lo) / span) * n`` chain allocated three full-size
+    float temporaries per call on the multi-million-coefficient arrays
+    the pipeline feeds through here.
     """
     span = hi - lo
     if span <= 0.0:
         return np.zeros(v.shape, dtype=np.int64)
     # Divide before scaling: (v - lo) / span is always a finite value in
     # [0, 1] (n / span would overflow for subnormal spans).
-    scaled = ((v - lo) / span) * n
+    scaled = v - lo
+    scaled /= span
+    scaled *= n
     idx = scaled.astype(np.int64)
     np.clip(idx, 0, n - 1, out=idx)
     return idx
@@ -161,7 +181,7 @@ def simple_quantize(values: np.ndarray, n_bins: int) -> QuantizationResult:
     into ``n_bins`` partitions and all members of a partition collapse to
     its average.  Every input value is quantized.
     """
-    v = _check_values(values)
+    v = _validate_1d(values)
     _check_bins(n_bins)
     n = int(n_bins)
     if v.size == 0:
@@ -171,8 +191,7 @@ def simple_quantize(values: np.ndarray, n_bins: int) -> QuantizationResult:
             averages=np.zeros(n, dtype=np.float64),
             bin_width=0.0,
         )
-    lo = float(v.min())
-    hi = float(v.max())
+    lo, hi = _finite_range(v)
     idx = _partition_indices(v, lo, hi, n)
     means = _bin_means(v, idx, n)
     width = (hi - lo) / n
@@ -200,14 +219,24 @@ def detect_spiked_partitions(
         spiked partition.  At least one partition is always spiked
         (pigeonhole: the largest count is >= the average).
     """
-    v = _check_values(values)
-    if not isinstance(d, (int, np.integer)) or isinstance(d, bool) or d < 1:
-        raise ConfigurationError(f"d must be a positive int, got {d!r}")
-    d = int(d)
+    v = _validate_1d(values)
+    d = _check_d(d)
     if v.size == 0:
         return np.zeros(d, dtype=bool), np.zeros(0, dtype=bool)
-    lo = float(v.min())
-    hi = float(v.max())
+    lo, hi = _finite_range(v)
+    return _detect_spiked(v, d, lo, hi)
+
+
+def _check_d(d: int) -> int:
+    if not isinstance(d, (int, np.integer)) or isinstance(d, bool) or d < 1:
+        raise ConfigurationError(f"d must be a positive int, got {d!r}")
+    return int(d)
+
+
+def _detect_spiked(
+    v: np.ndarray, d: int, lo: float, hi: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Spike detection with the range already in hand (no re-scan)."""
     part = _partition_indices(v, lo, hi, d)
     counts = np.bincount(part, minlength=d)
     spiked = counts >= (v.size / d)
@@ -226,18 +255,20 @@ def proposed_quantize(
     what keeps the maximum relative error an order of magnitude below the
     simple method at equal ``n``.
     """
-    v = _check_values(values)
+    v = _validate_1d(values)
     _check_bins(n_bins)
     n = int(n_bins)
-    spiked, member = detect_spiked_partitions(v, d)
+    d = _check_d(d)
     if v.size == 0:
         return QuantizationResult(
-            quantized_mask=member,
+            quantized_mask=np.zeros(0, dtype=bool),
             indices=np.zeros(0, dtype=np.uint8),
             averages=np.zeros(n, dtype=np.float64),
             bin_width=0.0,
-            spiked_partitions=spiked,
+            spiked_partitions=np.zeros(d, dtype=bool),
         )
+    full_lo, full_hi = _finite_range(v)  # one pass: range + NaN/Inf gate
+    spiked, member = _detect_spiked(v, d, full_lo, full_hi)
     subset = v[member]
     # subset is never empty: the most populated partition always meets the
     # N_total/d threshold.
@@ -274,10 +305,20 @@ def bounded_quantize(
     partitions (two-byte indices), nothing is quantized -- correctness
     over rate.
     """
-    v = _check_values(values)
+    v = _validate_1d(values)
     if not error_bound > 0:
         raise ConfigurationError(f"error_bound must be positive, got {error_bound}")
-    spiked, member = detect_spiked_partitions(v, d)
+    d = _check_d(d)
+    if v.size == 0:
+        return QuantizationResult(
+            quantized_mask=np.zeros(v.shape, dtype=bool),
+            indices=np.zeros(0, dtype=np.uint16),
+            averages=np.zeros(0, dtype=np.float64),
+            bin_width=float(error_bound),
+            spiked_partitions=np.zeros(d, dtype=bool),
+        )
+    full_lo, full_hi = _finite_range(v)
+    spiked, member = _detect_spiked(v, d, full_lo, full_hi)
     empty = QuantizationResult(
         quantized_mask=np.zeros(v.shape, dtype=bool),
         indices=np.zeros(0, dtype=np.uint16),
@@ -285,8 +326,6 @@ def bounded_quantize(
         bin_width=float(error_bound),
         spiked_partitions=spiked,
     )
-    if v.size == 0:
-        return empty
     subset = v[member]
     lo = float(subset.min())
     hi = float(subset.max())

@@ -6,7 +6,9 @@ Importing this package registers every built-in codec; use
 
 from .base import Codec, NullCodec, available_codecs, get_codec, register_codec
 from .fpc import XorDeltaCodec
+from .modern import Lz4Codec, ZstdCodec, lz4_available, zstd_available
 from .parallel_deflate import GzipMTCodec, ZlibMTCodec
+from .pool import get_shared_pool, shutdown_shared_pool
 from .rle import RleCodec
 from .shuffle import ShuffleZlibCodec
 from .tempfile_gzip import TempfileGzipCodec
@@ -19,6 +21,8 @@ __all__ = [
     "GzipCodec",
     "GzipMTCodec",
     "ZlibMTCodec",
+    "ZstdCodec",
+    "Lz4Codec",
     "TempfileGzipCodec",
     "RleCodec",
     "ShuffleZlibCodec",
@@ -26,4 +30,8 @@ __all__ = [
     "available_codecs",
     "get_codec",
     "register_codec",
+    "get_shared_pool",
+    "shutdown_shared_pool",
+    "zstd_available",
+    "lz4_available",
 ]

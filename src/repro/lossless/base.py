@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import inspect
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Iterator
 
 from ..exceptions import ConfigurationError
 
@@ -35,6 +35,18 @@ class Codec(ABC):
     @abstractmethod
     def decompress(self, data: bytes) -> bytes:
         """Invert :meth:`compress`."""
+
+    def iter_compress(self, data) -> Iterator[bytes]:
+        """Yield the compressed stream as in-order fragments.
+
+        ``b"".join(iter_compress(data))`` equals ``compress(data)`` for
+        every codec.  The base implementation yields the whole stream in
+        one piece; the block-parallel codecs override it to stream
+        length-bounded fragments as their pool finishes each block, so
+        consumers that write straight to storage never materialize the
+        full compressed body.
+        """
+        yield self.compress(data)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -4,9 +4,9 @@ The paper's Fig. 9 breakdown shows the final gzip pass dominating the whole
 compressor, and Section IV-D proposes in-memory zlib as the fix.  One step
 further: CPython's :mod:`zlib` releases the GIL while deflating, so the
 lossless tail parallelizes across *threads* -- no pickling, no worker
-processes, shared memory.  These codecs split the body into fixed-size
-blocks (default 1 MiB), compress the blocks concurrently on a
-:class:`~concurrent.futures.ThreadPoolExecutor`, and emit:
+processes, shared memory.  These codecs split the body into blocks,
+compress the blocks concurrently on the process-wide shared pool
+(:mod:`repro.lossless.pool`), and emit:
 
 ``gzip-mt``
     One complete gzip *member* per block, concatenated.  Multi-member
@@ -18,13 +18,38 @@ blocks (default 1 MiB), compress the blocks concurrently on a
     ``Stream layout`` below), decoded -- also in parallel -- by this
     codec's own reader.
 
+Execution model (the fix for the flat scaling curve)
+----------------------------------------------------
+Earlier versions built a fresh ``ThreadPoolExecutor`` per ``compress()``
+call and ran ``pool.map`` eagerly: thread startup/join was paid on every
+call, all compressed blocks were materialized before the join began, and
+the default 1 MiB block left bodies under a few MiB with almost no
+concurrent work.  Three changes undo that:
+
+* **Shared long-lived pool** -- all calls (and all concurrent callers)
+  submit to one process-wide executor that stays warm across the
+  checkpoint loop.
+* **Streaming submit/collect pipeline** -- blocks are submitted ahead
+  through a bounded in-flight window (2x the call's thread budget) and
+  collected in block order as they finish, so splitting, compressing and
+  joining overlap instead of running as serial phases and at most a
+  window's worth of compressed blocks is ever held alongside the growing
+  output (see :meth:`BlockParallelCodec.iter_compress` for the fully
+  streaming form).
+* **Auto-tuned block size** -- the effective block size shrinks for small
+  bodies so every core gets work (see
+  :meth:`BlockParallelCodec.effective_block_bytes`).  The tuning is a
+  pure function of the body length -- *never* of the thread count -- so
+  the emitted stream stays byte-identical for every ``threads`` value.
+
 Both codecs are **deterministic**: block boundaries depend only on
-``block_bytes``, each block is compressed independently at a fixed level,
-and results are emitted in block order, so the output is byte-identical
-for every thread count.  When a thread pool cannot start (exotic sandboxes
-with thread limits) compression degrades to a serial loop over the same
-blocks -- same bytes, just slower -- recording why in
-:attr:`~BlockParallelCodec.fallback_reason`.
+(``block_bytes``, ``auto_block``, body length), each block is compressed
+independently at a fixed level, and results are emitted in block order.
+When the shared pool cannot start (exotic sandboxes with thread limits)
+compression degrades to a serial loop over the same blocks -- same bytes,
+just slower -- recording why in :attr:`~BlockParallelCodec.fallback_reason`
+(a *thread-local* per-call value, so concurrent callers never observe each
+other's reason).
 
 Stream layout (``zlib-mt``)
 ---------------------------
@@ -42,25 +67,40 @@ from __future__ import annotations
 import gzip
 import os
 import struct
+import threading
 import time
 import zlib
-from typing import Callable, Sequence
+from collections import deque
+from typing import Callable, Iterator, Sequence
 
 from ..exceptions import DecompressionError
 from ..obs.trace import get_tracer
 from .base import Codec, register_codec
+from .pool import get_shared_pool
 
 __all__ = [
     "BlockParallelCodec",
     "GzipMTCodec",
     "ZlibMTCodec",
     "DEFAULT_BLOCK_BYTES",
+    "MIN_AUTO_BLOCK_BYTES",
+    "AUTO_TARGET_BLOCKS",
 ]
 
-#: Default block size: large enough to amortize per-block deflate reset
-#: cost (< 1 % rate loss), small enough that a checkpoint-sized body
-#: yields work for every core.
+#: Upper bound on the auto-tuned block size: large enough to amortize
+#: per-block deflate reset cost (< 1 % rate loss), small enough that a
+#: checkpoint-sized body yields work for every core.
 DEFAULT_BLOCK_BYTES = 1 << 20
+
+#: Auto-tuning never splits below this (64 KiB): smaller blocks spend more
+#: time in per-call Python/framing overhead than in released-GIL deflate.
+MIN_AUTO_BLOCK_BYTES = 64 * 1024
+
+#: Auto-tuning aims for this many blocks per stream.  A *fixed* target --
+#: deliberately not the live thread count -- so the split (and therefore
+#: the emitted bytes) is identical for every ``threads`` value while still
+#: giving up to 32 workers concurrent work with good load balance.
+AUTO_TARGET_BLOCKS = 32
 
 _MT_MAGIC = b"RPZM"
 _MT_VERSION = 1
@@ -70,8 +110,12 @@ _MT_LEN = struct.Struct("<Q")
 
 
 def default_thread_count() -> int:
-    """Thread count used when ``threads`` is not given: one per core."""
-    return max(1, os.cpu_count() or 1)
+    """Thread count used when ``threads`` is not given: one per *effective*
+    core (container CPU affinity respected when the platform exposes it)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux / restricted platforms
+        return max(1, os.cpu_count() or 1)
 
 
 def _byte_view(data) -> memoryview:
@@ -87,7 +131,7 @@ def _byte_view(data) -> memoryview:
 
 
 class BlockParallelCodec(Codec):
-    """Shared machinery: split into blocks, map a worker over them.
+    """Shared machinery: split into blocks, pipeline a worker over them.
 
     Subclasses provide :meth:`_compress_block` /
     :meth:`_decompress_block` and the framing.
@@ -98,6 +142,7 @@ class BlockParallelCodec(Codec):
         level: int = 6,
         threads: int | None = None,
         block_bytes: int = DEFAULT_BLOCK_BYTES,
+        auto_block: bool = True,
     ):
         if not isinstance(level, int) or isinstance(level, bool) or not 0 <= level <= 9:
             raise ValueError(f"{self.name} level must be an int in [0, 9], got {level!r}")
@@ -113,62 +158,139 @@ class BlockParallelCodec(Codec):
             raise ValueError(
                 f"{self.name} block_bytes must be an int >= 1, got {block_bytes!r}"
             )
+        if not isinstance(auto_block, bool):
+            raise ValueError(
+                f"{self.name} auto_block must be a bool, got {auto_block!r}"
+            )
         self.level = level
         self.threads = threads
         self.block_bytes = block_bytes
-        #: Why the last call ran serially despite ``threads > 1`` (None when
-        #: the pool ran, or was not needed).
-        self.fallback_reason: str | None = None
+        self.auto_block = auto_block
+        self._local = threading.local()
+
+    # -- per-call fallback bookkeeping ------------------------------------
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Why the *calling thread's* last call ran serially despite
+        ``threads > 1`` (None when the pool ran, or was not needed).
+
+        Thread-local: codec instances are shared across chunked slab
+        workers and checkpoint writers, so a plain attribute would leak
+        one call's reason into a concurrent caller's view.
+        """
+        return getattr(self._local, "fallback_reason", None)
+
+    def _reset_fallback(self) -> None:
+        self._local.fallback_reason = None
+
+    def _record_fallback(self, reason: str) -> None:
+        self._local.fallback_reason = reason
 
     # -- block fan-out -----------------------------------------------------
 
+    def effective_block_bytes(self, nbytes: int) -> int:
+        """The block size actually used for a body of ``nbytes``.
+
+        ``block_bytes`` is the *cap*; when ``auto_block`` is on, bodies
+        smaller than ``AUTO_TARGET_BLOCKS x block_bytes`` are split finer
+        (down to :data:`MIN_AUTO_BLOCK_BYTES`, rounded up to a 64 KiB
+        quantum) so the pool has enough blocks to saturate every core.
+        Depends only on the body length -- not on ``threads`` -- keeping
+        the stream byte-identical across thread counts.
+        """
+        step = self.block_bytes
+        if not self.auto_block or nbytes <= step:
+            return step
+        quantum = MIN_AUTO_BLOCK_BYTES
+        target = -(-nbytes // AUTO_TARGET_BLOCKS)  # ceil
+        tuned = -(-target // quantum) * quantum  # round up to the quantum
+        return min(step, max(quantum, tuned))
+
     def _split(self, data) -> list[memoryview]:
         mv = _byte_view(data)
-        step = self.block_bytes
+        step = self.effective_block_bytes(mv.nbytes)
         return [mv[start : start + step] for start in range(0, mv.nbytes, step)]
+
+    def _traced(self, fn: Callable[[memoryview], bytes]):
+        """Wrap ``fn`` with a per-block span when tracing is enabled."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return fn
+        # Pool threads have empty span stacks, so parent the per-block
+        # spans on the caller's current span, captured here.  Recording
+        # happens inside the worker (Tracer.record is thread-safe).
+        ctx = tracer.context()
+
+        def traced(block, _inner=fn, _ctx=ctx):
+            start = time.perf_counter()
+            out = _inner(block)
+            tracer.record(
+                "backend.block",
+                start,
+                time.perf_counter(),
+                parent=_ctx,
+                codec=self.name,
+                in_bytes=memoryview(block).nbytes,
+                out_bytes=len(out),
+            )
+            return out
+
+        return traced
+
+    def _iter_map_blocks(
+        self, fn: Callable[[memoryview], bytes], blocks: Sequence
+    ) -> Iterator[bytes]:
+        """Yield ``fn(block)`` for every block, in block order.
+
+        The pipelined core: up to ``2 x threads`` blocks are in flight on
+        the shared pool while earlier results are yielded, so compression
+        overlaps with whatever the consumer does (framing, joining,
+        writing to storage) and at most a window's worth of compressed
+        blocks exists at once.  Results are collected strictly in submit
+        order, so the emitted stream does not depend on scheduling; a
+        pool that cannot start (or dies mid-call) degrades to the serial
+        loop over the remaining blocks -- same bytes.
+        """
+        fn = self._traced(fn)
+        n_workers = min(self.threads, len(blocks))
+        if n_workers <= 1:
+            for block in blocks:
+                yield fn(block)
+            return
+        try:
+            pool = get_shared_pool()
+        except (RuntimeError, OSError) as exc:  # thread-limited sandboxes
+            self._record_fallback(f"thread pool unavailable: {exc}")
+            for block in blocks:
+                yield fn(block)
+            return
+        window = 2 * n_workers
+        pending: deque = deque()
+        iterator = iter(blocks)
+        serial_rest = False
+        for block in iterator:
+            if not serial_rest:
+                try:
+                    pending.append(pool.submit(fn, block))
+                except RuntimeError as exc:  # pool shut down concurrently
+                    self._record_fallback(f"thread pool rejected work: {exc}")
+                    serial_rest = True
+            if serial_rest:
+                while pending:  # preserve block order before going serial
+                    yield pending.popleft().result()
+                yield fn(block)
+                continue
+            if len(pending) >= window:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
 
     def _map_blocks(
         self, fn: Callable[[memoryview], bytes], blocks: Sequence
     ) -> list[bytes]:
-        """``[fn(b) for b in blocks]``, threaded when it can pay off.
-
-        Results come back in block order, so the emitted stream does not
-        depend on scheduling; a pool that cannot start downgrades to the
-        serial loop (same bytes).
-        """
-        tracer = get_tracer()
-        if tracer.enabled:
-            # Pool threads have empty span stacks, so parent the per-block
-            # spans on the caller's current span, captured here.  Recording
-            # happens inside the worker (Tracer.record is thread-safe).
-            ctx = tracer.context()
-            inner = fn
-
-            def fn(block, _inner=inner, _ctx=ctx):
-                start = time.perf_counter()
-                out = _inner(block)
-                tracer.record(
-                    "backend.block",
-                    start,
-                    time.perf_counter(),
-                    parent=_ctx,
-                    codec=self.name,
-                    in_bytes=memoryview(block).nbytes,
-                    out_bytes=len(out),
-                )
-                return out
-
-        n_workers = min(self.threads, len(blocks))
-        if n_workers <= 1:
-            return [fn(block) for block in blocks]
-        try:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                return list(pool.map(fn, blocks))
-        except (RuntimeError, OSError) as exc:  # thread-limited sandboxes
-            self.fallback_reason = f"thread pool unavailable: {exc}"
-            return [fn(block) for block in blocks]
+        """``[fn(b) for b in blocks]`` through the streaming pipeline."""
+        return list(self._iter_map_blocks(fn, blocks))
 
 
 class GzipMTCodec(BlockParallelCodec):
@@ -184,13 +306,26 @@ class GzipMTCodec(BlockParallelCodec):
     def _compress_block(self, block: memoryview) -> bytes:
         return gzip.compress(block, compresslevel=self.level, mtime=0)
 
-    def compress(self, data: bytes) -> bytes:
-        self.fallback_reason = None
+    def iter_compress(self, data) -> Iterator[bytes]:
+        """Stream the compressed members in order (bounded memory).
+
+        Consumers that write straight to storage never hold more than the
+        in-flight window of compressed blocks; :meth:`compress` is the
+        materialized join of exactly these fragments.
+        """
+        self._reset_fallback()
         blocks = self._split(data)
         if not blocks:
             # A zero-member stream is not valid gzip; one empty member is.
-            return gzip.compress(b"", compresslevel=self.level, mtime=0)
-        return b"".join(self._map_blocks(self._compress_block, blocks))
+            yield gzip.compress(b"", compresslevel=self.level, mtime=0)
+            return
+        yield from self._iter_map_blocks(self._compress_block, blocks)
+
+    def compress(self, data: bytes) -> bytes:
+        buf = bytearray()
+        for part in self.iter_compress(data):
+            buf += part
+        return bytes(buf)
 
     def decompress(self, data: bytes) -> bytes:
         try:
@@ -215,15 +350,19 @@ class ZlibMTCodec(BlockParallelCodec):
     def _decompress_block(block: memoryview) -> bytes:
         return zlib.decompress(block)
 
-    def compress(self, data: bytes) -> bytes:
-        self.fallback_reason = None
+    def iter_compress(self, data) -> Iterator[bytes]:
+        """Stream the frame header then length-prefixed blocks in order."""
+        self._reset_fallback()
         blocks = self._split(data)
-        compressed = self._map_blocks(self._compress_block, blocks)
-        parts = [_MT_MAGIC, _MT_HEAD.pack(_MT_VERSION), _MT_COUNT.pack(len(compressed))]
-        for payload in compressed:
-            parts.append(_MT_LEN.pack(len(payload)))
-            parts.append(payload)
-        return b"".join(parts)
+        yield _MT_MAGIC + _MT_HEAD.pack(_MT_VERSION) + _MT_COUNT.pack(len(blocks))
+        for payload in self._iter_map_blocks(self._compress_block, blocks):
+            yield _MT_LEN.pack(len(payload)) + payload
+
+    def compress(self, data: bytes) -> bytes:
+        buf = bytearray()
+        for part in self.iter_compress(data):
+            buf += part
+        return bytes(buf)
 
     def decompress(self, data: bytes) -> bytes:
         blob = _byte_view(data)
@@ -255,10 +394,14 @@ class ZlibMTCodec(BlockParallelCodec):
             raise DecompressionError(
                 f"{blob.nbytes - offset} trailing bytes after the last zlib-mt block"
             )
+        self._reset_fallback()
+        buf = bytearray()
         try:
-            return b"".join(self._map_blocks(self._decompress_block, frames))
+            for part in self._iter_map_blocks(self._decompress_block, frames):
+                buf += part
         except zlib.error as exc:
             raise DecompressionError(f"corrupt zlib-mt block: {exc}") from exc
+        return bytes(buf)
 
 
 register_codec(GzipMTCodec)

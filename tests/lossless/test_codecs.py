@@ -28,6 +28,8 @@ ALL_NAMES = [
     "tempfile-gzip",
     "rle",
     "xor-delta",
+    "zstd",
+    "lz4",
 ]
 
 SAMPLES = [

@@ -1,0 +1,266 @@
+"""Tests for the zstd / lz4 block-parallel backends.
+
+The native ``zstandard`` / ``lz4`` wheels are optional, so every test
+here must pass both with and without them: the codecs fall back to
+stdlib-zlib block bodies when the library is absent, and the stream
+records which inner coder wrote it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.config import CompressionConfig
+from repro.core.pipeline import WaveletCompressor
+from repro.exceptions import DecompressionError
+from repro.lossless import (
+    Lz4Codec,
+    ZstdCodec,
+    available_codecs,
+    get_codec,
+    lz4_available,
+    zstd_available,
+)
+from repro.lossless import modern as modern_mod
+
+BODY = np.random.default_rng(21).bytes(50_000) + bytes(20_000) + b"tail" * 700
+CLASSES = [ZstdCodec, Lz4Codec]
+IDS = ["zstd", "lz4"]
+
+
+class TestRegistration:
+    def test_always_registered(self):
+        """Graceful registration: the names exist with or without the
+        native wheels (compression falls back to stdlib zlib blocks)."""
+        names = available_codecs()
+        assert "zstd" in names
+        assert "lz4" in names
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_get_codec_with_backend_knobs(self, cls):
+        codec = get_codec(cls.name, level=3, threads=2, block_bytes=4_096)
+        assert isinstance(codec, cls)
+        assert codec.level == 3
+        assert codec.threads == 2
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_inner_codec_reported(self, cls):
+        codec = cls()
+        native = zstd_available() if cls is ZstdCodec else lz4_available()
+        if native:
+            assert codec.inner_codec == cls.module_name
+        else:
+            assert codec.inner_codec == "zlib-fallback"
+
+
+@pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+@pytest.mark.parametrize("level", [1, 6])
+@pytest.mark.parametrize(
+    "block_bytes",
+    [1_500, len(BODY), 1 << 22],
+    ids=["smaller-than-body", "equal-to-body", "larger-than-body"],
+)
+def test_roundtrip(cls, level, block_bytes):
+    codec = cls(level=level, threads=2, block_bytes=block_bytes)
+    blob = codec.compress(BODY)
+    assert codec.decompress(blob) == BODY
+
+
+@pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+def test_empty_input(cls):
+    codec = cls(threads=4)
+    blob = codec.compress(b"")
+    assert blob  # framing survives, zero blocks
+    assert codec.decompress(blob) == b""
+
+
+@pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+def test_deterministic_across_thread_counts(cls):
+    """Bytes depend on (level, block split, inner coder) only -- never on
+    the thread count."""
+    reference = cls(threads=1, block_bytes=2_048).compress(BODY)
+    for threads in (2, 3, 4, 8):
+        assert cls(threads=threads, block_bytes=2_048).compress(BODY) == reference
+
+
+@pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+def test_iter_compress_matches_compress(cls):
+    codec = cls(threads=3, block_bytes=2_048)
+    assert b"".join(codec.iter_compress(BODY)) == codec.compress(BODY)
+
+
+class TestCorruptStreams:
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_bad_magic(self, cls):
+        with pytest.raises(DecompressionError, match="magic"):
+            cls().decompress(b"XXXX" + bytes(8))
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_wrong_backend_stream_rejected(self, cls):
+        other = Lz4Codec if cls is ZstdCodec else ZstdCodec
+        blob = other().compress(BODY)
+        with pytest.raises(DecompressionError, match="magic"):
+            cls().decompress(blob)
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_truncated_header(self, cls):
+        blob = cls().compress(BODY)
+        with pytest.raises(DecompressionError, match="truncated"):
+            cls().decompress(blob[:5])
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_truncated_block(self, cls):
+        blob = cls(block_bytes=2_000).compress(BODY)
+        with pytest.raises(DecompressionError, match="truncated"):
+            cls().decompress(blob[:-1])
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_trailing_garbage(self, cls):
+        blob = cls().compress(BODY)
+        with pytest.raises(DecompressionError, match="trailing"):
+            cls().decompress(blob + b"junk")
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_unsupported_version(self, cls):
+        blob = bytearray(cls().compress(BODY))
+        blob[4] = 99
+        with pytest.raises(DecompressionError, match="version 99"):
+            cls().decompress(bytes(blob))
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_unknown_inner_coder(self, cls):
+        blob = bytearray(cls().compress(BODY))
+        blob[5] = 77  # inner coder id
+        with pytest.raises(DecompressionError, match="inner coder id 77"):
+            cls().decompress(bytes(blob))
+
+    @pytest.mark.parametrize("cls", CLASSES, ids=IDS)
+    def test_corrupt_block_payload(self, cls):
+        blob = bytearray(cls(block_bytes=2_000).compress(BODY))
+        blob[-3] ^= 0xFF
+        with pytest.raises(DecompressionError, match=cls.name):
+            cls().decompress(bytes(blob))
+
+
+class TestMissingLibraryBehaviour:
+    """Simulate the absent-wheel environment regardless of what this
+    machine actually has installed."""
+
+    @pytest.mark.parametrize(
+        "cls,attr", [(ZstdCodec, "_zstandard"), (Lz4Codec, "_lz4frame")], ids=IDS
+    )
+    def test_fallback_roundtrip_and_flag(self, cls, attr, monkeypatch):
+        monkeypatch.setattr(modern_mod, attr, None)
+        codec = cls(threads=2, block_bytes=2_000)
+        assert codec.inner_codec == "zlib-fallback"
+        blob = codec.compress(BODY)
+        assert blob[5] == 2  # _INNER_ZLIB recorded in the header
+        assert codec.decompress(blob) == BODY
+
+    @pytest.mark.parametrize(
+        "cls,attr", [(ZstdCodec, "_zstandard"), (Lz4Codec, "_lz4frame")], ids=IDS
+    )
+    def test_native_stream_without_library_fails_loudly(self, cls, attr, monkeypatch):
+        # Craft a header claiming native blocks, then hide the library.
+        blob = bytearray(cls(block_bytes=2_000).compress(BODY))
+        blob[5] = 1  # _INNER_NATIVE
+        monkeypatch.setattr(modern_mod, attr, None)
+        with pytest.raises(DecompressionError, match="not installed"):
+            cls().decompress(bytes(blob))
+
+    @pytest.mark.parametrize(
+        "cls,attr", [(ZstdCodec, "_zstandard"), (Lz4Codec, "_lz4frame")], ids=IDS
+    )
+    def test_fallback_stream_decodes_anywhere(self, cls, attr, monkeypatch):
+        monkeypatch.setattr(modern_mod, attr, None)
+        blob = cls(block_bytes=2_000).compress(BODY)
+        monkeypatch.undo()
+        # A machine *with* the library still decodes the fallback stream.
+        assert cls().decompress(blob) == BODY
+
+
+@pytest.mark.skipif(not zstd_available(), reason="zstandard not installed")
+class TestNativeZstd:
+    def test_native_header_flag(self):
+        blob = ZstdCodec().compress(BODY)
+        assert blob[5] == 1
+
+    def test_native_roundtrip(self):
+        codec = ZstdCodec(level=3, threads=4, block_bytes=2_000)
+        assert codec.decompress(codec.compress(BODY)) == BODY
+
+
+@pytest.mark.skipif(not lz4_available(), reason="lz4 not installed")
+class TestNativeLz4:
+    def test_native_header_flag(self):
+        blob = Lz4Codec().compress(BODY)
+        assert blob[5] == 1
+
+    def test_native_roundtrip(self):
+        codec = Lz4Codec(level=1, threads=4, block_bytes=2_000)
+        assert codec.decompress(codec.compress(BODY)) == BODY
+
+
+class TestFraming:
+    @pytest.mark.parametrize(
+        "cls,magic", [(ZstdCodec, b"RPZS"), (Lz4Codec, b"RPL4")], ids=IDS
+    )
+    def test_magic(self, cls, magic):
+        assert cls().compress(BODY)[:4] == magic
+
+    def test_block_count_matches_split(self):
+        codec = ZstdCodec(block_bytes=1_000)
+        blob = codec.compress(BODY)
+        (n_blocks,) = struct.unpack_from("<I", blob, 6)
+        assert n_blocks == -(-len(BODY) // 1_000)
+
+    def test_empty_input_zero_blocks(self):
+        blob = Lz4Codec().compress(b"")
+        (n_blocks,) = struct.unpack_from("<I", blob, 6)
+        assert n_blocks == 0
+
+
+class TestPipelineIntegration:
+    @pytest.mark.parametrize("backend", ["zstd", "lz4"])
+    def test_roundtrip_through_pipeline(self, backend):
+        arr = np.linspace(0.0, 4.0, 32 * 33).reshape(32, 33)
+        config = CompressionConfig(
+            backend=backend, backend_threads=2, backend_block_bytes=4_096
+        )
+        blob = WaveletCompressor(config).compress(arr)
+        out = WaveletCompressor.decompress(blob)
+        assert out.shape == arr.shape
+        assert np.allclose(out, arr, atol=0.5)
+
+    @pytest.mark.parametrize("backend", ["zstd", "lz4"])
+    def test_chunked_stream(self, backend):
+        from repro.core.chunked import chunked_compress, chunked_decompress
+
+        arr = np.linspace(0.0, 1.0, 64 * 20).reshape(64, 20)
+        cfg = CompressionConfig(backend=backend, backend_threads=2)
+        blob = chunked_compress(arr, cfg, chunk_rows=16)
+        np.testing.assert_allclose(chunked_decompress(blob), arr, atol=0.5)
+
+    @pytest.mark.parametrize("backend", ["zstd", "lz4"])
+    def test_checkpoint_manager_lossless_policy(self, backend, tmp_path):
+        from repro.ckpt import ArrayRegistry, CheckpointManager
+        from repro.ckpt.store import DirectoryStore
+
+        arr = np.arange(512, dtype=np.float64).reshape(32, 16)
+        registry = ArrayRegistry()
+        registry.register("field", arr)
+        manager = CheckpointManager(
+            registry,
+            DirectoryStore(str(tmp_path)),
+            lossless_codec=backend,
+            policy={"field": "lossless"},
+        )
+        manager.checkpoint(1)
+        arr[...] = 0.0
+        manager.restore(1)
+        np.testing.assert_array_equal(
+            registry.get("field"), np.arange(512, dtype=np.float64).reshape(32, 16)
+        )

@@ -232,14 +232,13 @@ class TestPipelineIntegration:
 
 class TestSerialFallback:
     def test_forced_pool_failure_falls_back(self, monkeypatch):
-        import concurrent.futures
+        from repro.lossless import pool as pool_mod
 
-        class ExplodingPool:
-            def __init__(self, *a, **kw):
-                raise RuntimeError("can't start new thread")
+        def exploding_pool():
+            raise RuntimeError("can't start new thread")
 
         monkeypatch.setattr(
-            concurrent.futures, "ThreadPoolExecutor", ExplodingPool
+            "repro.lossless.parallel_deflate.get_shared_pool", exploding_pool
         )
         codec = GzipMTCodec(threads=4, block_bytes=1_000)
         blob = codec.compress(BODY)
@@ -251,3 +250,185 @@ class TestSerialFallback:
         fresh = GzipMTCodec(threads=4, block_bytes=1_000)
         assert fresh.compress(BODY) == blob
         assert fresh.fallback_reason is None
+        assert pool_mod.shared_pool_size() is not None  # pool really ran
+
+    def test_mid_stream_pool_rejection_finishes_serially(self):
+        """A pool that dies mid-call (shutdown race) must not lose blocks."""
+
+        class DyingPool:
+            def __init__(self, limit):
+                self.limit = limit
+                self.calls = 0
+
+            def submit(self, fn, *args):
+                self.calls += 1
+                if self.calls > self.limit:
+                    raise RuntimeError("cannot schedule new futures after shutdown")
+                from concurrent.futures import Future
+
+                f = Future()
+                f.set_result(fn(*args))
+                return f
+
+        import repro.lossless.parallel_deflate as pd
+
+        codec = GzipMTCodec(threads=4, block_bytes=1_000)
+        reference = codec.compress(BODY)
+        original = pd.get_shared_pool
+        pd.get_shared_pool = lambda: DyingPool(limit=3)
+        try:
+            blob = codec.compress(BODY)
+        finally:
+            pd.get_shared_pool = original
+        assert blob == reference
+        assert codec.fallback_reason is not None
+        assert "rejected work" in codec.fallback_reason
+
+    def test_fallback_reason_is_thread_local(self):
+        """Regression for the shared-instance data race: one caller's
+        serial fallback must never leak into a concurrent caller's view
+        of ``fallback_reason`` on the same codec object."""
+        import threading
+
+        import repro.lossless.parallel_deflate as pd
+
+        codec = GzipMTCodec(threads=4, block_bytes=1_000)
+        started = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def failing_caller():
+            original = pd.get_shared_pool
+
+            def exploding():
+                raise RuntimeError("no threads for you")
+
+            pd.get_shared_pool = exploding
+            try:
+                codec.compress(BODY)
+                seen["failing"] = codec.fallback_reason
+            finally:
+                pd.get_shared_pool = original
+            started.set()
+            release.wait(timeout=10)
+
+        t = threading.Thread(target=failing_caller)
+        t.start()
+        try:
+            assert started.wait(timeout=10)
+            # The worker thread observed its own fallback...
+            assert seen["failing"] is not None
+            # ...while this thread, which never fell back, sees None even
+            # though it shares the codec instance.
+            codec.compress(BODY)
+            assert codec.fallback_reason is None
+        finally:
+            release.set()
+            t.join(timeout=10)
+
+
+class TestSharedPool:
+    def test_pool_reused_across_calls(self):
+        from repro.lossless import pool as pool_mod
+
+        pool_mod.shutdown_shared_pool()
+        first = pool_mod.get_shared_pool()
+        codec = GzipMTCodec(threads=2, block_bytes=1_000)
+        codec.compress(BODY)
+        codec.compress(BODY)
+        assert pool_mod.get_shared_pool() is first
+
+    def test_shutdown_then_reuse(self):
+        from repro.lossless import pool as pool_mod
+
+        pool_mod.shutdown_shared_pool()
+        codec = GzipMTCodec(threads=2, block_bytes=1_000)
+        blob = codec.compress(BODY)
+        assert codec.fallback_reason is None
+        pool_mod.shutdown_shared_pool()
+        assert codec.compress(BODY) == blob  # fresh pool, same bytes
+
+    def test_pool_sized_for_machine(self):
+        from repro.lossless import pool as pool_mod
+
+        assert pool_mod.max_pool_workers() >= 4
+
+
+class TestAutoBlockTuning:
+    def test_cap_never_exceeded(self):
+        codec = GzipMTCodec(block_bytes=1_000)
+        assert codec.effective_block_bytes(50_000_000) == 1_000
+
+    def test_small_bodies_keep_requested_block(self):
+        codec = GzipMTCodec()  # default 1 MiB cap
+        assert codec.effective_block_bytes(1 << 20) == 1 << 20
+
+    def test_large_bodies_split_finer(self):
+        from repro.lossless.parallel_deflate import (
+            AUTO_TARGET_BLOCKS,
+            MIN_AUTO_BLOCK_BYTES,
+        )
+
+        codec = GzipMTCodec()
+        eff = codec.effective_block_bytes(8 << 20)
+        assert MIN_AUTO_BLOCK_BYTES <= eff < codec.block_bytes
+        n_blocks = -(-(8 << 20) // eff)
+        assert n_blocks >= AUTO_TARGET_BLOCKS  # enough work for every core
+
+    def test_tuning_independent_of_threads(self):
+        """The invariant that keeps streams byte-identical across T."""
+        for nbytes in (1_000, 1 << 20, 8 << 20, 1 << 28):
+            sizes = {
+                GzipMTCodec(threads=t).effective_block_bytes(nbytes)
+                for t in (1, 2, 4, 16)
+            }
+            assert len(sizes) == 1
+
+    def test_auto_block_off_restores_fixed_split(self):
+        import struct as _struct
+
+        codec = ZlibMTCodec(block_bytes=1 << 20, auto_block=False)
+        body = bytes(3 << 20)
+        blob = codec.compress(body)
+        (n_blocks,) = _struct.unpack_from("<I", blob, 5)
+        assert n_blocks == 3
+
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_auto_block_roundtrip_multiblock(self, cls):
+        body = np.random.default_rng(11).bytes(3 << 20)
+        codec = cls(threads=4)
+        assert codec.decompress(codec.compress(body)) == body
+
+    def test_auto_block_validation(self):
+        with pytest.raises(ValueError, match="auto_block"):
+            GzipMTCodec(auto_block="yes")
+
+
+class TestStreamingCompress:
+    @pytest.mark.parametrize("cls", MT_CLASSES, ids=MT_IDS)
+    def test_iter_compress_matches_compress(self, cls):
+        codec = cls(threads=3, block_bytes=2_048)
+        assert b"".join(codec.iter_compress(BODY)) == codec.compress(BODY)
+
+    def test_iter_compress_bounded_memory(self):
+        """The peak-RSS regression (satellite): streaming consumption must
+        not hold every compressed block plus the joined output.  An 8 MB
+        incompressible body compresses to ~8 MB; the streaming path's
+        tracked peak stays a small fraction of that."""
+        import tracemalloc
+
+        body = np.random.default_rng(5).bytes(8 << 20)  # incompressible
+        codec = GzipMTCodec(threads=2)
+        codec.compress(body[: 1 << 20])  # warm the pool outside the window
+        total = 0
+        tracemalloc.start()
+        baseline, _ = tracemalloc.get_traced_memory()
+        for part in codec.iter_compress(body):
+            total += len(part)  # e.g. stream to storage, hash, socket...
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        extra = peak - baseline
+        assert total > 7 << 20  # really was incompressible
+        # Eager materialization would hold ~8 MB of blocks; the bounded
+        # window holds 2 x threads blocks (auto-tuned to 256 KiB here).
+        assert extra < 4 << 20, f"streaming peak {extra} bytes"
