@@ -1,0 +1,95 @@
+"""CI gate: enforce the service-layer floors from BENCH_service.json.
+
+Reads the artifact written by ``benchmarks/test_service_load.py`` and
+fails (exit 1) when any of the recorded acceptance floors regress:
+
+* ``speedup`` -- group commit vs per-generation sync must clear
+  ``floor_speedup`` (the fsync-amortization headline, default 2.0x).
+  The comparison is over a latency-modelled slow tier whose barrier
+  cost is fixed by the benchmark itself, so unlike raw wall-clock
+  floors it is meaningful on any runner.
+* ``group_commit.ingest_p99_sec`` -- tail ingest latency ceiling.
+* ``group_commit.drain_lag_max_sec`` -- the burst buffer must keep its
+  drain lag bounded.
+* ``group_commit.verified_restores`` -- every acked generation in the
+  arm restored bit-identically (zero lost/torn is a hard gate).
+
+Usage::
+
+    python benchmarks/check_service_floor.py [path/to/BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench_results",
+    "BENCH_service.json",
+)
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"service floor: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    grouped = bench.get("group_commit")
+    if not isinstance(grouped, dict):
+        print(
+            "service floor: BENCH_service.json has no group_commit arm -- "
+            "regenerate it with benchmarks/test_service_load.py",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures: list[str] = []
+    speedup = float(bench.get("speedup", 0.0))
+    floor = float(bench.get("floor_speedup", 2.0))
+    if speedup < floor:
+        failures.append(
+            f"group-commit speedup {speedup:.2f}x is below the floor {floor}x"
+        )
+
+    p99 = float(grouped.get("ingest_p99_sec", float("inf")))
+    p99_ceiling = float(bench.get("p99_ceiling_sec", 2.0))
+    if p99 > p99_ceiling:
+        failures.append(
+            f"ingest p99 {p99:.3f}s exceeds the ceiling {p99_ceiling}s"
+        )
+
+    lag = float(grouped.get("drain_lag_max_sec", float("inf")))
+    lag_ceiling = float(bench.get("drain_lag_ceiling_sec", 2.0))
+    if lag > lag_ceiling:
+        failures.append(
+            f"drain lag {lag:.3f}s exceeds the ceiling {lag_ceiling}s"
+        )
+
+    restored = int(grouped.get("verified_restores", 0))
+    gens = int(grouped.get("generations", -1))
+    if restored != gens or gens <= 0:
+        failures.append(
+            f"only {restored}/{gens} generations restored bit-identically"
+        )
+
+    mode = "FAST" if bench.get("fast_mode") else "full"
+    if failures:
+        for line in failures:
+            print(f"service floor: FAIL -- {line}", file=sys.stderr)
+        return 1
+    print(
+        f"service floor: OK ({mode} mode) -- speedup {speedup:.2f}x "
+        f"(floor {floor}x), p99 {p99 * 1e3:.0f} ms, "
+        f"drain lag {lag * 1e3:.0f} ms, {restored} restores verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_PATH))

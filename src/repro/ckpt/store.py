@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
+import time
 from abc import ABC, abstractmethod
 
 from ..exceptions import StorageError
@@ -20,6 +22,7 @@ __all__ = [
     "DirectoryStore",
     "CountingStore",
     "ThrottledStore",
+    "LatencyStore",
 ]
 
 
@@ -86,32 +89,53 @@ def _fsync_dir(path: str) -> None:
 
 
 class MemoryStore(Store):
-    """Dict-backed store (unit tests and in-memory checkpointing)."""
+    """Dict-backed store (unit tests and in-memory checkpointing).
+
+    Thread- and task-safe: it doubles as the burst buffer's *fast tier*,
+    where asyncio drain workers delete keys while ingest handlers are
+    still putting others, so every operation -- including the
+    :attr:`total_bytes` aggregation backpressure reads -- runs under one
+    lock.  Python's dict ops are individually atomic under the GIL, but
+    ``total_bytes`` iterates the dict and would otherwise race a
+    concurrent ``put``/``delete`` mid-iteration.
+    """
 
     def __init__(self) -> None:
         self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
 
     def put(self, key: str, data: bytes) -> None:
-        self._blobs[_check_key(key)] = bytes(data)
+        key = _check_key(key)
+        data = bytes(data)
+        with self._lock:
+            self._blobs[key] = data
 
     def get(self, key: str) -> bytes:
-        try:
-            return self._blobs[_check_key(key)]
-        except KeyError:
-            raise StorageError(f"no object stored under key {key!r}") from None
+        key = _check_key(key)
+        with self._lock:
+            try:
+                return self._blobs[key]
+            except KeyError:
+                raise StorageError(f"no object stored under key {key!r}") from None
 
     def exists(self, key: str) -> bool:
-        return _check_key(key) in self._blobs
+        key = _check_key(key)
+        with self._lock:
+            return key in self._blobs
 
     def delete(self, key: str) -> None:
-        self._blobs.pop(_check_key(key), None)
+        key = _check_key(key)
+        with self._lock:
+            self._blobs.pop(key, None)
 
     def list_keys(self, prefix: str = "") -> list[str]:
-        return sorted(k for k in self._blobs if k.startswith(prefix))
+        with self._lock:
+            return sorted(k for k in self._blobs if k.startswith(prefix))
 
     @property
     def total_bytes(self) -> int:
-        return sum(len(v) for v in self._blobs.values())
+        with self._lock:
+            return sum(len(v) for v in self._blobs.values())
 
 
 class DirectoryStore(Store):
@@ -120,10 +144,36 @@ class DirectoryStore(Store):
     Keys map to nested paths; the rename guarantees a reader never sees a
     torn checkpoint blob even if the writer dies mid-write -- the property
     application-level checkpointing depends on.
+
+    ``durability`` selects when writes are flushed to the medium:
+
+    ``"always"`` (default)
+        Every ``put`` fsyncs its file and parent directory before
+        returning -- ``put`` is durable on return, ``sync`` only flushes
+        the root's entry table.  The historic behaviour.
+    ``"batch"``
+        ``put`` writes and renames but defers every fsync; dirty files
+        and directories are tracked and flushed together by the next
+        :meth:`sync`.  This is the write-behind mode the group-commit
+        journal path and the burst-buffer drain tier are built on: many
+        puts share one flush pass, so the per-put fsync pair (file +
+        parent directory) is paid once per sync barrier instead of once
+        per object.  Readers still never see torn blobs (rename is still
+        atomic); the only weakened promise is that an *unsynced* put may
+        be lost in a crash -- exactly the window the two-phase commit
+        protocol already treats as uncommitted.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, *, durability: str = "always") -> None:
+        if durability not in ("always", "batch"):
+            raise StorageError(
+                f"durability must be 'always' or 'batch', got {durability!r}"
+            )
         self.root = os.path.abspath(root)
+        self.durability = durability
+        self._dirty_lock = threading.Lock()
+        self._dirty_files: set[str] = set()
+        self._dirty_dirs: set[str] = set()
         try:
             os.makedirs(self.root, exist_ok=True)
         except OSError as exc:
@@ -161,18 +211,25 @@ class DirectoryStore(Store):
     def put(self, key: str, data: bytes) -> None:
         path = self._path(key)
         self._collision_guard(key, path)
+        deferred = self.durability == "batch"
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
             try:
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(data)
-                    fh.flush()
-                    os.fsync(fh.fileno())
+                    if not deferred:
+                        fh.flush()
+                        os.fsync(fh.fileno())
                 os.replace(tmp, path)
                 # the data blocks are durable (fsync above); the *rename*
                 # is only durable once the parent directory is flushed too
-                _fsync_dir(os.path.dirname(path))
+                if deferred:
+                    with self._dirty_lock:
+                        self._dirty_files.add(path)
+                        self._dirty_dirs.add(os.path.dirname(path))
+                else:
+                    _fsync_dir(os.path.dirname(path))
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -196,16 +253,32 @@ class DirectoryStore(Store):
         return os.path.isfile(self._path(key))
 
     def delete(self, key: str) -> None:
+        path = self._path(key)
         try:
-            os.unlink(self._path(key))
+            os.unlink(path)
         except FileNotFoundError:
             pass
         except OSError as exc:
             raise StorageError(f"delete of {key!r} failed: {exc}") from exc
+        if self.durability == "batch":
+            with self._dirty_lock:
+                self._dirty_files.discard(path)
+                self._dirty_dirs.add(os.path.dirname(path))
 
     def list_keys(self, prefix: str = "") -> list[str]:
+        # Prune the walk to the prefix subtree: a per-tenant or
+        # per-generation scan must not go O(total keys) as the store
+        # grows.  Only the *complete* leading path segments of the prefix
+        # name a directory we can descend into -- the last segment may be
+        # a partial filename ("ckpt/00001" matches "ckpt/000012/...").
+        base = self.root
+        segments = prefix.split("/")[:-1] if prefix else []
+        for seg in segments:
+            base = os.path.join(base, seg)
+        if segments and not os.path.isdir(base):
+            return []
         keys = []
-        for dirpath, _dirnames, filenames in os.walk(self.root):
+        for dirpath, _dirnames, filenames in os.walk(base):
             for fn in filenames:
                 if fn.startswith(".tmp-"):
                     continue
@@ -216,9 +289,32 @@ class DirectoryStore(Store):
         return sorted(keys)
 
     def sync(self) -> None:
-        """Every ``put`` already fsyncs its file and parent directory, so
-        the phase barrier only needs the root's own entry table flushed
-        (covers freshly created generation directories)."""
+        """Durability barrier.
+
+        In ``"always"`` mode every ``put`` already fsynced its file and
+        parent directory, so the barrier only needs the root's own entry
+        table flushed (covers freshly created generation directories).
+        In ``"batch"`` mode this is where the deferred flushes happen:
+        every dirty file, then every dirty directory, then the root --
+        data before the directory entries that reference it.
+        """
+        if self.durability == "batch":
+            with self._dirty_lock:
+                files, self._dirty_files = self._dirty_files, set()
+                dirs, self._dirty_dirs = self._dirty_dirs, set()
+            for path in sorted(files):
+                try:
+                    fd = os.open(path, os.O_RDONLY)
+                except OSError:
+                    continue  # deleted (or reaped) since the put
+                try:
+                    os.fsync(fd)
+                except OSError as exc:
+                    raise StorageError(f"sync of {path!r} failed: {exc}") from exc
+                finally:
+                    os.close(fd)
+            for path in sorted(dirs):
+                _fsync_dir(path)
         _fsync_dir(self.root)
 
 
@@ -318,3 +414,80 @@ class ThrottledStore(Store):
     def sync(self) -> None:
         self.inner.sync()
         self.simulated_seconds += self.latency
+
+
+class LatencyStore(Store):
+    """Wrapper that *really sleeps* to model a slower tier's latencies.
+
+    Where :class:`ThrottledStore` only accounts simulated seconds (for the
+    analytic Section IV-D model), this wrapper makes the cost physical so
+    wall-clock benchmarks of the ingest service measure honest ratios on
+    media (tmpfs, CI runners) whose own barriers are nearly free.  Each
+    operation sleeps ``op latency + nbytes / bandwidth``; ``sync`` sleeps
+    ``sync_latency`` -- the device write-barrier cost whose amortization
+    is exactly what the group-commit path buys.
+
+    Sleeps happen *after* the inner operation so injected faults and
+    crashes from an inner fault-injecting store fire at full speed.
+    """
+
+    def __init__(
+        self,
+        inner: Store,
+        *,
+        op_latency_sec: float = 0.0,
+        sync_latency_sec: float = 0.0,
+        bandwidth_bytes_per_sec: float | None = None,
+    ) -> None:
+        if op_latency_sec < 0 or sync_latency_sec < 0:
+            raise StorageError(
+                f"latencies must be >= 0, got op={op_latency_sec}, "
+                f"sync={sync_latency_sec}"
+            )
+        if bandwidth_bytes_per_sec is not None and bandwidth_bytes_per_sec <= 0:
+            raise StorageError(
+                f"bandwidth must be positive, got {bandwidth_bytes_per_sec}"
+            )
+        self.inner = inner
+        self.op_latency = float(op_latency_sec)
+        self.sync_latency = float(sync_latency_sec)
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.slept_seconds = 0.0
+
+    def _sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+            self.slept_seconds += seconds
+
+    def _transfer(self, nbytes: int) -> None:
+        cost = self.op_latency
+        if self.bandwidth is not None:
+            cost += nbytes / self.bandwidth
+        self._sleep(cost)
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(key, data)
+        self._transfer(len(data))
+
+    def get(self, key: str) -> bytes:
+        data = self.inner.get(key)
+        self._transfer(len(data))
+        return data
+
+    def exists(self, key: str) -> bool:
+        found = self.inner.exists(key)
+        self._sleep(self.op_latency)
+        return found
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+        self._sleep(self.op_latency)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        keys = self.inner.list_keys(prefix)
+        self._sleep(self.op_latency)
+        return keys
+
+    def sync(self) -> None:
+        self.inner.sync()
+        self._sleep(self.sync_latency)

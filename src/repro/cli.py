@@ -47,6 +47,14 @@ restart
 report
     Render the profiling report of a ``--trace`` JSONL file: the Fig. 9
     stage breakdown, recorded metrics and (optionally) the span tree.
+serve
+    Run the multi-tenant checkpoint ingest service on a unix socket:
+    sharded stores, per-tenant namespaces and quotas, burst-buffer
+    absorb/drain and batched group commits (see DESIGN.md section 11).
+svc-put
+    Submit files as one checkpoint generation to a running service.
+svc-get
+    Fetch a committed generation's blobs back from a running service.
 
 ``compress``, ``decompress`` and ``checkpoint`` accept ``--trace PATH``
 to stream a span/metrics trace of the run to a JSONL file, readable with
@@ -397,6 +405,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the report as JSON instead of text",
     )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant checkpoint ingest service on a unix socket",
+    )
+    p.add_argument("directory", help="service root (shards live under it)")
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket path [default: <directory>/service.sock]",
+    )
+    p.add_argument(
+        "--tenant", action="append", required=True, metavar="NAME[:BYTES[:RATE]]",
+        help="register a tenant, optionally with a byte quota (suffixes "
+             "k/m/g) and a sustained submits-per-second rate quota; repeat "
+             "per tenant (e.g. --tenant alice:512m:20 --tenant bob)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="backend store shards under the service root [default: 4]",
+    )
+    p.add_argument(
+        "--buffer-bytes", default="64m", metavar="B",
+        help="burst-buffer absorb capacity (suffixes k/m/g) [default: 64m]",
+    )
+    p.add_argument(
+        "--drain-workers", type=int, default=2, metavar="W",
+        help="background drain workers [default: 2]",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=32, metavar="G",
+        help="most generations one group commit may seal (1 = no "
+             "batching) [default: 32]",
+    )
+    p.add_argument(
+        "--durability", choices=("batch", "always"), default="batch",
+        help="shard fsync mode: 'batch' defers fsyncs to commit barriers, "
+             "'always' fsyncs every put [default: batch]",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="exit after the first client disconnects (tests/smoke runs)",
+    )
+    _add_trace_arg(p)
+
+    p = sub.add_parser(
+        "svc-put", help="submit files as one checkpoint generation to a service"
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
+    p.add_argument("tenant", help="tenant name the generation belongs to")
+    p.add_argument(
+        "--step", type=int, required=True, metavar="S",
+        help="generation number to commit",
+    )
+    p.add_argument(
+        "blobs", nargs="+", metavar="NAME=PATH",
+        help="blobs of the generation, as name=file pairs",
+    )
+
+    p = sub.add_parser(
+        "svc-get", help="fetch a committed generation's blobs from a service"
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
+    p.add_argument("tenant", help="tenant name to read from")
+    p.add_argument("outdir", help="directory the blobs are written into")
+    p.add_argument(
+        "--step", type=int, default=None, metavar="S",
+        help="generation to fetch [default: newest committed]",
+    )
     return parser
 
 
@@ -697,6 +773,151 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """``"512m"`` -> bytes; bare ints pass through."""
+    text = str(text).strip().lower()
+    mult = 1
+    if text and text[-1] in "kmg":
+        mult = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        return int(text) * mult
+    except ValueError as exc:
+        raise ReproError(f"cannot parse size {text!r}: {exc}") from exc
+
+
+def _parse_tenant_spec(spec: str):
+    from .service import TenantSpec
+
+    parts = spec.split(":")
+    if len(parts) > 3:
+        raise ReproError(
+            f"tenant spec {spec!r} has too many fields; "
+            f"expected NAME[:BYTES[:RATE]]"
+        )
+    byte_quota = _parse_size(parts[1]) if len(parts) > 1 and parts[1] else None
+    rate_quota = float(parts[2]) if len(parts) > 2 and parts[2] else None
+    return TenantSpec(parts[0], byte_quota=byte_quota, rate_quota=rate_quota)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .config import ServiceConfig
+    from .service import ServiceServer, TenantRegistry
+    from .service.ingest import build_service
+
+    registry = TenantRegistry([_parse_tenant_spec(s) for s in args.tenant])
+    config = ServiceConfig(
+        shards=args.shards,
+        buffer_capacity_bytes=_parse_size(args.buffer_bytes),
+        drain_workers=args.drain_workers,
+        max_batch=args.max_batch,
+        durability=args.durability,
+    )
+    socket_path = args.socket or os.path.join(args.directory, "service.sock")
+    if os.path.exists(socket_path):
+        os.unlink(socket_path)
+
+    async def _run() -> int:
+        service = build_service(args.directory, registry, config)
+        reports = await asyncio.to_thread(service.recover_tenants)
+        for name, rep in reports.items():
+            if rep.reaped:
+                print(
+                    f"tenant {name}: reaped {len(rep.reaped)} torn/orphaned "
+                    f"generation(s): {rep.reaped}",
+                    file=sys.stderr,
+                )
+        stop = asyncio.Event()
+        server = ServiceServer(
+            service,
+            socket_path,
+            on_disconnect=stop.set if args.once else None,
+        )
+        async with service, server:
+            print(
+                f"serving {len(registry.names())} tenant(s) "
+                f"[{', '.join(registry.names())}] on {socket_path} "
+                f"({config.shards} shards, max batch {config.max_batch})",
+                flush=True,
+            )
+            loop = asyncio.get_running_loop()
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            await stop.wait()
+            stats = service.stats()
+            print(
+                f"shutting down: {stats['commits']} commit(s) in "
+                f"{stats['group_commits']} group(s) "
+                f"(mean batch {stats['mean_batch']:.1f})",
+                file=sys.stderr,
+            )
+        return 0
+
+    with _tracing(args):
+        return asyncio.run(_run())
+
+
+def _cmd_svc_put(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+
+    blobs: dict[str, bytes] = {}
+    for pair in args.blobs:
+        name, sep, path = pair.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(f"blob spec {pair!r} is not NAME=PATH")
+        try:
+            with open(path, "rb") as fh:
+                blobs[name] = fh.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read blob {path!r}: {exc}") from exc
+
+    async def _run() -> int:
+        async with ServiceClient(args.socket) as client:
+            ack = await client.submit(args.tenant, args.step, blobs)
+        print(
+            f"committed {args.tenant}/{ack['step']}: {ack['n_blobs']} blob(s), "
+            f"{ack['nbytes']} bytes in {ack['latency_seconds'] * 1e3:.1f} ms "
+            f"(batch of {ack['batch_size']})"
+        )
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_svc_get(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .service import ServiceClient
+
+    async def _run() -> int:
+        async with ServiceClient(args.socket) as client:
+            steps = await client.steps(args.tenant)
+            blobs = await client.restore(args.tenant, args.step)
+        os.makedirs(args.outdir, exist_ok=True)
+        for name, data in sorted(blobs.items()):
+            with open(os.path.join(args.outdir, name), "wb") as fh:
+                fh.write(data)
+        step = args.step if args.step is not None else (steps[-1] if steps else "?")
+        print(
+            f"restored {args.tenant}/{step}: {len(blobs)} blob(s), "
+            f"{sum(len(b) for b in blobs.values())} bytes -> {args.outdir}"
+        )
+        return 0
+
+    return asyncio.run(_run())
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -708,6 +929,9 @@ _COMMANDS = {
     "restore": _cmd_restore,
     "restart": _cmd_restart,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "svc-put": _cmd_svc_put,
+    "svc-get": _cmd_svc_get,
 }
 
 

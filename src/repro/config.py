@@ -19,6 +19,7 @@ __all__ = [
     "CompressionConfig",
     "ObservabilityConfig",
     "ResilienceConfig",
+    "ServiceConfig",
     "DEFAULT_BACKEND_BLOCK_BYTES",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",
@@ -352,6 +353,83 @@ class ResilienceConfig:
                 )
 
     def replace(self, **changes: Any) -> "ResilienceConfig":
+        """Return a copy with ``changes`` applied (validates eagerly)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing of the multi-tenant checkpoint ingest service.
+
+    Consumed by :func:`repro.service.ingest.build_service` and the
+    ``repro-ckpt serve`` CLI.  Like :class:`ObservabilityConfig`, nothing
+    here changes stored bytes -- only how the service shards, buffers and
+    batches them.
+
+    Parameters
+    ----------
+    shards:
+        Backend store count the consistent-hash ring places generations
+        across.
+    vnodes:
+        Virtual nodes per shard on the ring (placement smoothness).
+    buffer_capacity_bytes:
+        Burst-buffer absorb-tier capacity; beyond it submits feel
+        backpressure and oversized blobs write through to the slow tier.
+    drain_workers:
+        Background workers moving absorbed blobs to the slow tier.
+    max_batch:
+        Most generations one group commit may seal; ``1`` disables
+        batching (per-generation barriers).
+    max_batch_delay:
+        Seconds the committer lingers for more ready generations after
+        the first one, trading latency for batch depth.
+    rate_max_wait:
+        Longest a submit may wait on a tenant's rate-quota token before
+        being refused with a quota error.
+    durability:
+        Shard-store durability mode: ``"batch"`` defers fsyncs to the
+        group commit's sync barriers (the amortization the service
+        exists for); ``"always"`` fsyncs every put.
+    """
+
+    shards: int = 4
+    vnodes: int = 128
+    buffer_capacity_bytes: int = 64 * 1024 * 1024
+    drain_workers: int = 2
+    max_batch: int = 32
+    max_batch_delay: float = 0.002
+    rate_max_wait: float = 0.5
+    durability: str = "batch"
+
+    def __post_init__(self) -> None:
+        for name, minimum in (
+            ("shards", 1),
+            ("vnodes", 1),
+            ("buffer_capacity_bytes", 1),
+            ("drain_workers", 1),
+            ("max_batch", 1),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ConfigurationError(
+                    f"{name} must be an int >= {minimum}, got {value!r}"
+                )
+        if self.max_batch_delay < 0:
+            raise ConfigurationError(
+                f"max_batch_delay must be >= 0, got {self.max_batch_delay}"
+            )
+        if self.rate_max_wait < 0:
+            raise ConfigurationError(
+                f"rate_max_wait must be >= 0, got {self.rate_max_wait}"
+            )
+        if self.durability not in ("always", "batch"):
+            raise ConfigurationError(
+                f"durability must be 'always' or 'batch', got {self.durability!r}"
+            )
+
+    def replace(self, **changes: Any) -> "ServiceConfig":
         """Return a copy with ``changes`` applied (validates eagerly)."""
         return dataclasses.replace(self, **changes)
 

@@ -24,6 +24,10 @@ __all__ = [
     "TransientStorageError",
     "SimulatedCrash",
     "TuningError",
+    "ServiceError",
+    "UnknownTenantError",
+    "QuotaExceededError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -129,3 +133,46 @@ class CorruptionError(RestoreError, FormatError):
 
 class TuningError(ReproError):
     """Parameter auto-tuning could not satisfy the requested error bound."""
+
+
+class ServiceError(ReproError):
+    """The checkpoint ingest service rejected or failed a request.
+
+    The service-layer error family (PR 5 taxonomy convention): every
+    refusal the multi-tenant ingest front-end can issue derives from this
+    class, carries a one-line diagnosis, and crosses the wire protocol as
+    a typed error frame -- a client never sees a hung stream or a generic
+    ``OSError`` for a policy refusal.
+    """
+
+
+class UnknownTenantError(ServiceError, KeyError):
+    """A request named a tenant the service has no namespace for.
+
+    Derives from :class:`KeyError` as well: the tenant name is a lookup
+    key, and callers iterating tenants may reasonably catch ``KeyError``.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument; keep the plain one-line
+        # diagnosis the CLI prints for every ReproError.
+        return Exception.__str__(self)
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's byte or ingest-rate quota refused the request.
+
+    Raised *before* any blob of the offending generation is absorbed, so
+    a refused submit leaves no partial state to reap.  The message names
+    the tenant, the quota kind (``bytes`` or ``rate``) and the limit.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot take requests (shutting down, or crashed).
+
+    Distinct from :class:`QuotaExceededError`: nothing is wrong with the
+    request -- the service itself is not in an accepting state.  In-flight
+    submits interrupted by an injected crash also resolve to this family
+    so clients can tell "refused" from "service died under me".
+    """

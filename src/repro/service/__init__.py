@@ -1,0 +1,40 @@
+"""Multi-tenant checkpoint ingest service.
+
+The service layer turns the single-writer checkpoint stack into a
+long-running front-end many applications stream checkpoints into
+concurrently: per-tenant namespaces and quotas, consistent-hash sharding
+over backend stores, a working burst-buffer absorb/drain stage, and
+batched group commits that amortize durability barriers across tenants.
+See DESIGN.md section 11.
+"""
+
+from .buffer import BurstDrain, DrainStats
+from .hashring import DEFAULT_VNODES, HashRing, stable_hash
+from .ingest import CheckpointIngestService, IngestAck
+from .sharded import (
+    NamespacedStore,
+    ShardedStore,
+    TENANT_PREFIX,
+    placement_unit,
+)
+from .tenants import TenantRegistry, TenantSpec, TokenBucket
+from .wire import ServiceClient, ServiceServer
+
+__all__ = [
+    "BurstDrain",
+    "DrainStats",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "stable_hash",
+    "CheckpointIngestService",
+    "IngestAck",
+    "NamespacedStore",
+    "ShardedStore",
+    "TENANT_PREFIX",
+    "placement_unit",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "ServiceClient",
+    "ServiceServer",
+]

@@ -1,0 +1,253 @@
+"""Asyncio burst-buffer drain stage: fast-tier absorb, background drain.
+
+This turns :class:`repro.iomodel.burst_buffer.BurstBufferModel` from a
+cost model into a working component.  The model predicts three things;
+this stage implements and *measures* all three so the service benchmark
+can validate prediction against behaviour:
+
+* **absorb** -- ``put`` into a fast tier (a :class:`MemoryStore`) blocks
+  the client only for the fast-tier write;
+* **drain** -- background workers move absorbed blobs to the slow tier;
+  each blob's drain completion is exposed as a future so commit logic
+  can wait for durability without blocking ingest;
+* **overflow/backpressure** -- a blob larger than the buffer writes
+  through at slow-tier speed (the model's degraded path), and when the
+  buffer is full the absorb path *waits* for drain progress instead of
+  growing without bound -- the backpressure that makes drain lag bounded.
+
+All waiting is asyncio-native (conditions/futures on one event loop);
+only the slow-tier ``put`` runs in worker threads via
+``asyncio.to_thread``, because backend stores are blocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..ckpt.store import Store
+from ..exceptions import ConfigurationError, SimulatedCrash
+from ..obs import get_registry, get_tracer
+
+__all__ = ["BurstDrain", "DrainStats"]
+
+
+class DrainStats:
+    """Live counters mirrored into the obs registry by the service."""
+
+    __slots__ = (
+        "absorbed_blobs",
+        "absorbed_bytes",
+        "through_blobs",
+        "through_bytes",
+        "drained_blobs",
+        "drained_bytes",
+        "backpressure_waits",
+        "backpressure_seconds",
+        "peak_used_bytes",
+        "absorb_seconds",
+        "drain_seconds",
+        "drain_lag_seconds_max",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0 if "seconds" not in name else 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class BurstDrain:
+    """Fast-tier absorb with background drain to a slow tier.
+
+    Parameters
+    ----------
+    fast:
+        The absorb tier (typically a :class:`MemoryStore`); must be
+        thread/task safe.
+    slow:
+        The drain target (sharded directory stores); its ``put`` runs in
+        worker threads.
+    capacity_bytes:
+        Absorb-tier capacity.  Blobs larger than this write through to
+        the slow tier directly; total buffered bytes never exceed it.
+    drain_workers:
+        Concurrent background drain tasks.
+    """
+
+    def __init__(
+        self,
+        fast: Store,
+        slow: Store,
+        *,
+        capacity_bytes: int,
+        drain_workers: int = 2,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        if drain_workers < 1:
+            raise ConfigurationError(
+                f"drain_workers must be >= 1, got {drain_workers}"
+            )
+        self.fast = fast
+        self.slow = slow
+        self.capacity_bytes = capacity_bytes
+        self.stats = DrainStats()
+        self._used = 0
+        self._cond: asyncio.Condition | None = None
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        self._n_workers = drain_workers
+        self._crashed: BaseException | None = None
+        self._closed = False
+        self._tracer = get_tracer()
+        self._metrics = get_registry()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._cond = asyncio.Condition()
+        self._queue = asyncio.Queue()
+        self._workers = [
+            asyncio.create_task(self._drain_loop(i), name=f"drain-{i}")
+            for i in range(self._n_workers)
+        ]
+
+    async def close(self) -> None:
+        """Drain everything still buffered, then stop the workers."""
+        self._closed = True
+        if self._queue is not None and self._crashed is None:
+            await self._queue.join()
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+
+    @property
+    def crashed(self) -> BaseException | None:
+        return self._crashed
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def queue_depth(self) -> int:
+        return 0 if self._queue is None else self._queue.qsize()
+
+    # -- absorb path ---------------------------------------------------------
+
+    async def absorb(self, key: str, data: bytes) -> "asyncio.Future[None]":
+        """Accept one blob; return a future resolved when it is on ``slow``.
+
+        Returns as soon as the blob is in the fast tier (or written
+        through), which is the only part the submitting client blocks on.
+        """
+        assert self._queue is not None and self._cond is not None, "not started"
+        if self._crashed is not None:
+            raise self._crashed
+        loop = asyncio.get_running_loop()
+        done: asyncio.Future[None] = loop.create_future()
+        nbytes = len(data)
+        t0 = time.monotonic()
+
+        if nbytes > self.capacity_bytes:
+            # Overflow path: the blob cannot fit, write through at
+            # slow-tier speed (the model's degraded blocking case).
+            with self._tracer.span("service.write_through", key=key, nbytes=nbytes):
+                try:
+                    await asyncio.to_thread(self.slow.put, key, data)
+                except BaseException as exc:  # noqa: BLE001 - must reach client
+                    self._note_failure(exc)
+                    done.set_exception(exc)
+                    done.exception()  # consumed: caller may only await absorb
+                    raise
+            self.stats.through_blobs += 1
+            self.stats.through_bytes += nbytes
+            self.stats.absorb_seconds += time.monotonic() - t0
+            self._metrics.counter("service.write_through").inc()
+            done.set_result(None)
+            return done
+
+        async with self._cond:
+            waited = False
+            while self._used + nbytes > self.capacity_bytes:
+                if self._crashed is not None:
+                    raise self._crashed
+                if not waited:
+                    waited = True
+                    self.stats.backpressure_waits += 1
+                    self._metrics.counter("service.backpressure_waits").inc()
+                await self._cond.wait()
+            if waited:
+                self.stats.backpressure_seconds += time.monotonic() - t0
+            self._used += nbytes
+            self.stats.peak_used_bytes = max(self.stats.peak_used_bytes, self._used)
+        if self._crashed is not None:
+            raise self._crashed
+
+        self.fast.put(key, data)
+        self.stats.absorbed_blobs += 1
+        self.stats.absorbed_bytes += nbytes
+        self.stats.absorb_seconds += time.monotonic() - t0
+        self._metrics.gauge("service.buffer_used_bytes").set(self._used)
+        self._queue.put_nowait((key, nbytes, time.monotonic(), done))
+        return done
+
+    # -- drain path ----------------------------------------------------------
+
+    async def _drain_loop(self, worker_id: int) -> None:
+        assert self._queue is not None and self._cond is not None
+        while True:
+            key, nbytes, enqueued, done = await self._queue.get()
+            try:
+                if self._crashed is not None:
+                    if not done.done():
+                        done.set_exception(self._crashed)
+                        done.exception()
+                    continue
+                t0 = time.monotonic()
+                try:
+                    data = self.fast.get(key)
+                    await asyncio.to_thread(self.slow.put, key, data)
+                except BaseException as exc:  # noqa: BLE001 - reach the future
+                    self._note_failure(exc)
+                    if not done.done():
+                        done.set_exception(exc)
+                    # Wake absorbers parked on backpressure so they see
+                    # the crash instead of waiting for drain progress
+                    # that will never come.
+                    async with self._cond:
+                        self._cond.notify_all()
+                    continue
+                now = time.monotonic()
+                self.stats.drain_seconds += now - t0
+                lag = now - enqueued
+                self.stats.drain_lag_seconds_max = max(
+                    self.stats.drain_lag_seconds_max, lag
+                )
+                self._metrics.histogram("service.drain_lag_seconds").observe(lag)
+                self.stats.drained_blobs += 1
+                self.stats.drained_bytes += nbytes
+                self.fast.delete(key)
+                async with self._cond:
+                    self._used -= nbytes
+                    self._cond.notify_all()
+                self._metrics.gauge("service.buffer_used_bytes").set(self._used)
+                if not done.done():
+                    done.set_result(None)
+            finally:
+                self._queue.task_done()
+
+    def _note_failure(self, exc: BaseException) -> None:
+        """A drain/through write failed; a crash poisons the whole stage."""
+        if isinstance(exc, SimulatedCrash) and self._crashed is None:
+            self._crashed = exc
+            self._metrics.counter("service.crashes").inc()

@@ -1,0 +1,486 @@
+"""The multi-tenant checkpoint ingest service.
+
+:class:`CheckpointIngestService` is the long-running component tying the
+service layer together.  One submit travels:
+
+1. **admission** -- tenant lookup (:class:`UnknownTenantError` for
+   strangers), rate-quota token (bounded wait, then
+   :class:`QuotaExceededError`), byte-quota reservation (refused *before*
+   any payload is absorbed);
+2. **absorb** -- each blob goes into the burst buffer
+   (:class:`~repro.service.buffer.BurstDrain`) under the tenant's
+   namespaced generation key; the client blocks only for fast-tier
+   writes, with backpressure when the buffer is full;
+3. **drain** -- background workers move the blobs to the slow (typically
+   sharded) tier;
+4. **group commit** -- once a generation's blobs have all drained, its
+   manifest joins the committer's batch; :func:`repro.ckpt.journal.group_seal`
+   seals the whole batch with two shared sync barriers, and only after
+   the second barrier returns is the submit acknowledged.
+
+An acknowledged submit is therefore durably committed under exactly the
+same two-phase marker protocol a single-writer
+:class:`~repro.ckpt.journal.CommitTransaction` uses -- recovery and
+restore need no service-specific cases.  An injected
+:class:`~repro.exceptions.SimulatedCrash` anywhere in the pipeline
+poisons the service: pending submits fail with
+:class:`ServiceUnavailableError`, nothing new is accepted, and the next
+service incarnation's :meth:`CheckpointIngestService.recover_tenants`
+reaps whatever the crash tore.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Mapping
+
+from ..ckpt.journal import (
+    COMMIT_FORMAT_VERSION,
+    GroupSealItem,
+    group_seal,
+    is_committed,
+)
+from ..ckpt.manifest import (
+    ArrayEntry,
+    CheckpointManifest,
+    array_key,
+    validate_app_meta,
+)
+from ..ckpt.recovery import RecoveryReport, recover
+from ..ckpt.store import MemoryStore, Store
+from ..exceptions import (
+    CheckpointNotFoundError,
+    CommitError,
+    ConfigurationError,
+    ServiceUnavailableError,
+    SimulatedCrash,
+)
+from ..obs import get_registry, get_tracer
+from .sharded import NamespacedStore, ShardedStore, TENANT_PREFIX
+from .buffer import BurstDrain
+from .tenants import TenantRegistry
+
+__all__ = ["CheckpointIngestService", "IngestAck", "build_service"]
+
+
+class IngestAck:
+    """What a successful submit returns: the commit, timed."""
+
+    __slots__ = ("tenant", "step", "nbytes", "n_blobs", "latency_seconds", "batch_size")
+
+    def __init__(self, tenant, step, nbytes, n_blobs, latency_seconds, batch_size):
+        self.tenant = tenant
+        self.step = step
+        self.nbytes = nbytes
+        self.n_blobs = n_blobs
+        self.latency_seconds = latency_seconds
+        self.batch_size = batch_size
+
+    def to_dict(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _PendingCommit:
+    __slots__ = ("item", "future", "batch_size")
+
+    def __init__(self, item: GroupSealItem, future: "asyncio.Future") -> None:
+        self.item = item
+        self.future = future
+        self.batch_size = 0
+
+
+class CheckpointIngestService:
+    """Asyncio front-end accepting concurrent checkpoint streams.
+
+    Parameters
+    ----------
+    store:
+        The slow/durable tier all tenants share -- usually a
+        :class:`~repro.service.sharded.ShardedStore` over
+        ``DirectoryStore(durability="batch")`` backends so the group
+        commit's sync barriers amortize real fsyncs.
+    tenants:
+        The :class:`~repro.service.tenants.TenantRegistry` holding
+        namespaces and quotas.
+    buffer_capacity_bytes / drain_workers:
+        Burst-buffer absorb tier sizing (see
+        :class:`~repro.service.buffer.BurstDrain`).
+    max_batch:
+        Most generations one group commit may seal; ``1`` degenerates to
+        per-generation commits (the benchmark's baseline arm).
+    max_batch_delay:
+        How long the committer lingers for more ready generations after
+        the first, trading a little latency for batch depth.
+    rate_max_wait:
+        Longest a submit may wait for a rate-quota token before being
+        refused.
+    """
+
+    def __init__(
+        self,
+        store: Store,
+        tenants: TenantRegistry,
+        *,
+        buffer_capacity_bytes: int = 64 * 1024 * 1024,
+        drain_workers: int = 2,
+        max_batch: int = 32,
+        max_batch_delay: float = 0.002,
+        rate_max_wait: float = 0.5,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_batch_delay < 0:
+            raise ConfigurationError(
+                f"max_batch_delay must be >= 0, got {max_batch_delay}"
+            )
+        self.store = store
+        self.tenants = tenants
+        self.max_batch = max_batch
+        self.max_batch_delay = max_batch_delay
+        self.rate_max_wait = rate_max_wait
+        self.buffer = BurstDrain(
+            MemoryStore(),
+            store,
+            capacity_bytes=buffer_capacity_bytes,
+            drain_workers=drain_workers,
+        )
+        self._views: dict[str, NamespacedStore] = {}
+        self._commit_queue: asyncio.Queue[_PendingCommit] | None = None
+        self._committer: asyncio.Task | None = None
+        self._inflight: set[tuple[str, int]] = set()
+        self._crashed: BaseException | None = None
+        self._closed = False
+        self._tracer = get_tracer()
+        self._metrics = get_registry()
+        self.commits = 0
+        self.group_commits = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.buffer.start()
+        self._commit_queue = asyncio.Queue()
+        self._committer = asyncio.create_task(self._commit_loop(), name="committer")
+
+    async def close(self) -> None:
+        """Stop accepting, finish in-flight work, sync the stores."""
+        self._closed = True
+        if self._commit_queue is not None and self._crashed is None:
+            await self._commit_queue.join()
+        if self._committer is not None:
+            self._committer.cancel()
+            try:
+                await self._committer
+            except asyncio.CancelledError:
+                pass
+            self._committer = None
+        await self.buffer.close()
+        if self._crashed is None:
+            await asyncio.to_thread(self.store.sync)
+
+    async def __aenter__(self) -> "CheckpointIngestService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    @property
+    def crashed(self) -> BaseException | None:
+        return self._crashed or self.buffer.crashed
+
+    def _check_accepting(self) -> None:
+        crash = self.crashed
+        if crash is not None:
+            raise ServiceUnavailableError(
+                f"service crashed and is no longer accepting submits: {crash}"
+            ) from crash
+        if self._closed:
+            raise ServiceUnavailableError("service is shutting down")
+
+    def view(self, tenant: str) -> NamespacedStore:
+        """The tenant's namespaced view of the shared store."""
+        self.tenants.spec(tenant)  # UnknownTenantError for strangers
+        store = self._views.get(tenant)
+        if store is None:
+            store = NamespacedStore(self.store, f"{TENANT_PREFIX}/{tenant}")
+            self._views[tenant] = store
+        return store
+
+    # -- ingest path ---------------------------------------------------------
+
+    async def submit(
+        self,
+        tenant: str,
+        step: int,
+        blobs: Mapping[str, bytes],
+        *,
+        app_meta: Mapping[str, Any] | None = None,
+    ) -> IngestAck:
+        """Ingest one checkpoint generation; returns once durably committed."""
+        t_start = time.monotonic()
+        self._check_accepting()
+        view = self.view(tenant)  # raises UnknownTenantError first
+        step = int(step)
+        if step < 0:
+            raise CommitError(f"step must be >= 0, got {step}")
+        if not blobs:
+            raise CommitError("a checkpoint submit needs at least one blob")
+        meta = validate_app_meta(app_meta)
+        total = sum(len(data) for data in blobs.values())
+
+        delay = self.tenants.reserve_rate(tenant, max_wait=self.rate_max_wait)
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        self.tenants.reserve_bytes(tenant, total)
+        charged = True
+        key = (tenant, step)
+        try:
+            self._check_accepting()
+            if key in self._inflight:
+                raise CommitError(
+                    f"tenant {tenant!r} already has step {step} in flight"
+                )
+            if await asyncio.to_thread(is_committed, view, step):
+                raise CommitError(
+                    f"tenant {tenant!r} step {step} already holds a committed "
+                    f"checkpoint; delete it before rewriting"
+                )
+            self._inflight.add(key)
+            try:
+                with self._tracer.span(
+                    "service.submit", tenant=tenant, step=step, nbytes=total
+                ):
+                    entries = []
+                    drained = []
+                    for name, data in sorted(blobs.items()):
+                        bkey = view._k(array_key(step, name))
+                        try:
+                            drained.append(await self.buffer.absorb(bkey, data))
+                        except SimulatedCrash as exc:
+                            raise ServiceUnavailableError(
+                                f"service crashed while absorbing "
+                                f"{tenant}/{step}: {exc}"
+                            ) from exc
+                        entries.append(
+                            ArrayEntry(
+                                name=name,
+                                shape=(len(data),),
+                                dtype="|u1",
+                                codec="raw",
+                                raw_bytes=len(data),
+                                stored_bytes=len(data),
+                                crc32=ArrayEntry.checksum(data),
+                            )
+                        )
+                    # every blob of the generation must be on the slow
+                    # tier before its manifest may join a commit batch
+                    try:
+                        await asyncio.gather(*drained)
+                    except SimulatedCrash as exc:
+                        raise ServiceUnavailableError(
+                            f"service crashed while draining {tenant}/{step}: {exc}"
+                        ) from exc
+                    manifest = CheckpointManifest(
+                        step=step,
+                        entries=tuple(entries),
+                        app_meta=meta,
+                        format_version=COMMIT_FORMAT_VERSION,
+                    )
+                    pending = _PendingCommit(
+                        GroupSealItem(view, manifest),
+                        asyncio.get_running_loop().create_future(),
+                    )
+                    assert self._commit_queue is not None, "service not started"
+                    self._commit_queue.put_nowait(pending)
+                    try:
+                        await pending.future
+                    except SimulatedCrash as exc:
+                        raise ServiceUnavailableError(
+                            f"service crashed while committing {tenant}/{step}: {exc}"
+                        ) from exc
+                charged = False  # committed: the bytes are now owned storage
+            finally:
+                self._inflight.discard(key)
+        finally:
+            if charged:
+                self.tenants.release_bytes(tenant, total)
+        latency = time.monotonic() - t_start
+        self._metrics.histogram("service.ingest_seconds").observe(latency)
+        self._metrics.counter("service.submits").inc()
+        return IngestAck(
+            tenant=tenant,
+            step=step,
+            nbytes=total,
+            n_blobs=len(blobs),
+            latency_seconds=latency,
+            batch_size=pending.batch_size,
+        )
+
+    # -- group committer -----------------------------------------------------
+
+    async def _commit_loop(self) -> None:
+        assert self._commit_queue is not None
+        queue = self._commit_queue
+        while True:
+            batch = [await queue.get()]
+            if self.max_batch > 1 and self.max_batch_delay > 0.0:
+                # linger briefly so concurrently-draining generations can
+                # join this batch instead of paying their own barriers
+                await asyncio.sleep(self.max_batch_delay)
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                if self._crashed is not None:
+                    for p in batch:
+                        if not p.future.done():
+                            p.future.set_exception(self._crashed)
+                    continue
+                try:
+                    await asyncio.to_thread(
+                        group_seal,
+                        [p.item for p in batch],
+                        barrier=self.store,
+                    )
+                except BaseException as exc:  # noqa: BLE001 - reach submitters
+                    if isinstance(exc, SimulatedCrash):
+                        self._poison(exc)
+                    for p in batch:
+                        if not p.future.done():
+                            p.future.set_exception(exc)
+                    continue
+                self.commits += len(batch)
+                self.group_commits += 1
+                for p in batch:
+                    p.batch_size = len(batch)
+                    if not p.future.done():
+                        p.future.set_result(p.item.marker)
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    def _poison(self, exc: BaseException) -> None:
+        """An injected crash kills the whole service incarnation."""
+        if self._crashed is None:
+            self._crashed = exc
+            self._metrics.counter("service.crashes").inc()
+        if self._commit_queue is not None:
+            while True:
+                try:
+                    p = self._commit_queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not p.future.done():
+                    p.future.set_exception(exc)
+                self._commit_queue.task_done()
+
+    # -- read / recovery side ------------------------------------------------
+
+    def committed_steps(self, tenant: str) -> list[int]:
+        """Committed generation numbers of one tenant, ascending."""
+        view = self.view(tenant)
+        steps = set()
+        for key in view.list_keys("ckpt/"):
+            parts = key.split("/")
+            if len(parts) >= 3:
+                try:
+                    steps.add(int(parts[1]))
+                except ValueError:
+                    continue
+        return [s for s in sorted(steps) if is_committed(view, s)]
+
+    def restore_blobs(self, tenant: str, step: int | None = None) -> dict[str, bytes]:
+        """Read back one committed generation, CRC-verified, as raw blobs."""
+        view = self.view(tenant)
+        if step is None:
+            steps = self.committed_steps(tenant)
+            if not steps:
+                raise CheckpointNotFoundError(
+                    f"tenant {tenant!r} has no committed checkpoints"
+                )
+            step = steps[-1]
+        step = int(step)
+        if not is_committed(view, step):
+            raise CheckpointNotFoundError(
+                f"tenant {tenant!r} has no committed checkpoint at step {step}"
+            )
+        from ..ckpt.manifest import manifest_key
+
+        manifest = CheckpointManifest.from_json(view.get(manifest_key(step)))
+        out: dict[str, bytes] = {}
+        for entry in manifest.entries:
+            payload = view.get(array_key(step, entry.name))
+            entry.verify(payload)
+            out[entry.name] = payload
+        return out
+
+    def recover_tenants(self) -> dict[str, RecoveryReport]:
+        """Startup recovery pass over every registered tenant's namespace.
+
+        Reaps torn/orphaned generations per tenant and prunes stale
+        placement records when the shared store is sharded.  Run this on a
+        *fresh* service incarnation before accepting submits.
+        """
+        reports: dict[str, RecoveryReport] = {}
+        for name in self.tenants.names():
+            reports[name] = recover(self.view(name), reap=True)
+        if isinstance(self.store, ShardedStore):
+            self.store.prune_placement()
+        return reports
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "commits": self.commits,
+            "group_commits": self.group_commits,
+            "mean_batch": (self.commits / self.group_commits) if self.group_commits else 0.0,
+            "buffer": self.buffer.stats.as_dict(),
+            "tenants": self.tenants.stats(),
+            "crashed": self.crashed is not None,
+        }
+
+
+def build_service(
+    root: str,
+    tenants: TenantRegistry,
+    config: "ServiceConfig | None" = None,
+) -> CheckpointIngestService:
+    """Stand up a service over sharded directory stores under ``root``.
+
+    Layout: ``root/shard-<i>/`` data shards plus ``root/_placement/`` for
+    the persisted placement map.  Re-opening the same root with the same
+    (or a grown) shard count finds every earlier generation: recorded
+    placements pin old units, the ring only places new ones.  Used by the
+    ``repro-ckpt serve`` CLI and the load benchmark.
+    """
+    import os
+
+    from ..ckpt.store import DirectoryStore
+    from ..config import ServiceConfig
+
+    if config is None:
+        config = ServiceConfig()
+    shards = {
+        f"shard-{i:02d}": DirectoryStore(
+            os.path.join(root, f"shard-{i:02d}"), durability=config.durability
+        )
+        for i in range(config.shards)
+    }
+    placement = DirectoryStore(
+        os.path.join(root, "_placement"), durability=config.durability
+    )
+    store = ShardedStore(shards, placement=placement, vnodes=config.vnodes)
+    return CheckpointIngestService(
+        store,
+        tenants,
+        buffer_capacity_bytes=config.buffer_capacity_bytes,
+        drain_workers=config.drain_workers,
+        max_batch=config.max_batch,
+        max_batch_delay=config.max_batch_delay,
+        rate_max_wait=config.rate_max_wait,
+    )

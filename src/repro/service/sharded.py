@@ -1,0 +1,295 @@
+"""Sharded and namespaced store views for the multi-tenant service.
+
+Two composable wrappers over the :class:`~repro.ckpt.store.Store`
+interface:
+
+* :class:`NamespacedStore` -- one tenant's view of a shared store: every
+  key is transparently prefixed with ``tenants/<name>/``, so the
+  per-tenant commit journal and recovery machinery run unmodified while
+  tenants can never name each other's objects.
+* :class:`ShardedStore` -- consistent-hash placement over N backend
+  stores.  The *placement unit* is a whole checkpoint generation (every
+  key under ``.../ckpt/<step>/`` routes together), which keeps each
+  generation's blobs, manifest and COMMIT marker colocated on one shard:
+  commit atomicity and recovery classification then never straddle
+  backends.
+
+Placement is **stable** three ways deep:
+
+1. the :class:`~repro.service.hashring.HashRing` is a pure function of
+   the shard-id set (same key -> same shard across runs);
+2. every *first placement* of a unit is persisted as a tiny record in a
+   placement-map store, so generations written under an older shard set
+   are still found after shards join (the per-tenant placement map the
+   service exposes);
+3. reads fall back to probing every shard, so even a lost placement map
+   degrades to a slower lookup, never to data loss.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Iterable, Mapping
+
+from ..ckpt.store import Store
+from ..exceptions import ConfigurationError, StorageError
+from .hashring import DEFAULT_VNODES, HashRing
+
+__all__ = ["NamespacedStore", "ShardedStore", "placement_unit", "TENANT_PREFIX"]
+
+TENANT_PREFIX = "tenants"
+
+#: A generation directory anywhere in a key: everything up to and
+#: including ``ckpt/<digits>`` routes as one unit.
+_GENERATION_RE = re.compile(r"^(?P<unit>(?:[^/]+/)*ckpt/\d+)/")
+
+_PLACEMENT_PREFIX = "placement/"
+
+
+def placement_unit(key: str) -> str:
+    """The routing unit of ``key``: its generation directory, or itself.
+
+    ``tenants/a/ckpt/0000000007/u.bin`` -> ``tenants/a/ckpt/0000000007``
+    so a generation's blobs, manifest and marker always share a shard;
+    keys outside any generation directory route individually.
+    """
+    m = _GENERATION_RE.match(key)
+    return m.group("unit") if m else key
+
+
+class NamespacedStore(Store):
+    """A prefix-scoped view of an inner store (one tenant's namespace)."""
+
+    def __init__(self, inner: Store, namespace: str) -> None:
+        if not namespace or namespace.endswith("/") or "//" in namespace:
+            raise ConfigurationError(
+                f"namespace must be a clean relative path, got {namespace!r}"
+            )
+        self.inner = inner
+        self.namespace = namespace
+        self._prefix = namespace + "/"
+
+    def _k(self, key: str) -> str:
+        return self._prefix + key
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(self._k(key), data)
+
+    def get(self, key: str) -> bytes:
+        return self.inner.get(self._k(key))
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(self._k(key))
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(self._k(key))
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        n = len(self._prefix)
+        return [k[n:] for k in self.inner.list_keys(self._prefix + prefix)]
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+
+class ShardedStore(Store):
+    """Consistent-hash placement of generations across backend stores.
+
+    Parameters
+    ----------
+    shards:
+        ``{shard_id: store}`` backends.  Ids are the ring identity --
+        reuse the same ids across restarts.
+    placement:
+        Optional small store persisting first-placement records (unit ->
+        shard id).  Point it at a durable location (e.g. a
+        ``DirectoryStore`` next to the shard roots) so placement survives
+        restarts and shard-set changes; ``None`` keeps the map in memory
+        only and relies on the ring + probe fallback.
+    vnodes:
+        Virtual nodes per shard for the ring.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, Store],
+        *,
+        placement: Store | None = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("ShardedStore needs at least one shard")
+        self.shards: dict[str, Store] = dict(shards)
+        self.ring = HashRing(list(self.shards), vnodes=vnodes)
+        self.placement = placement
+        self._cache: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- shard membership ----------------------------------------------------
+
+    def add_shard(self, shard_id: str, store: Store) -> None:
+        """Join a new backend; existing units keep their recorded homes."""
+        if shard_id in self.shards:
+            raise ConfigurationError(f"shard {shard_id!r} already exists")
+        self.ring.add(shard_id)
+        self.shards[shard_id] = store
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Remove an *empty* backend from the ring.
+
+        Refuses while the shard still holds objects: placement records
+        pointing at a vanished shard would turn into data loss.  Drain or
+        migrate first.
+        """
+        store = self.shards.get(shard_id)
+        if store is None:
+            raise ConfigurationError(f"shard {shard_id!r} does not exist")
+        leftover = store.list_keys("")
+        if leftover:
+            raise StorageError(
+                f"shard {shard_id!r} still holds {len(leftover)} object(s) "
+                f"(e.g. {leftover[0]!r}); migrate them before removal"
+            )
+        self.ring.remove(shard_id)
+        del self.shards[shard_id]
+        with self._lock:
+            self._cache = {u: s for u, s in self._cache.items() if s != shard_id}
+
+    # -- placement -----------------------------------------------------------
+
+    def _record(self, unit: str, shard_id: str) -> None:
+        with self._lock:
+            known = self._cache.get(unit)
+            if known == shard_id:
+                return
+            self._cache[unit] = shard_id
+        if self.placement is not None:
+            self.placement.put(
+                _PLACEMENT_PREFIX + unit, shard_id.encode("utf-8")
+            )
+
+    def _recorded(self, unit: str) -> str | None:
+        with self._lock:
+            sid = self._cache.get(unit)
+        if sid is not None:
+            return sid
+        if self.placement is not None:
+            pkey = _PLACEMENT_PREFIX + unit
+            if self.placement.exists(pkey):
+                sid = self.placement.get(pkey).decode("utf-8")
+                if sid in self.shards:
+                    with self._lock:
+                        self._cache[unit] = sid
+                    return sid
+        return None
+
+    def shard_for(self, key: str) -> str:
+        """The shard id a read of ``key`` should try first."""
+        unit = placement_unit(key)
+        return self._recorded(unit) or self.ring.lookup(unit)
+
+    def _locate(self, key: str) -> str | None:
+        """The shard that actually holds ``key`` (record -> ring -> probe)."""
+        unit = placement_unit(key)
+        recorded = self._recorded(unit)
+        if recorded is not None and self.shards[recorded].exists(key):
+            return recorded
+        ringed = self.ring.lookup(unit)
+        if ringed != recorded and self.shards[ringed].exists(key):
+            return ringed
+        for sid in sorted(self.shards):
+            if sid in (recorded, ringed):
+                continue
+            if self.shards[sid].exists(key):
+                return sid
+        return None
+
+    def placement_map(self, prefix: str = "") -> dict[str, str]:
+        """Persisted ``{unit: shard_id}`` records under ``prefix``.
+
+        ``placement_map(f"tenants/{name}")`` is one tenant's map -- the
+        record of where every one of its generations lives.
+        """
+        if self.placement is None:
+            with self._lock:
+                return {
+                    u: s for u, s in self._cache.items() if u.startswith(prefix)
+                }
+        out: dict[str, str] = {}
+        for key in self.placement.list_keys(_PLACEMENT_PREFIX + prefix):
+            unit = key[len(_PLACEMENT_PREFIX):]
+            out[unit] = self.placement.get(key).decode("utf-8")
+        return out
+
+    def prune_placement(self) -> int:
+        """Drop placement records whose unit no longer holds any object
+        (generations reaped by recovery or retention); returns removals."""
+        removed = 0
+        for unit, sid in self.placement_map().items():
+            store = self.shards.get(sid)
+            if store is not None and store.list_keys(unit + "/"):
+                continue
+            if store is not None and store.exists(unit):
+                continue
+            with self._lock:
+                self._cache.pop(unit, None)
+            if self.placement is not None:
+                self.placement.delete(_PLACEMENT_PREFIX + unit)
+            removed += 1
+        return removed
+
+    # -- store interface -----------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        unit = placement_unit(key)
+        sid = self._recorded(unit)
+        if sid is None:
+            sid = self.ring.lookup(unit)
+        self._record(unit, sid)
+        self.shards[sid].put(key, data)
+
+    def get(self, key: str) -> bytes:
+        sid = self._locate(key)
+        if sid is None:
+            raise StorageError(f"no object stored under key {key!r}")
+        return self.shards[sid].get(key)
+
+    def exists(self, key: str) -> bool:
+        return self._locate(key) is not None
+
+    def delete(self, key: str) -> None:
+        sid = self._locate(key)
+        if sid is not None:
+            self.shards[sid].delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        merged: list[str] = []
+        for store in self.shards.values():
+            merged.extend(store.list_keys(prefix))
+        return sorted(merged)
+
+    def sync(self) -> None:
+        """Barrier over every backend (and the placement map)."""
+        for store in self.shards.values():
+            store.sync()
+        if self.placement is not None:
+            self.placement.sync()
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def shard_key_counts(self, prefix: str = "") -> dict[str, int]:
+        return {
+            sid: len(store.list_keys(prefix))
+            for sid, store in sorted(self.shards.items())
+        }
+
+
+def iter_tenant_namespaces(store: Store) -> Iterable[str]:
+    """Tenant names that have any object under ``tenants/`` in ``store``."""
+    seen: set[str] = set()
+    for key in store.list_keys(TENANT_PREFIX + "/"):
+        parts = key.split("/")
+        if len(parts) >= 2 and parts[1] not in seen:
+            seen.add(parts[1])
+            yield parts[1]

@@ -1,0 +1,310 @@
+"""Local-socket wire protocol for the checkpoint ingest service.
+
+A deliberately small length-prefixed framing so ``repro-ckpt serve`` can
+take checkpoint streams from other processes on the same machine:
+
+* every message is a 4-byte big-endian header length, the UTF-8 JSON
+  header, then raw binary payload bytes;
+* the header's ``blobs`` field is an ordered list of ``[name, nbytes]``
+  pairs describing how to slice the payload, so array payloads cross the
+  socket without base64 inflation;
+* responses carry ``ok: true`` plus op-specific fields, or ``ok: false``
+  with a typed error frame ``{"type": ..., "message": ...}``.
+
+The error frame is the taxonomy satellite on the wire: the client
+re-raises the *same* exception family the service raised
+(:class:`QuotaExceededError`, :class:`UnknownTenantError`, ...), so a
+remote caller and an in-process caller handle failures identically and
+nobody ever diagnoses a quota refusal from a hung stream or a generic
+``OSError``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Mapping
+
+from ..exceptions import (
+    CheckpointNotFoundError,
+    CommitError,
+    ConfigurationError,
+    FormatError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    StorageError,
+    UnknownTenantError,
+)
+from .ingest import CheckpointIngestService
+
+__all__ = ["ServiceServer", "ServiceClient", "MAX_HEADER_BYTES"]
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a header frame; payload sizes are bounded by the byte
+#: quotas, but a malformed header length must not allocate gigabytes.
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+#: Exception families a typed error frame may resurrect client-side.
+_ERROR_TYPES: dict[str, type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        ServiceError,
+        UnknownTenantError,
+        QuotaExceededError,
+        ServiceUnavailableError,
+        CommitError,
+        CheckpointNotFoundError,
+        ConfigurationError,
+        FormatError,
+        StorageError,
+    )
+}
+
+
+async def _read_message(reader: asyncio.StreamReader) -> tuple[dict[str, Any], bytes]:
+    raw_len = await reader.readexactly(_LEN.size)
+    (header_len,) = _LEN.unpack(raw_len)
+    if header_len > MAX_HEADER_BYTES:
+        raise FormatError(
+            f"wire header of {header_len} bytes exceeds limit {MAX_HEADER_BYTES}"
+        )
+    try:
+        header = json.loads((await reader.readexactly(header_len)).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError(f"wire header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FormatError("wire header must be a JSON object")
+    payload_len = int(header.get("payload_bytes", 0))
+    payload = await reader.readexactly(payload_len) if payload_len else b""
+    return header, payload
+
+
+async def _write_message(
+    writer: asyncio.StreamWriter, header: dict[str, Any], payload: bytes = b""
+) -> None:
+    if payload:
+        header = {**header, "payload_bytes": len(payload)}
+    body = json.dumps(header, sort_keys=True).encode("utf-8")
+    writer.write(_LEN.pack(len(body)) + body + payload)
+    await writer.drain()
+
+
+def _pack_blobs(blobs: Mapping[str, bytes]) -> tuple[list[list[Any]], bytes]:
+    index: list[list[Any]] = []
+    parts: list[bytes] = []
+    for name in sorted(blobs):
+        data = blobs[name]
+        index.append([name, len(data)])
+        parts.append(data)
+    return index, b"".join(parts)
+
+
+def _unpack_blobs(index: list[list[Any]], payload: bytes) -> dict[str, bytes]:
+    out: dict[str, bytes] = {}
+    offset = 0
+    for name, nbytes in index:
+        nbytes = int(nbytes)
+        out[str(name)] = payload[offset : offset + nbytes]
+        offset += nbytes
+    if offset != len(payload):
+        raise FormatError(
+            f"blob index covers {offset} bytes, payload carries {len(payload)}"
+        )
+    return out
+
+
+class ServiceServer:
+    """Serve a :class:`CheckpointIngestService` on a unix socket."""
+
+    def __init__(
+        self,
+        service: CheckpointIngestService,
+        path: str,
+        *,
+        on_disconnect=None,
+    ) -> None:
+        self.service = service
+        self.path = path
+        self.on_disconnect = on_disconnect
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_unix_server(self._handle, path=self.path)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ServiceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header, payload = await _read_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                try:
+                    resp, resp_payload = await self._dispatch(header, payload)
+                except ReproError as exc:
+                    resp = {
+                        "ok": False,
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                    }
+                    resp_payload = b""
+                await _write_message(writer, resp, resp_payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            if self.on_disconnect is not None:
+                self.on_disconnect()
+
+    async def _dispatch(
+        self, header: dict[str, Any], payload: bytes
+    ) -> tuple[dict[str, Any], bytes]:
+        op = header.get("op")
+        svc = self.service
+        if op == "ping":
+            return {"ok": True, "pong": True}, b""
+        if op == "submit":
+            blobs = _unpack_blobs(header.get("blobs", []), payload)
+            ack = await svc.submit(
+                str(header["tenant"]),
+                int(header["step"]),
+                blobs,
+                app_meta=header.get("app_meta"),
+            )
+            return {"ok": True, "ack": ack.to_dict()}, b""
+        if op == "restore":
+            step = header.get("step")
+            blobs = await asyncio.to_thread(
+                svc.restore_blobs,
+                str(header["tenant"]),
+                None if step is None else int(step),
+            )
+            index, blob_payload = _pack_blobs(blobs)
+            return {"ok": True, "blobs": index}, blob_payload
+        if op == "steps":
+            steps = await asyncio.to_thread(svc.committed_steps, str(header["tenant"]))
+            return {"ok": True, "steps": steps}, b""
+        if op == "stats":
+            return {"ok": True, "stats": svc.stats()}, b""
+        raise FormatError(f"unknown wire op {op!r}")
+
+
+class ServiceClient:
+    """Async client speaking the wire protocol to a :class:`ServiceServer`.
+
+    One client holds one connection; requests on a single client are
+    serialized (run many clients for concurrency, as the load benchmark
+    does).  Service refusals arrive as the original typed exceptions.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        try:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.path
+            )
+        except OSError as exc:
+            raise ServiceUnavailableError(
+                f"cannot connect to service socket {self.path!r}: {exc}"
+            ) from exc
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def _call(
+        self, header: dict[str, Any], payload: bytes = b""
+    ) -> tuple[dict[str, Any], bytes]:
+        if self._reader is None or self._writer is None:
+            raise ServiceError("client is not connected; call connect() first")
+        await _write_message(self._writer, header, payload)
+        try:
+            resp, resp_payload = await _read_message(self._reader)
+        except asyncio.IncompleteReadError as exc:
+            raise ServiceUnavailableError(
+                "connection closed by the service mid-request"
+            ) from exc
+        if not resp.get("ok"):
+            err = resp.get("error") or {}
+            cls = _ERROR_TYPES.get(str(err.get("type")), ServiceError)
+            raise cls(str(err.get("message", "service error")))
+        return resp, resp_payload
+
+    async def ping(self) -> bool:
+        resp, _ = await self._call({"op": "ping"})
+        return bool(resp.get("pong"))
+
+    async def submit(
+        self,
+        tenant: str,
+        step: int,
+        blobs: Mapping[str, bytes],
+        *,
+        app_meta: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        index, payload = _pack_blobs(blobs)
+        header = {
+            "op": "submit",
+            "tenant": tenant,
+            "step": int(step),
+            "blobs": index,
+        }
+        if app_meta:
+            header["app_meta"] = dict(app_meta)
+        resp, _ = await self._call(header, payload)
+        return resp["ack"]
+
+    async def restore(
+        self, tenant: str, step: int | None = None
+    ) -> dict[str, bytes]:
+        header: dict[str, Any] = {"op": "restore", "tenant": tenant}
+        if step is not None:
+            header["step"] = int(step)
+        resp, payload = await self._call(header)
+        return _unpack_blobs(resp.get("blobs", []), payload)
+
+    async def steps(self, tenant: str) -> list[int]:
+        resp, _ = await self._call({"op": "steps", "tenant": tenant})
+        return [int(s) for s in resp.get("steps", [])]
+
+    async def stats(self) -> dict[str, Any]:
+        resp, _ = await self._call({"op": "stats"})
+        return resp["stats"]

@@ -156,6 +156,7 @@ def test_crash_during_recovery_reap_is_safe():
     # untouched, so the death is emulated directly)
     class DyingDeletes(MemoryStore):
         def __init__(self, src: MemoryStore) -> None:
+            super().__init__()
             self._blobs = src._blobs
             self._deaths = 0
 

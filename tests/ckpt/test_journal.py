@@ -238,6 +238,7 @@ class TestReap:
 
         class OneShotStore(MemoryStore):
             def __init__(self, inner):
+                super().__init__()
                 self._blobs = inner._blobs
                 self.deletes = 0
 

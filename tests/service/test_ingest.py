@@ -1,0 +1,277 @@
+"""The ingest service end to end (in-process): commits, quotas, batching."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.ckpt.journal import is_committed
+from repro.ckpt.store import DirectoryStore, MemoryStore
+from repro.config import ServiceConfig
+from repro.exceptions import (
+    CommitError,
+    QuotaExceededError,
+    UnknownTenantError,
+)
+from repro.service import (
+    CheckpointIngestService,
+    ShardedStore,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.service.ingest import build_service
+
+
+def _registry(**quotas) -> TenantRegistry:
+    return TenantRegistry(
+        [
+            TenantSpec("alice", **quotas.get("alice", {})),
+            TenantSpec("bob", **quotas.get("bob", {})),
+        ]
+    )
+
+
+def _service(store=None, registry=None, **kw) -> CheckpointIngestService:
+    return CheckpointIngestService(
+        store if store is not None else MemoryStore(),
+        registry if registry is not None else _registry(),
+        **kw,
+    )
+
+
+def test_submit_commits_and_restores_bit_identically():
+    async def run():
+        svc = _service()
+        blobs = {"u": os.urandom(4096), "v": os.urandom(1024)}
+        async with svc:
+            ack = await svc.submit("alice", 0, blobs, app_meta={"epoch": 3})
+        assert ack.step == 0 and ack.nbytes == 5120 and ack.n_blobs == 2
+        assert is_committed(svc.view("alice"), 0)
+        assert svc.restore_blobs("alice", 0) == blobs
+
+    asyncio.run(run())
+
+
+def test_concurrent_submits_all_commit():
+    async def run():
+        svc = _service(max_batch=16)
+        payloads = {
+            ("alice", s): {"u": os.urandom(512)} for s in range(10)
+        } | {
+            ("bob", s): {"u": os.urandom(512)} for s in range(10)
+        }
+        async with svc:
+            acks = await asyncio.gather(
+                *[
+                    svc.submit(t, s, blobs)
+                    for (t, s), blobs in payloads.items()
+                ]
+            )
+        assert len(acks) == 20
+        for (tenant, step), blobs in payloads.items():
+            assert svc.restore_blobs(tenant, step) == blobs
+        assert svc.committed_steps("alice") == list(range(10))
+
+    asyncio.run(run())
+
+
+def test_group_commit_batches_concurrent_generations():
+    async def run():
+        svc = _service(max_batch=16, max_batch_delay=0.01)
+        async with svc:
+            acks = await asyncio.gather(
+                *[svc.submit("alice", s, {"u": b"x" * 256}) for s in range(12)]
+            )
+        assert svc.commits == 12
+        # concurrency must have produced at least one multi-generation
+        # batch -- fewer group commits than commits
+        assert svc.group_commits < 12
+        assert max(a.batch_size for a in acks) > 1
+
+    asyncio.run(run())
+
+
+def test_max_batch_one_degenerates_to_per_generation():
+    async def run():
+        svc = _service(max_batch=1)
+        async with svc:
+            await asyncio.gather(
+                *[svc.submit("alice", s, {"u": b"x" * 64}) for s in range(6)]
+            )
+        assert svc.commits == 6
+        assert svc.group_commits == 6
+
+    asyncio.run(run())
+
+
+def test_unknown_tenant_refused_before_any_state():
+    async def run():
+        store = MemoryStore()
+        svc = _service(store)
+        async with svc:
+            with pytest.raises(UnknownTenantError, match="carol"):
+                await svc.submit("carol", 0, {"u": b"x"})
+        assert store.list_keys("") == []
+
+    asyncio.run(run())
+
+
+def test_byte_quota_refusal_leaves_no_state_and_charges_nothing():
+    async def run():
+        store = MemoryStore()
+        registry = _registry(alice={"byte_quota": 1000})
+        svc = _service(store, registry)
+        async with svc:
+            await svc.submit("alice", 0, {"u": b"x" * 600})
+            with pytest.raises(QuotaExceededError, match="byte quota"):
+                await svc.submit("alice", 1, {"u": b"x" * 600})
+            # the refused generation left nothing behind
+            assert svc.committed_steps("alice") == [0]
+            assert not [
+                k for k in store.list_keys("") if "0000000001" in k
+            ]
+            # quota accounting kept only the committed generation
+            assert registry.used_bytes("alice") == 600
+
+    asyncio.run(run())
+
+
+def test_rate_quota_refusal():
+    async def run():
+        registry = TenantRegistry(
+            [TenantSpec("alice", rate_quota=5.0, rate_burst=2)]
+        )
+        svc = _service(MemoryStore(), registry, rate_max_wait=0.0)
+        async with svc:
+            await svc.submit("alice", 0, {"u": b"x"})
+            await svc.submit("alice", 1, {"u": b"x"})
+            with pytest.raises(QuotaExceededError, match="ingest-rate"):
+                await svc.submit("alice", 2, {"u": b"x"})
+
+    asyncio.run(run())
+
+
+def test_duplicate_inflight_step_refused():
+    async def run():
+        svc = _service(max_batch_delay=0.05)
+        async with svc:
+            first = asyncio.ensure_future(
+                svc.submit("alice", 7, {"u": b"x" * 128})
+            )
+            await asyncio.sleep(0.01)
+            with pytest.raises(CommitError, match="in flight"):
+                await svc.submit("alice", 7, {"u": b"y" * 128})
+            await first
+
+    asyncio.run(run())
+
+
+def test_rewriting_committed_step_refused():
+    async def run():
+        svc = _service()
+        async with svc:
+            await svc.submit("alice", 3, {"u": b"x"})
+            with pytest.raises(CommitError, match="already holds"):
+                await svc.submit("alice", 3, {"u": b"y"})
+
+    asyncio.run(run())
+
+
+def test_tenant_isolation():
+    async def run():
+        store = MemoryStore()
+        svc = _service(store)
+        async with svc:
+            await svc.submit("alice", 0, {"secret": b"alice-data"})
+            await svc.submit("bob", 0, {"u": b"bob-data"})
+        # same step number, fully separate namespaces
+        assert svc.restore_blobs("alice", 0) == {"secret": b"alice-data"}
+        assert svc.restore_blobs("bob", 0) == {"u": b"bob-data"}
+        bob_view = svc.view("bob")
+        assert not any("secret" in k for k in bob_view.list_keys(""))
+        # and every key in the shared store is namespaced
+        assert all(k.startswith("tenants/") for k in store.list_keys(""))
+
+    asyncio.run(run())
+
+
+def test_oversized_blob_writes_through_and_still_commits():
+    async def run():
+        svc = _service(buffer_capacity_bytes=1024)
+        big = os.urandom(4096)
+        async with svc:
+            await svc.submit("alice", 0, {"big": big, "small": b"s" * 16})
+        assert svc.restore_blobs("alice", 0)["big"] == big
+        assert svc.buffer.stats.through_blobs == 1
+
+    asyncio.run(run())
+
+
+def test_build_service_over_sharded_directories(tmp_path):
+    async def run():
+        registry = _registry()
+        svc = build_service(
+            str(tmp_path), registry, ServiceConfig(shards=3, max_batch=8)
+        )
+        assert isinstance(svc.store, ShardedStore)
+        blobs = {"u": os.urandom(2048)}
+        async with svc:
+            await asyncio.gather(
+                *[svc.submit("alice", s, blobs) for s in range(8)]
+            )
+        # reopen the same root: everything is still there
+        svc2 = build_service(str(tmp_path), _registry(), ServiceConfig(shards=3))
+        assert svc2.committed_steps("alice") == list(range(8))
+        assert svc2.restore_blobs("alice", 5) == blobs
+
+    asyncio.run(run())
+
+
+def test_recover_tenants_reaps_torn_generations(tmp_path):
+    async def run():
+        svc = build_service(str(tmp_path), _registry(), ServiceConfig(shards=2))
+        async with svc:
+            await svc.submit("alice", 0, {"u": b"good"})
+        # fabricate a torn generation: blobs + manifest, no marker
+        view = svc.view("alice")
+        view.put("ckpt/0000000005/u.bin", b"torn")
+        view.put("ckpt/0000000005/manifest.json", b"{}")
+
+        svc2 = build_service(str(tmp_path), _registry(), ServiceConfig(shards=2))
+        reports = svc2.recover_tenants()
+        assert reports["alice"].reaped == [5]
+        assert svc2.committed_steps("alice") == [0]
+        assert not view.exists("ckpt/0000000005/u.bin")
+
+    asyncio.run(run())
+
+
+def test_restore_missing_raises_not_found():
+    async def run():
+        svc = _service()
+        from repro.exceptions import CheckpointNotFoundError
+
+        with pytest.raises(CheckpointNotFoundError, match="no committed"):
+            svc.restore_blobs("alice")
+        async with svc:
+            await svc.submit("alice", 0, {"u": b"x"})
+        with pytest.raises(CheckpointNotFoundError, match="step 9"):
+            svc.restore_blobs("alice", 9)
+
+    asyncio.run(run())
+
+
+def test_stats_shape():
+    async def run():
+        svc = _service()
+        async with svc:
+            await svc.submit("alice", 0, {"u": b"x" * 100})
+        stats = svc.stats()
+        assert stats["commits"] == 1
+        assert stats["buffer"]["drained_blobs"] == 1
+        assert stats["tenants"]["alice"]["submits"] == 1
+        assert stats["crashed"] is False
+
+    asyncio.run(run())

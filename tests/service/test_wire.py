@@ -1,0 +1,151 @@
+"""Wire protocol: socket round trips and typed errors across the socket."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.ckpt.store import MemoryStore
+from repro.exceptions import (
+    CheckpointNotFoundError,
+    FormatError,
+    QuotaExceededError,
+    ServiceUnavailableError,
+    UnknownTenantError,
+)
+from repro.service import (
+    CheckpointIngestService,
+    ServiceClient,
+    ServiceServer,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.service.wire import _pack_blobs, _unpack_blobs
+
+
+def _service() -> CheckpointIngestService:
+    return CheckpointIngestService(
+        MemoryStore(),
+        TenantRegistry(
+            [TenantSpec("alice", byte_quota=10_000), TenantSpec("bob")]
+        ),
+    )
+
+
+def _run_with_server(coro_factory):
+    """Start service + server on a temp socket, run the client coroutine."""
+
+    async def run():
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            sock = os.path.join(tmp, "svc.sock")
+            svc = _service()
+            async with svc, ServiceServer(svc, sock):
+                return await coro_factory(sock, svc)
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_pack_unpack_round_trip(self):
+        blobs = {"u": b"abc", "v": b"", "w": os.urandom(100)}
+        index, payload = _pack_blobs(blobs)
+        assert _unpack_blobs(index, payload) == blobs
+
+    def test_unpack_length_mismatch(self):
+        with pytest.raises(FormatError, match="payload carries"):
+            _unpack_blobs([["u", 3]], b"abcdef")
+
+
+class TestRoundTrips:
+    def test_ping(self):
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                return await client.ping()
+
+        assert _run_with_server(go) is True
+
+    def test_submit_restore_steps_stats(self):
+        blobs = {"u": os.urandom(1024), "v": b"small"}
+
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                ack = await client.submit(
+                    "alice", 4, blobs, app_meta={"epoch": 1}
+                )
+                assert ack["step"] == 4 and ack["n_blobs"] == 2
+                assert await client.steps("alice") == [4]
+                restored = await client.restore("alice")
+                stats = await client.stats()
+            assert restored == blobs
+            assert stats["commits"] == 1
+
+        _run_with_server(go)
+
+    def test_many_sequential_clients(self):
+        async def go(sock, svc):
+            for step in range(5):
+                async with ServiceClient(sock) as client:
+                    await client.submit("bob", step, {"u": bytes([step]) * 64})
+            async with ServiceClient(sock) as client:
+                return await client.steps("bob")
+
+        assert _run_with_server(go) == list(range(5))
+
+    def test_concurrent_clients_batch(self):
+        async def go(sock, svc):
+            async def one(step):
+                async with ServiceClient(sock) as client:
+                    return await client.submit("bob", step, {"u": b"x" * 128})
+
+            acks = await asyncio.gather(*[one(s) for s in range(10)])
+            assert svc.commits == 10
+            return max(a["batch_size"] for a in acks)
+
+        assert _run_with_server(go) >= 1
+
+    def test_empty_blob_survives_wire(self):
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                await client.submit("bob", 0, {"empty": b"", "one": b"z"})
+                return await client.restore("bob", 0)
+
+        assert _run_with_server(go) == {"empty": b"", "one": b"z"}
+
+
+class TestTypedErrorsAcrossTheWire:
+    def test_unknown_tenant(self):
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                with pytest.raises(UnknownTenantError, match="carol"):
+                    await client.submit("carol", 0, {"u": b"x"})
+                # the connection survives a refusal
+                assert await client.ping()
+
+        _run_with_server(go)
+
+    def test_quota_exceeded(self):
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                with pytest.raises(QuotaExceededError, match="byte quota"):
+                    await client.submit("alice", 0, {"u": b"x" * 20_000})
+
+        _run_with_server(go)
+
+    def test_not_found(self):
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                with pytest.raises(CheckpointNotFoundError):
+                    await client.restore("bob")
+
+        _run_with_server(go)
+
+    def test_connect_refused_is_service_unavailable(self):
+        async def go():
+            with pytest.raises(ServiceUnavailableError, match="cannot connect"):
+                await ServiceClient("/nonexistent/service.sock").connect()
+
+        asyncio.run(go())
