@@ -212,6 +212,7 @@ class BurstDrain:
                     if not done.done():
                         done.set_exception(self._crashed)
                         done.exception()
+                    await self._release(key, nbytes)
                     continue
                 t0 = time.monotonic()
                 try:
@@ -221,11 +222,14 @@ class BurstDrain:
                     self._note_failure(exc)
                     if not done.done():
                         done.set_exception(exc)
-                    # Wake absorbers parked on backpressure so they see
-                    # the crash instead of waiting for drain progress
-                    # that will never come.
-                    async with self._cond:
-                        self._cond.notify_all()
+                    # The blob never reached the slow tier, so its
+                    # reservation must be returned -- otherwise repeated
+                    # transient failures shrink effective capacity until
+                    # absorbers livelock in the backpressure wait.  The
+                    # notify also wakes parked absorbers so they see a
+                    # crash instead of waiting for drain progress that
+                    # will never come.
+                    await self._release(key, nbytes)
                     continue
                 now = time.monotonic()
                 self.stats.drain_seconds += now - t0
@@ -236,15 +240,22 @@ class BurstDrain:
                 self._metrics.histogram("service.drain_lag_seconds").observe(lag)
                 self.stats.drained_blobs += 1
                 self.stats.drained_bytes += nbytes
-                self.fast.delete(key)
-                async with self._cond:
-                    self._used -= nbytes
-                    self._cond.notify_all()
-                self._metrics.gauge("service.buffer_used_bytes").set(self._used)
+                await self._release(key, nbytes)
                 if not done.done():
                     done.set_result(None)
             finally:
                 self._queue.task_done()
+
+    async def _release(self, key: str, nbytes: int) -> None:
+        """Drop the fast-tier copy and return the blob's reservation."""
+        try:
+            self.fast.delete(key)
+        except Exception:  # noqa: BLE001 - releasing must not mask the cause
+            pass
+        async with self._cond:
+            self._used -= nbytes
+            self._cond.notify_all()
+        self._metrics.gauge("service.buffer_used_bytes").set(self._used)
 
     def _note_failure(self, exc: BaseException) -> None:
         """A drain/through write failed; a crash poisons the whole stage."""

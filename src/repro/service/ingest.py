@@ -166,6 +166,12 @@ class CheckpointIngestService:
     async def close(self) -> None:
         """Stop accepting, finish in-flight work, sync the stores."""
         self._closed = True
+        # A submit holds an _inflight entry from admission until its
+        # commit future resolves; once _closed is set no new entry can
+        # appear, so waiting here keeps the committer alive until every
+        # already-admitted submit has enqueued and been resolved.
+        while self._inflight:
+            await asyncio.sleep(0.002)
         if self._commit_queue is not None and self._crashed is None:
             await self._commit_queue.join()
         if self._committer is not None:
@@ -175,6 +181,20 @@ class CheckpointIngestService:
             except asyncio.CancelledError:
                 pass
             self._committer = None
+        if self._commit_queue is not None:
+            # Nothing should still be enqueued, but never strand a
+            # submitter awaiting a future the committer can no longer
+            # resolve.
+            while True:
+                try:
+                    p = self._commit_queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not p.future.done():
+                    p.future.set_exception(
+                        ServiceUnavailableError("service is shutting down")
+                    )
+                self._commit_queue.task_done()
         await self.buffer.close()
         if self._crashed is None:
             await asyncio.to_thread(self.store.sync)
@@ -198,6 +218,8 @@ class CheckpointIngestService:
             ) from crash
         if self._closed:
             raise ServiceUnavailableError("service is shutting down")
+        if self._commit_queue is None or self._committer is None:
+            raise ServiceUnavailableError("service is not started")
 
     def view(self, tenant: str) -> NamespacedStore:
         """The tenant's namespaced view of the shared store."""
@@ -238,17 +260,20 @@ class CheckpointIngestService:
         key = (tenant, step)
         try:
             self._check_accepting()
+            # Check-and-reserve with no await in between: asyncio runs
+            # this block atomically, so two concurrent submits of the
+            # same (tenant, step) cannot both pass admission.
             if key in self._inflight:
                 raise CommitError(
                     f"tenant {tenant!r} already has step {step} in flight"
                 )
-            if await asyncio.to_thread(is_committed, view, step):
-                raise CommitError(
-                    f"tenant {tenant!r} step {step} already holds a committed "
-                    f"checkpoint; delete it before rewriting"
-                )
             self._inflight.add(key)
             try:
+                if await asyncio.to_thread(is_committed, view, step):
+                    raise CommitError(
+                        f"tenant {tenant!r} step {step} already holds a committed "
+                        f"checkpoint; delete it before rewriting"
+                    )
                 with self._tracer.span(
                     "service.submit", tenant=tenant, step=step, nbytes=total
                 ):
@@ -292,7 +317,8 @@ class CheckpointIngestService:
                         GroupSealItem(view, manifest),
                         asyncio.get_running_loop().create_future(),
                     )
-                    assert self._commit_queue is not None, "service not started"
+                    # _check_accepting() verified the queue exists at
+                    # admission, before any payload was absorbed.
                     self._commit_queue.put_nowait(pending)
                     try:
                         await pending.future

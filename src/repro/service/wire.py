@@ -40,13 +40,23 @@ from ..exceptions import (
 )
 from .ingest import CheckpointIngestService
 
-__all__ = ["ServiceServer", "ServiceClient", "MAX_HEADER_BYTES"]
+__all__ = [
+    "ServiceServer",
+    "ServiceClient",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+]
 
 _LEN = struct.Struct(">I")
 
 #: Upper bound on a header frame; payload sizes are bounded by the byte
 #: quotas, but a malformed header length must not allocate gigabytes.
 MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+#: Default upper bound on one message's payload.  Quota admission runs
+#: only after the payload is read, so the framing layer itself must cap
+#: how much a single message may make the peer buffer.
+MAX_PAYLOAD_BYTES = 1024 * 1024 * 1024
 
 #: Exception families a typed error frame may resurrect client-side.
 _ERROR_TYPES: dict[str, type[ReproError]] = {
@@ -65,7 +75,16 @@ _ERROR_TYPES: dict[str, type[ReproError]] = {
 }
 
 
-async def _read_message(reader: asyncio.StreamReader) -> tuple[dict[str, Any], bytes]:
+def _error_frame(exc: ReproError) -> dict[str, Any]:
+    return {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+async def _read_message(
+    reader: asyncio.StreamReader, *, max_payload: int = MAX_PAYLOAD_BYTES
+) -> tuple[dict[str, Any], bytes]:
     raw_len = await reader.readexactly(_LEN.size)
     (header_len,) = _LEN.unpack(raw_len)
     if header_len > MAX_HEADER_BYTES:
@@ -78,7 +97,16 @@ async def _read_message(reader: asyncio.StreamReader) -> tuple[dict[str, Any], b
         raise FormatError(f"wire header is not valid JSON: {exc}") from exc
     if not isinstance(header, dict):
         raise FormatError("wire header must be a JSON object")
-    payload_len = int(header.get("payload_bytes", 0))
+    try:
+        payload_len = int(header.get("payload_bytes", 0))
+    except (TypeError, ValueError) as exc:
+        raise FormatError(f"payload_bytes is not an integer: {exc}") from exc
+    if payload_len < 0:
+        raise FormatError(f"payload_bytes must be >= 0, got {payload_len}")
+    if payload_len > max_payload:
+        raise FormatError(
+            f"wire payload of {payload_len} bytes exceeds limit {max_payload}"
+        )
     payload = await reader.readexactly(payload_len) if payload_len else b""
     return header, payload
 
@@ -125,10 +153,12 @@ class ServiceServer:
         service: CheckpointIngestService,
         path: str,
         *,
+        max_payload_bytes: int = MAX_PAYLOAD_BYTES,
         on_disconnect=None,
     ) -> None:
         self.service = service
         self.path = path
+        self.max_payload_bytes = max_payload_bytes
         self.on_disconnect = on_disconnect
         self._server: asyncio.AbstractServer | None = None
 
@@ -154,19 +184,29 @@ class ServiceServer:
         try:
             while True:
                 try:
-                    header, payload = await _read_message(reader)
+                    header, payload = await _read_message(
+                        reader, max_payload=self.max_payload_bytes
+                    )
                 except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                except FormatError as exc:
+                    # Broken framing (oversized or malformed frame): the
+                    # stream cannot be resynchronized, so report the
+                    # typed error and close the connection.
+                    await _write_message(writer, _error_frame(exc))
                     break
                 try:
                     resp, resp_payload = await self._dispatch(header, payload)
                 except ReproError as exc:
-                    resp = {
-                        "ok": False,
-                        "error": {
-                            "type": type(exc).__name__,
-                            "message": str(exc),
-                        },
-                    }
+                    resp = _error_frame(exc)
+                    resp_payload = b""
+                except (KeyError, TypeError, ValueError) as exc:
+                    # A header missing required fields (or carrying the
+                    # wrong types) is the client's fault, not a server
+                    # crash: answer with a typed FormatError frame.
+                    resp = _error_frame(
+                        FormatError(f"malformed request header: {exc!r}")
+                    )
                     resp_payload = b""
                 await _write_message(writer, resp, resp_payload)
         finally:

@@ -7,7 +7,7 @@ import asyncio
 import pytest
 
 from repro.ckpt.store import MemoryStore, Store
-from repro.exceptions import ConfigurationError, SimulatedCrash
+from repro.exceptions import ConfigurationError, SimulatedCrash, StorageError
 from repro.service import BurstDrain
 
 
@@ -186,6 +186,63 @@ def test_crash_wakes_backpressured_absorbers():
         with pytest.raises(SimulatedCrash):
             await asyncio.wait_for(task, timeout=2.0)
         await drain.close()
+
+    asyncio.run(run())
+
+
+class FlakyStore(Store):
+    """Fails the first N puts with a transient (non-crash) StorageError."""
+
+    def __init__(self, inner: Store, fail_first: int) -> None:
+        self.inner = inner
+        self.fail_first = fail_first
+        self.puts = 0
+
+    def put(self, key, data):
+        self.puts += 1
+        if self.puts <= self.fail_first:
+            raise StorageError(f"transient put failure #{self.puts}")
+        self.inner.put(key, data)
+
+    def get(self, key):
+        return self.inner.get(key)
+
+    def exists(self, key):
+        return self.inner.exists(key)
+
+    def delete(self, key):
+        self.inner.delete(key)
+
+    def list_keys(self, prefix=""):
+        return self.inner.list_keys(prefix)
+
+    def sync(self):
+        self.inner.sync()
+
+
+def test_transient_drain_failure_returns_capacity():
+    async def run():
+        fast = MemoryStore()
+        slow = FlakyStore(MemoryStore(), fail_first=1)
+        drain = BurstDrain(fast, slow, capacity_bytes=150, drain_workers=1)
+        await drain.start()
+        first = await drain.absorb("a", b"x" * 100)
+        with pytest.raises(StorageError):
+            await first
+        # the blob never reached the slow tier, so its reservation came
+        # back and the fast-tier copy was dropped -- no capacity leak
+        assert drain.used_bytes == 0
+        assert fast.total_bytes == 0
+        assert drain.crashed is None
+        # with the capacity returned, an equally large blob absorbs
+        # without deadlocking in the backpressure wait
+        second = await asyncio.wait_for(
+            drain.absorb("b", b"y" * 100), timeout=2.0
+        )
+        await second
+        await drain.close()
+        assert drain.stats.drained_blobs == 1
+        assert slow.get("b") == b"y" * 100
 
     asyncio.run(run())
 

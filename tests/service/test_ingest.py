@@ -13,6 +13,7 @@ from repro.config import ServiceConfig
 from repro.exceptions import (
     CommitError,
     QuotaExceededError,
+    ServiceUnavailableError,
     UnknownTenantError,
 )
 from repro.service import (
@@ -168,6 +169,31 @@ def test_duplicate_inflight_step_refused():
     asyncio.run(run())
 
 
+def test_simultaneous_duplicate_submits_commit_exactly_once():
+    async def run():
+        svc = _service()
+        first = {"u": b"x" * 256}
+        second = {"u": b"y" * 256}
+        async with svc:
+            results = await asyncio.gather(
+                svc.submit("alice", 5, first),
+                svc.submit("alice", 5, second),
+                return_exceptions=True,
+            )
+        acks = [r for r in results if not isinstance(r, BaseException)]
+        errors = [r for r in results if isinstance(r, BaseException)]
+        # exactly one wins admission; the loser gets a typed refusal
+        # instead of racing it to the same blob keys
+        assert len(acks) == 1 and len(errors) == 1
+        assert isinstance(errors[0], CommitError)
+        assert svc.commits == 1
+        # the committed generation is internally consistent (CRC-checked
+        # on restore) and matches one submit wholesale, not a mix
+        assert svc.restore_blobs("alice", 5) in (first, second)
+
+    asyncio.run(run())
+
+
 def test_rewriting_committed_step_refused():
     async def run():
         svc = _service()
@@ -259,6 +285,42 @@ def test_restore_missing_raises_not_found():
             await svc.submit("alice", 0, {"u": b"x"})
         with pytest.raises(CheckpointNotFoundError, match="step 9"):
             svc.restore_blobs("alice", 9)
+
+    asyncio.run(run())
+
+
+def test_submit_before_start_refused_without_state():
+    async def run():
+        store = MemoryStore()
+        svc = _service(store)
+        with pytest.raises(ServiceUnavailableError, match="not started"):
+            await svc.submit("alice", 0, {"u": b"x"})
+        # refused at admission: nothing absorbed, nothing charged
+        assert store.list_keys("") == []
+        assert svc.tenants.used_bytes("alice") == 0
+
+    asyncio.run(run())
+
+
+def test_close_waits_for_inflight_submit():
+    class _DelayedPutStore(MemoryStore):
+        def put(self, key, data):
+            import time
+
+            time.sleep(0.04)
+            super().put(key, data)
+
+    async def run():
+        svc = _service(_DelayedPutStore())
+        await svc.start()
+        task = asyncio.create_task(svc.submit("alice", 0, {"u": b"x" * 64}))
+        await asyncio.sleep(0.01)  # the submit is now draining its blob
+        # close() must keep the committer alive until the in-flight
+        # submit's commit resolves -- not strand it mid-pipeline
+        await asyncio.wait_for(svc.close(), timeout=5.0)
+        ack = await asyncio.wait_for(task, timeout=1.0)
+        assert ack.step == 0
+        assert is_committed(svc.view("alice"), 0)
 
     asyncio.run(run())
 

@@ -149,3 +149,41 @@ class TestTypedErrorsAcrossTheWire:
                 await ServiceClient("/nonexistent/service.sock").connect()
 
         asyncio.run(go())
+
+    def test_payload_over_limit_rejected_with_typed_error(self):
+        async def run():
+            import tempfile
+
+            with tempfile.TemporaryDirectory() as tmp:
+                sock = os.path.join(tmp, "svc.sock")
+                svc = _service()
+                async with svc, ServiceServer(
+                    svc, sock, max_payload_bytes=1024
+                ):
+                    async with ServiceClient(sock) as client:
+                        with pytest.raises(FormatError, match="exceeds limit"):
+                            await client.submit("alice", 0, {"u": b"x" * 4096})
+
+        asyncio.run(run())
+
+    def test_missing_header_fields_get_format_error(self):
+        async def go(sock, svc):
+            from repro.service.wire import _read_message, _write_message
+
+            reader, writer = await asyncio.open_unix_connection(sock)
+            try:
+                # a submit without tenant/step must come back as a typed
+                # FormatError frame, not a dropped connection
+                await _write_message(writer, {"op": "submit"})
+                resp, _ = await _read_message(reader)
+                assert resp["ok"] is False
+                assert resp["error"]["type"] == "FormatError"
+                # and the connection survives for well-formed requests
+                await _write_message(writer, {"op": "ping"})
+                resp, _ = await _read_message(reader)
+                assert resp["ok"] is True
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _run_with_server(go)
