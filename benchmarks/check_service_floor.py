@@ -13,6 +13,17 @@ fails (exit 1) when any of the recorded acceptance floors regress:
   drain lag bounded.
 * ``group_commit.verified_restores`` -- every acked generation in the
   arm restored bit-identically (zero lost/torn is a hard gate).
+* ``telemetry_ratio`` -- ingest throughput with the full metric/SLO
+  surface on must stay within ``telemetry_floor_ratio`` (default 0.95)
+  of the telemetry-off arm: observability may not tax the service more
+  than 5 %.
+* ``group_commit.slo`` / ``slo_fault`` -- the SLO tracker must judge
+  the healthy arm healthy *and* flip its verdict under the injected
+  latency fault (a health surface that cannot go red is decorative).
+* ``group_commit.per_tenant`` -- every tenant must have populated
+  p50/p95/p99 ingest tails from the labeled histograms.
+* ``stitched_trace`` -- the cross-process client+server trace must have
+  stitched (>= 1 cross-process link, zero orphaned spans).
 
 Usage::
 
@@ -78,6 +89,55 @@ def check(path: str) -> int:
             f"only {restored}/{gens} generations restored bit-identically"
         )
 
+    ratio = float(bench.get("telemetry_ratio", 0.0))
+    ratio_floor = float(bench.get("telemetry_floor_ratio", 0.95))
+    if ratio < ratio_floor:
+        failures.append(
+            f"telemetry-on throughput is {ratio:.3f}x telemetry-off "
+            f"(floor {ratio_floor}x -- observability overhead regressed)"
+        )
+
+    slo = grouped.get("slo")
+    if not isinstance(slo, dict):
+        failures.append("group_commit arm has no SLO verdict")
+    elif not slo.get("healthy"):
+        failures.append(
+            f"healthy arm judged {slo.get('state')!r} by its SLO tracker"
+        )
+    fault = bench.get("slo_fault")
+    if not isinstance(fault, dict):
+        failures.append("no injected-fault SLO verdict recorded")
+    elif fault.get("healthy"):
+        failures.append(
+            "SLO verdict stayed healthy under the injected latency fault"
+        )
+
+    per_tenant = grouped.get("per_tenant")
+    if not isinstance(per_tenant, dict) or not per_tenant:
+        failures.append("group_commit arm has no per-tenant ingest tails")
+    else:
+        for tenant, tails in sorted(per_tenant.items()):
+            if not all(
+                isinstance(tails.get(k), (int, float))
+                for k in ("p50_sec", "p95_sec", "p99_sec")
+            ) or int(tails.get("count", 0)) <= 0:
+                failures.append(
+                    f"tenant {tenant!r} has no populated ingest percentiles"
+                )
+
+    stitched = bench.get("stitched_trace")
+    if not isinstance(stitched, dict):
+        failures.append("no stitched cross-process trace recorded")
+    else:
+        if int(stitched.get("orphans", 1)) != 0:
+            failures.append(
+                f"stitched trace has {stitched.get('orphans')} orphaned span(s)"
+            )
+        if int(stitched.get("cross_process_links", 0)) < 1:
+            failures.append(
+                "stitched trace has no cross-process parent links"
+            )
+
     mode = "FAST" if bench.get("fast_mode") else "full"
     if failures:
         for line in failures:
@@ -86,7 +146,11 @@ def check(path: str) -> int:
     print(
         f"service floor: OK ({mode} mode) -- speedup {speedup:.2f}x "
         f"(floor {floor}x), p99 {p99 * 1e3:.0f} ms, "
-        f"drain lag {lag * 1e3:.0f} ms, {restored} restores verified"
+        f"drain lag {lag * 1e3:.0f} ms, {restored} restores verified, "
+        f"telemetry ratio {ratio:.3f} (floor {ratio_floor}), "
+        f"SLO {slo.get('state')}/fault {fault.get('state')}, "
+        f"{len(per_tenant)} tenant tails, stitched trace "
+        f"{stitched.get('cross_process_links')} link(s)/0 orphans"
     )
     return 0
 

@@ -16,22 +16,35 @@ bit-identically -- and the burst-buffer drain stage's measured
 absorb/drain split is checked against the analytic
 :class:`~repro.iomodel.burst_buffer.BurstBufferModel` of the same tiers.
 
+Three telemetry gates ride along: the group-commit arm runs with the
+full metric/SLO surface on and a third arm repeats it with the registry
+disabled, so the *cost of telemetry itself* is measured (throughput
+ratio gated at ``TELEMETRY_FLOOR_RATIO``); the group-commit arm's
+:class:`~repro.obs.slo.SLOTracker` must judge the run healthy while a
+replay against a microsecond latency objective must flip the verdict;
+and a client/server pair in *separate processes* must stitch into one
+span tree through wire-level trace propagation.
+
 Artifacts: ``bench_results/BENCH_service.json`` (machine-readable, gated
-by ``benchmarks/check_service_floor.py`` in CI) and
+by ``benchmarks/check_service_floor.py`` in CI),
 ``bench_results/TRACE_service.jsonl`` (span trace of one small traced
-session, linted here and rendered by ``repro report`` in CI).
+session, linted here and rendered by ``repro report`` in CI) and
+``bench_results/TRACE_service_stitched.jsonl`` (merged client+server
+trace, linted by ``repro report --check-parentage`` in CI).
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import subprocess
+import sys
 import time
 
 from repro.ckpt.store import DirectoryStore, LatencyStore
 from repro.iomodel.burst_buffer import BurstBufferModel
 from repro.iomodel.storage import StorageModel
-from repro.obs import JsonlSink, TraceReport, get_tracer
+from repro.obs import JsonlSink, SLOTracker, TraceReport, get_tracer
 from repro.obs.metrics import get_registry
 from repro.service import (
     CheckpointIngestService,
@@ -43,6 +56,7 @@ from repro.service import (
 from _util import FAST, RESULTS_DIR, save_and_print, write_bench_json
 
 TRACE_PATH = os.path.join(RESULTS_DIR, "TRACE_service.jsonl")
+STITCHED_TRACE_PATH = os.path.join(RESULTS_DIR, "TRACE_service_stitched.jsonl")
 
 TENANTS = ["t%02d" % i for i in range(4)]
 CLIENTS_PER_TENANT = 4 if FAST else 30  # 16 / 120 concurrent clients
@@ -56,6 +70,10 @@ BUFFER_CAPACITY = 8 << 20
 FLOOR_SPEEDUP = 2.0
 P99_CEILING_SEC = 2.0
 DRAIN_LAG_CEILING_SEC = 2.0
+#: Telemetry may cost at most 5 % of ingest throughput (on/off ratio).
+TELEMETRY_FLOOR_RATIO = 0.95
+SLO_LATENCY_P99 = 1.0  # seconds; the healthy arm's latency objective
+SLO_OBJECTIVE = 0.995
 
 
 def _payload(tenant: str, client: int, step: int) -> dict[str, bytes]:
@@ -64,7 +82,9 @@ def _payload(tenant: str, client: int, step: int) -> dict[str, bytes]:
     return {"u": blob, "v": blob[::-1]}
 
 
-def _build_service(root: str, *, max_batch: int) -> CheckpointIngestService:
+def _build_service(
+    root: str, *, max_batch: int, slo: SLOTracker | None = None
+) -> CheckpointIngestService:
     shards = {
         f"shard-{i:02d}": LatencyStore(
             DirectoryStore(os.path.join(root, f"shard-{i:02d}"), durability="batch"),
@@ -83,6 +103,7 @@ def _build_service(root: str, *, max_batch: int) -> CheckpointIngestService:
         buffer_capacity_bytes=BUFFER_CAPACITY,
         max_batch=max_batch,
         max_batch_delay=0.002,
+        slo=slo,
     )
 
 
@@ -139,16 +160,36 @@ def _verify_no_loss(service: CheckpointIngestService) -> int:
     return verified
 
 
-def _run_arm(root: str, *, max_batch: int) -> dict[str, object]:
-    service = _build_service(root, max_batch=max_batch)
-    driven = asyncio.run(_drive(service))
+def _run_arm(
+    root: str, *, max_batch: int, telemetry: bool = True, with_slo: bool = False
+) -> dict[str, object]:
+    """One full drive of the service; each arm starts from a clean
+    registry so per-tenant series and the overhead comparison are
+    attributable to that arm alone."""
+    registry = get_registry()
+    registry.reset()
+    if not telemetry:
+        registry.disable()
+    slo = None
+    if with_slo:
+        slo = SLOTracker(
+            latency_threshold_seconds=SLO_LATENCY_P99,
+            objective=SLO_OBJECTIVE,
+            histogram=registry.histogram("service.ingest_seconds"),
+        )
+    try:
+        service = _build_service(root, max_batch=max_batch, slo=slo)
+        driven = asyncio.run(_drive(service))
+    finally:
+        registry.enable()
     verified = _verify_no_loss(service)
     latencies = driven["latencies"]
     gens = len(latencies)
     stats = service.stats()
     buffer_stats = stats["buffer"]
-    return {
+    arm: dict[str, object] = {
         "max_batch": max_batch,
+        "telemetry": telemetry,
         "clients": len(TENANTS) * CLIENTS_PER_TENANT,
         "tenants": len(TENANTS),
         "generations": gens,
@@ -165,7 +206,24 @@ def _run_arm(root: str, *, max_batch: int) -> dict[str, object]:
         "drain_seconds": buffer_stats["drain_seconds"],
         "drained_bytes": buffer_stats["drained_bytes"],
         "through_bytes": buffer_stats["through_bytes"],
+        "_latencies": latencies,
     }
+    if telemetry:
+        # Per-tenant tails from the labeled streaming histograms -- the
+        # series svc-metrics exposes, recorded here so CI can diff them.
+        per_tenant: dict[str, dict[str, float]] = {}
+        for tenant in TENANTS:
+            hist = registry.histogram("service.ingest_seconds", tenant=tenant)
+            per_tenant[tenant] = {
+                "count": hist.count,
+                "p50_sec": hist.quantile(0.50),
+                "p95_sec": hist.quantile(0.95),
+                "p99_sec": hist.quantile(0.99),
+            }
+        arm["per_tenant"] = per_tenant
+    if slo is not None:
+        arm["slo"] = slo.status()
+    return arm
 
 
 def _model_check(arm: dict[str, object]) -> dict[str, object]:
@@ -239,14 +297,111 @@ def _write_trace(root: str) -> None:
     assert report.render(), "repro report must render the artifact"
 
 
+def _write_stitched_trace(root: str) -> dict[str, object]:
+    """Client and server in *separate processes*; their merged traces
+    must stitch into one tree through the wire-level trace context.
+
+    Runs ``repro serve --once`` and ``repro svc-put --trace`` as real
+    subprocesses, concatenates both JSONL traces into
+    ``TRACE_service_stitched.jsonl`` and asserts the result has no
+    orphaned server roots -- the artifact CI re-lints with
+    ``repro report --check-parentage``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    os.makedirs(root, exist_ok=True)
+    sock = os.path.join(root, "svc.sock")
+    server_trace = os.path.join(root, "server.jsonl")
+    client_trace = os.path.join(root, "client.jsonl")
+    blob = os.path.join(root, "u.bin")
+    with open(blob, "wb") as fh:
+        fh.write(b"stitched-trace-payload" * 256)
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", os.path.join(root, "store"),
+            "--tenant", "alice:10m:100", "--socket", sock,
+            "--trace", server_trace, "--once",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while not os.path.exists(sock):
+            assert server.poll() is None, "server exited before listening"
+            assert time.monotonic() < deadline, "service socket never appeared"
+            time.sleep(0.05)
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro", "svc-put", sock, "alice",
+                "--step", "1", "u=" + blob, "--trace", client_trace,
+            ],
+            env=env,
+            check=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        assert server.wait(timeout=60.0) == 0, "serve --once exited nonzero"
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+    with open(STITCHED_TRACE_PATH, "w") as out:
+        for path in (client_trace, server_trace):
+            with open(path) as fh:
+                out.write(fh.read())
+    report = TraceReport.from_jsonl(STITCHED_TRACE_PATH)
+    orphans = report.orphans()
+    assert not orphans, f"orphaned spans in stitched trace: {orphans}"
+    links = report.cross_process_links()
+    assert links > 0, "no cross-process parent links -- propagation broke"
+    roots = [s for s in report.spans if s.get("parent_id") is None]
+    root_names = sorted({str(s.get("name")) for s in roots})
+    # the client's svc-put span is THE root; the server may only add its
+    # startup recovery span (which precedes any client connection)
+    assert "svc-put" in root_names, root_names
+    assert set(root_names) <= {"svc-put", "ckpt.recover"}, (
+        f"server spans escaped the client tree: {root_names}"
+    )
+    return {
+        "path": STITCHED_TRACE_PATH,
+        "spans": report.span_count(),
+        "processes": len(report.processes()),
+        "cross_process_links": links,
+        "orphans": len(orphans),
+        "roots": root_names,
+    }
+
+
 def test_service_load(tmp_path):
     per_gen = _run_arm(str(tmp_path / "per_gen"), max_batch=1)
-    grouped = _run_arm(str(tmp_path / "grouped"), max_batch=32)
+    grouped = _run_arm(str(tmp_path / "grouped"), max_batch=32, with_slo=True)
+    bare = _run_arm(str(tmp_path / "bare"), max_batch=32, telemetry=False)
+    grouped_latencies = grouped.pop("_latencies")
+    per_gen.pop("_latencies")
+    bare.pop("_latencies")
     speedup = (
         grouped["throughput_gens_per_sec"] / per_gen["throughput_gens_per_sec"]
     )
+    telemetry_ratio = (
+        grouped["throughput_gens_per_sec"] / bare["throughput_gens_per_sec"]
+    )
     model = _model_check(grouped)
     _write_trace(str(tmp_path / "traced"))
+    stitched = _write_stitched_trace(str(tmp_path / "stitched"))
+
+    # Replay the measured latencies against a microsecond objective: the
+    # injected fault must flip the SLO verdict, or the health surface is
+    # decorative.
+    fault = SLOTracker(latency_threshold_seconds=1e-6, objective=SLO_OBJECTIVE)
+    for latency in grouped_latencies:
+        fault.record(latency)
+    fault_status = fault.status()
 
     # --- the acceptance floors, asserted here and gated again in CI ---
     assert speedup >= FLOOR_SPEEDUP, (
@@ -256,17 +411,35 @@ def test_service_load(tmp_path):
     assert grouped["ingest_p99_sec"] <= P99_CEILING_SEC
     assert grouped["drain_lag_max_sec"] <= DRAIN_LAG_CEILING_SEC
     assert grouped["mean_batch"] > 1.0, "no batching happened under load"
+    assert telemetry_ratio >= TELEMETRY_FLOOR_RATIO, (
+        f"telemetry costs {(1 - telemetry_ratio) * 100:.1f}% of throughput "
+        f"(floor: <= {(1 - TELEMETRY_FLOOR_RATIO) * 100:.0f}%)"
+    )
+    assert grouped["slo"]["healthy"], grouped["slo"]
+    assert not fault_status["healthy"], (
+        "SLO verdict did not flip under an injected latency fault"
+    )
+    per_tenant = grouped["per_tenant"]
+    expected_per_tenant = CLIENTS_PER_TENANT * STEPS_PER_CLIENT
+    for tenant, tails in per_tenant.items():
+        assert tails["count"] == expected_per_tenant, (tenant, tails)
+        assert tails["p50_sec"] <= tails["p99_sec"]
 
     bench = {
         "floor_speedup": FLOOR_SPEEDUP,
         "p99_ceiling_sec": P99_CEILING_SEC,
         "drain_lag_ceiling_sec": DRAIN_LAG_CEILING_SEC,
+        "telemetry_floor_ratio": TELEMETRY_FLOOR_RATIO,
         "sync_latency_sec": SYNC_LATENCY_SEC,
         "drain_bandwidth_bytes_per_sec": DRAIN_BW,
         "shards": N_SHARDS,
         "speedup": speedup,
         "per_generation": per_gen,
         "group_commit": grouped,
+        "telemetry_off": bare,
+        "telemetry_ratio": telemetry_ratio,
+        "slo_fault": fault_status,
+        "stitched_trace": stitched,
         "burst_buffer_model": model,
     }
     write_bench_json("service", bench)
@@ -298,5 +471,19 @@ def test_service_load(tmp_path):
         f"(absorb {model['measured_absorb_sec_total']:.3f}s vs drain "
         f"{model['measured_drain_sec_total']:.3f}s)",
         f"max drain lag: {grouped['drain_lag_max_sec'] * 1e3:.1f} ms",
+        "",
+        f"telemetry cost: {(1 - telemetry_ratio) * 100:+.1f}% throughput "
+        f"(on/off ratio {telemetry_ratio:.3f}, floor {TELEMETRY_FLOOR_RATIO})",
+        f"SLO verdict: {grouped['slo']['state']} "
+        f"(objective {SLO_OBJECTIVE}, p99 threshold {SLO_LATENCY_P99}s); "
+        f"injected 1us fault -> {fault_status['state']}",
+        "per-tenant ingest p99 (ms): "
+        + ", ".join(
+            f"{t}={per_tenant[t]['p99_sec'] * 1e3:.1f}" for t in sorted(per_tenant)
+        ),
+        f"stitched trace: {stitched['spans']} spans across "
+        f"{stitched['processes']} processes, "
+        f"{stitched['cross_process_links']} cross-process link(s), "
+        f"{stitched['orphans']} orphans",
     ]
     save_and_print("service_load", "\n".join(lines))

@@ -316,6 +316,7 @@ def group_seal(
     items: list[GroupSealItem] | tuple[GroupSealItem, ...],
     *,
     barrier: Store,
+    parent=None,
 ) -> list[CommitMarker]:
     """Seal many pending generations with two shared sync barriers.
 
@@ -357,7 +358,12 @@ def group_seal(
             )
         seen.add(ident)
     tracer = get_tracer()
-    with tracer.span("ckpt.group_commit", n_generations=len(items)) as sp:
+    # ``parent`` threads the submitting request's trace context into this
+    # worker thread, whose own span stack is empty (spans here would
+    # otherwise surface as orphan roots in a stitched trace).
+    with tracer.span(
+        "ckpt.group_commit", parent=parent, n_generations=len(items)
+    ) as sp:
         payloads: list[bytes] = []
         for item in items:
             payload = item.manifest.to_json()

@@ -45,8 +45,11 @@ restart
     restart loop end to end: torn generations are reaped at each startup,
     rework is bounded by the checkpoint interval.
 report
-    Render the profiling report of a ``--trace`` JSONL file: the Fig. 9
+    Render the profiling report of ``--trace`` JSONL file(s): the Fig. 9
     stage breakdown, recorded metrics and (optionally) the span tree.
+    Several files merge -- pass a client-side and a server-side trace to
+    see one stitched cross-process span tree (``--check-parentage``
+    fails on orphaned spans).
 serve
     Run the multi-tenant checkpoint ingest service on a unix socket:
     sharded stores, per-tenant namespaces and quotas, burst-buffer
@@ -55,6 +58,11 @@ svc-put
     Submit files as one checkpoint generation to a running service.
 svc-get
     Fetch a committed generation's blobs back from a running service.
+svc-stats
+    Print a JSON stats/health snapshot of a running service
+    (``--health`` exits 2 while the SLO error budget is burning).
+svc-metrics
+    Print a running service's metric registry in Prometheus text format.
 
 ``compress``, ``decompress`` and ``checkpoint`` accept ``--trace PATH``
 to stream a span/metrics trace of the run to a JSONL file, readable with
@@ -394,9 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_arg(p)
 
     p = sub.add_parser(
-        "report", help="render the profiling report of a --trace JSONL file"
+        "report", help="render the profiling report of --trace JSONL file(s)"
     )
-    p.add_argument("trace_file", help="JSONL trace written by --trace")
+    p.add_argument(
+        "trace_file", nargs="+",
+        help="JSONL trace(s) written by --trace; several files (e.g. a "
+             "client-side and a server-side trace) merge into one report",
+    )
     p.add_argument(
         "--tree", action="store_true",
         help="also print the indented span tree",
@@ -404,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the report as JSON instead of text",
+    )
+    p.add_argument(
+        "--check-parentage", action="store_true",
+        help="fail (exit 1) if any span references a parent the trace "
+             "does not contain (broken cross-process stitching)",
     )
 
     p = sub.add_parser(
@@ -447,6 +464,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="exit after the first client disconnects (tests/smoke runs)",
     )
+    p.add_argument(
+        "--slo-p99", type=float, default=1.0, metavar="SEC",
+        help="ingest-latency objective in seconds (submits slower than "
+             "this burn the error budget); 0 disables SLO tracking "
+             "[default: 1.0]",
+    )
+    p.add_argument(
+        "--slo-objective", type=float, default=0.995, metavar="FRAC",
+        help="target good fraction, 1-FRAC is the error budget "
+             "[default: 0.995]",
+    )
+    p.add_argument(
+        "--metrics-interval", type=float, default=0.0, metavar="SEC",
+        help="emit metric snapshots to the --trace sink every SEC seconds "
+             "while serving (0 = only at shutdown) [default: 0]",
+    )
     _add_trace_arg(p)
 
     p = sub.add_parser(
@@ -462,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
         "blobs", nargs="+", metavar="NAME=PATH",
         help="blobs of the generation, as name=file pairs",
     )
+    _add_trace_arg(p)
 
     p = sub.add_parser(
         "svc-get", help="fetch a committed generation's blobs from a service"
@@ -473,6 +507,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--step", type=int, default=None, metavar="S",
         help="generation to fetch [default: newest committed]",
     )
+    _add_trace_arg(p)
+
+    p = sub.add_parser(
+        "svc-stats", help="print a JSON stats/health snapshot of a service"
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
+    p.add_argument(
+        "--health", action="store_true",
+        help="exit 2 when the service's SLO error budget is burning",
+    )
+
+    p = sub.add_parser(
+        "svc-metrics",
+        help="print a service's metrics in Prometheus text format",
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
     return parser
 
 
@@ -765,11 +815,22 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.report import TraceReport
 
-    report = TraceReport.from_jsonl(args.trace_file)
+    report = TraceReport.from_jsonl(*args.trace_file)
     if args.as_json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render(tree=args.tree))
+    if args.check_parentage:
+        orphans = report.orphans()
+        if orphans:
+            names = ", ".join(sorted({str(s.get("name")) for s in orphans}))
+            print(
+                f"error: {len(orphans)} span(s) reference parents missing "
+                f"from the trace ({names}); cross-process stitching is "
+                f"broken or a trace file is missing",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -815,13 +876,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_workers=args.drain_workers,
         max_batch=args.max_batch,
         durability=args.durability,
+        slo_latency_p99=args.slo_p99 if args.slo_p99 > 0 else None,
+        slo_objective=args.slo_objective,
+        metrics_flush_interval=args.metrics_interval,
     )
     socket_path = args.socket or os.path.join(args.directory, "service.sock")
     if os.path.exists(socket_path):
         os.unlink(socket_path)
 
+    # The serve command opens its trace sink directly (instead of going
+    # through _tracing) so the service's background flusher can emit
+    # periodic metric snapshots into the same file.
+    trace_path = getattr(args, "trace", None)
+    sink = None
+    if trace_path:
+        from .obs import configure
+
+        sink = configure(ObservabilityConfig(enabled=True, trace_path=trace_path))
+
     async def _run() -> int:
-        service = build_service(args.directory, registry, config)
+        service = build_service(args.directory, registry, config, flush_sink=sink)
         reports = await asyncio.to_thread(service.recover_tenants)
         for name, rep in reports.items():
             if rep.reaped:
@@ -861,8 +935,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         return 0
 
-    with _tracing(args):
+    try:
         return asyncio.run(_run())
+    finally:
+        if trace_path:
+            from .obs import get_registry, get_tracer
+
+            get_tracer().disable()
+            if sink is not None:
+                snapshot = get_registry().snapshot()
+                if snapshot:
+                    sink.emit_metrics(snapshot)
+                sink.close()
+            print(f"trace written: {trace_path}", file=sys.stderr)
 
 
 def _cmd_svc_put(args: argparse.Namespace) -> int:
@@ -891,7 +976,13 @@ def _cmd_svc_put(args: argparse.Namespace) -> int:
         )
         return 0
 
-    return asyncio.run(_run())
+    with _tracing(args):
+        from .obs import get_tracer
+
+        # one root span so the per-request client spans (and, via wire
+        # propagation, every server-side span) hang off a single tree
+        with get_tracer().span("svc-put", tenant=args.tenant, step=args.step):
+            return asyncio.run(_run())
 
 
 def _cmd_svc_get(args: argparse.Namespace) -> int:
@@ -915,7 +1006,60 @@ def _cmd_svc_get(args: argparse.Namespace) -> int:
         )
         return 0
 
-    return asyncio.run(_run())
+    with _tracing(args):
+        from .obs import get_tracer
+
+        with get_tracer().span("svc-get", tenant=args.tenant):
+            return asyncio.run(_run())
+
+
+def _cmd_svc_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+
+    async def _run():
+        async with ServiceClient(args.socket) as client:
+            return await client.stats()
+
+    stats = asyncio.run(_run())
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    if args.health:
+        if stats.get("crashed"):
+            print("health: CRASHED", file=sys.stderr)
+            return 2
+        slo = stats.get("slo")
+        if slo is None:
+            print(
+                "health: unknown (service runs without an SLO tracker)",
+                file=sys.stderr,
+            )
+            return 0
+        if not slo.get("healthy", True):
+            print(
+                f"health: BURNING (state={slo.get('state')}, "
+                f"error_rate={slo.get('error_rate', 0.0):.4f})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"health: ok (state={slo.get('state')})", file=sys.stderr)
+    return 0
+
+
+def _cmd_svc_metrics(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+
+    async def _run():
+        async with ServiceClient(args.socket) as client:
+            return await client.metrics()
+
+    text = asyncio.run(_run())
+    sys.stdout.write(text)
+    if text and not text.endswith("\n"):
+        sys.stdout.write("\n")
+    return 0
 
 
 _COMMANDS = {
@@ -932,6 +1076,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "svc-put": _cmd_svc_put,
     "svc-get": _cmd_svc_get,
+    "svc-stats": _cmd_svc_stats,
+    "svc-metrics": _cmd_svc_metrics,
 }
 
 

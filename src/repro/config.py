@@ -391,6 +391,15 @@ class ServiceConfig:
         Shard-store durability mode: ``"batch"`` defers fsyncs to the
         group commit's sync barriers (the amortization the service
         exists for); ``"always"`` fsyncs every put.
+    slo_latency_p99:
+        Ingest-latency objective in seconds: a submit slower than this is
+        *bad* for SLO accounting.  ``None`` disables SLO tracking.
+    slo_objective:
+        Target good fraction in ``(0, 1)``; ``1 - slo_objective`` is the
+        error budget the burn-rate windows measure against.
+    metrics_flush_interval:
+        Seconds between background metric-snapshot emissions to the trace
+        sink while serving; ``0`` disables the flusher.
     """
 
     shards: int = 4
@@ -401,6 +410,9 @@ class ServiceConfig:
     max_batch_delay: float = 0.002
     rate_max_wait: float = 0.5
     durability: str = "batch"
+    slo_latency_p99: float | None = 1.0
+    slo_objective: float = 0.995
+    metrics_flush_interval: float = 0.0
 
     def __post_init__(self) -> None:
         for name, minimum in (
@@ -427,6 +439,19 @@ class ServiceConfig:
         if self.durability not in ("always", "batch"):
             raise ConfigurationError(
                 f"durability must be 'always' or 'batch', got {self.durability!r}"
+            )
+        if self.slo_latency_p99 is not None and not self.slo_latency_p99 > 0:
+            raise ConfigurationError(
+                f"slo_latency_p99 must be > 0 or None, got {self.slo_latency_p99!r}"
+            )
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ConfigurationError(
+                f"slo_objective must be in (0, 1), got {self.slo_objective!r}"
+            )
+        if self.metrics_flush_interval < 0:
+            raise ConfigurationError(
+                f"metrics_flush_interval must be >= 0, "
+                f"got {self.metrics_flush_interval}"
             )
 
     def replace(self, **changes: Any) -> "ServiceConfig":

@@ -27,6 +27,7 @@ Quickstart::
 from __future__ import annotations
 
 from ..config import ObservabilityConfig
+from .flush import MetricsFlusher
 from .metrics import (
     STAGE_PARENT,
     STAGES,
@@ -35,11 +36,14 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    labels_suffix,
+    split_labels,
     stage_parent,
     top_level_seconds,
 )
 from .report import TraceReport, load_trace, render_tree
 from .sink import JsonlSink, MemorySink, Sink, read_events
+from .slo import DEFAULT_BURN_WINDOWS, SLOTracker
 from .trace import Span, Tracer, get_tracer, swap_tracer, traced
 
 __all__ = [
@@ -61,6 +65,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "labels_suffix",
+    "split_labels",
+    # slo / flushing
+    "SLOTracker",
+    "DEFAULT_BURN_WINDOWS",
+    "MetricsFlusher",
     # sinks
     "Sink",
     "JsonlSink",

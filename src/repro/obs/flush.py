@@ -1,0 +1,85 @@
+"""Background metrics flusher: periodic snapshots into the JSONL sink.
+
+``repro report`` analyses traces offline, but a long-running service
+only writes metric values once, at shutdown.  :class:`MetricsFlusher`
+closes that gap: an asyncio task that every ``interval`` seconds emits
+the registry snapshot (and, when attached, the SLO verdict) as events in
+the same JSONL stream the spans go to, so an operator can replay how the
+service's counters and burn rates evolved over a run.
+
+The flusher is deliberately tolerant: a failed write disables further
+flushing instead of crashing the service loop -- telemetry must never
+take down ingest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["MetricsFlusher"]
+
+
+class MetricsFlusher:
+    """Periodically emit metric (and SLO) snapshots to an event sink.
+
+    ``sink`` needs ``emit_metrics(values)`` and ``emit(event)`` (both
+    :class:`~repro.obs.sink.JsonlSink` and ``MemorySink`` qualify).
+    ``interval <= 0`` disables the periodic task; :meth:`flush` still
+    works for an explicit final snapshot.
+    """
+
+    def __init__(
+        self,
+        sink: Any,
+        *,
+        interval: float = 1.0,
+        registry: MetricsRegistry | None = None,
+        slo: Any = None,
+    ) -> None:
+        self.sink = sink
+        self.interval = float(interval)
+        self.registry = registry if registry is not None else get_registry()
+        self.slo = slo
+        self.flushes = 0
+        self._task: asyncio.Task | None = None
+        self._broken = False
+
+    def flush(self) -> None:
+        """Emit one snapshot now (no-op after a sink failure)."""
+        if self._broken:
+            return
+        try:
+            values = self.registry.snapshot()
+            if values:
+                self.sink.emit_metrics(values)
+            if self.slo is not None:
+                self.sink.emit({"type": "slo", "status": self.slo.status()})
+            self.flushes += 1
+        except Exception:
+            self._broken = True
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.interval)
+                self.flush()
+        except asyncio.CancelledError:
+            raise
+
+    def start(self) -> None:
+        if self.interval > 0 and self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        """Stop the periodic task and write a final snapshot."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self.flush()

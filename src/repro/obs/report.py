@@ -49,27 +49,38 @@ class TraceReport:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def from_jsonl(cls, path: str) -> "TraceReport":
-        """Load and validate a JSONL trace written by
-        :class:`~repro.obs.sink.JsonlSink` (the ``repro report`` input)."""
-        events = read_events(path)
-        spans = [e for e in events if e.get("type") == "span"]
-        meta = next((e for e in events if e.get("type") == "meta"), None)
+    def from_jsonl(cls, path: str, *more: str) -> "TraceReport":
+        """Load and validate JSONL traces written by
+        :class:`~repro.obs.sink.JsonlSink` (the ``repro report`` input).
+
+        Several paths merge into one report: spans share a timeline (the
+        tracer clock is process-wide monotonic), so a client-side trace
+        and a server-side trace stitch into a single tree as long as the
+        wire protocol propagated the trace context.
+        """
+        spans: list[dict[str, Any]] = []
+        meta: Mapping[str, Any] | None = None
         metrics: dict[str, Any] = {}
-        for event in events:
-            if event.get("type") == "metrics":
-                values = event.get("values")
-                if not isinstance(values, Mapping):
-                    raise FormatError(
-                        f"{path}: metrics event without a 'values' object"
-                    )
-                metrics.update(values)
-        for span in spans:
-            for field in ("name", "span_id", "start"):
-                if field not in span:
-                    raise FormatError(
-                        f"{path}: span event is missing the {field!r} field"
-                    )
+        for one in (path, *more):
+            events = read_events(one)
+            if meta is None:
+                meta = next((e for e in events if e.get("type") == "meta"), None)
+            for event in events:
+                if event.get("type") == "metrics":
+                    values = event.get("values")
+                    if not isinstance(values, Mapping):
+                        raise FormatError(
+                            f"{one}: metrics event without a 'values' object"
+                        )
+                    metrics.update(values)
+                elif event.get("type") == "span":
+                    for field in ("name", "span_id", "start"):
+                        if field not in event:
+                            raise FormatError(
+                                f"{one}: span event is missing the "
+                                f"{field!r} field"
+                            )
+                    spans.append(event)
         return cls(spans, metrics, meta)
 
     @classmethod
@@ -111,6 +122,31 @@ class TraceReport:
     def span_count(self) -> int:
         return len(self.spans)
 
+    def orphans(self) -> list[dict[str, Any]]:
+        """Spans that *claim* a parent the trace does not contain.
+
+        A root (``parent_id`` unset) is fine; a span pointing at a
+        missing parent means a trace file is incomplete or cross-process
+        propagation broke -- ``repro report --check-parentage`` fails on
+        these.
+        """
+        ids = {s.get("span_id") for s in self.spans}
+        return [
+            s
+            for s in self.spans
+            if s.get("parent_id") is not None and s.get("parent_id") not in ids
+        ]
+
+    def cross_process_links(self) -> int:
+        """Parent/child span pairs that straddle a process boundary."""
+        by_id = {s.get("span_id"): s for s in self.spans if s.get("span_id")}
+        count = 0
+        for span in self.spans:
+            parent = by_id.get(span.get("parent_id"))
+            if parent is not None and parent.get("pid") != span.get("pid"):
+                count += 1
+        return count
+
     # -- rendering ---------------------------------------------------------
 
     def render_breakdown(self) -> str:
@@ -147,6 +183,18 @@ class TraceReport:
             f"processes  : {len(pids)} ({', '.join(str(p) for p in pids)})"
             if pids else "processes  : 0",
         ]
+        links = self.cross_process_links()
+        if links:
+            lines.append(f"stitching  : {links} cross-process parent link"
+                         f"{'s' if links != 1 else ''}")
+        orphans = self.orphans()
+        if orphans:
+            names = ", ".join(sorted({str(s.get("name")) for s in orphans})[:6])
+            lines.append(
+                f"orphans    : {len(orphans)} span"
+                f"{'s' if len(orphans) != 1 else ''} with missing parents "
+                f"({names})"
+            )
         for root in roots[:8]:
             attrs = root.get("attrs") or {}
             extra = "".join(f" {k}={attrs[k]}" for k in sorted(attrs)[:4])
@@ -203,12 +251,14 @@ class TraceReport:
             "processes": self.processes(),
             "stage_breakdown": self.stage_breakdown(),
             "metrics": self.metrics,
+            "orphans": len(self.orphans()),
+            "cross_process_links": self.cross_process_links(),
         }
 
 
-def load_trace(path: str) -> TraceReport:
+def load_trace(path: str, *more: str) -> TraceReport:
     """Shorthand for :meth:`TraceReport.from_jsonl`."""
-    return TraceReport.from_jsonl(path)
+    return TraceReport.from_jsonl(path, *more)
 
 
 def render_tree(spans: Iterable[Any], *, max_children: int = 12) -> str:

@@ -25,11 +25,23 @@ from __future__ import annotations
 import asyncio
 import time
 
+from typing import Any
+
 from ..ckpt.store import Store
 from ..exceptions import ConfigurationError, SimulatedCrash
 from ..obs import get_registry, get_tracer
 
 __all__ = ["BurstDrain", "DrainStats"]
+
+_TENANT_KEY_PREFIX = "tenants/"
+
+
+def _tenant_of(key: str) -> str:
+    """Tenant label value for a buffered key (``""`` for shared keys)."""
+    if key.startswith(_TENANT_KEY_PREFIX):
+        rest = key[len(_TENANT_KEY_PREFIX):]
+        return rest.partition("/")[0]
+    return ""
 
 
 class DrainStats:
@@ -144,11 +156,16 @@ class BurstDrain:
 
     # -- absorb path ---------------------------------------------------------
 
-    async def absorb(self, key: str, data: bytes) -> "asyncio.Future[None]":
+    async def absorb(
+        self, key: str, data: bytes, *, parent: Any = None
+    ) -> "asyncio.Future[None]":
         """Accept one blob; return a future resolved when it is on ``slow``.
 
         Returns as soon as the blob is in the fast tier (or written
         through), which is the only part the submitting client blocks on.
+        ``parent`` (a span or trace context) parents the write-through
+        and drain spans explicitly -- the drain runs on a worker task
+        whose implicit span stack has nothing to do with this submit.
         """
         assert self._queue is not None and self._cond is not None, "not started"
         if self._crashed is not None:
@@ -156,12 +173,15 @@ class BurstDrain:
         loop = asyncio.get_running_loop()
         done: asyncio.Future[None] = loop.create_future()
         nbytes = len(data)
+        tenant = _tenant_of(key)
         t0 = time.monotonic()
 
         if nbytes > self.capacity_bytes:
             # Overflow path: the blob cannot fit, write through at
             # slow-tier speed (the model's degraded blocking case).
-            with self._tracer.span("service.write_through", key=key, nbytes=nbytes):
+            with self._tracer.span(
+                "service.write_through", parent=parent, key=key, nbytes=nbytes
+            ):
                 try:
                     await asyncio.to_thread(self.slow.put, key, data)
                 except BaseException as exc:  # noqa: BLE001 - must reach client
@@ -173,6 +193,7 @@ class BurstDrain:
             self.stats.through_bytes += nbytes
             self.stats.absorb_seconds += time.monotonic() - t0
             self._metrics.counter("service.write_through").inc()
+            self._metrics.counter("service.write_through", tenant=tenant).inc()
             done.set_result(None)
             return done
 
@@ -185,6 +206,9 @@ class BurstDrain:
                     waited = True
                     self.stats.backpressure_waits += 1
                     self._metrics.counter("service.backpressure_waits").inc()
+                    self._metrics.counter(
+                        "service.backpressure_waits", tenant=tenant
+                    ).inc()
                 await self._cond.wait()
             if waited:
                 self.stats.backpressure_seconds += time.monotonic() - t0
@@ -197,8 +221,9 @@ class BurstDrain:
         self.stats.absorbed_blobs += 1
         self.stats.absorbed_bytes += nbytes
         self.stats.absorb_seconds += time.monotonic() - t0
+        self._metrics.counter("service.absorbed_bytes", tenant=tenant).inc(nbytes)
         self._metrics.gauge("service.buffer_used_bytes").set(self._used)
-        self._queue.put_nowait((key, nbytes, time.monotonic(), done))
+        self._queue.put_nowait((key, nbytes, time.monotonic(), done, parent))
         return done
 
     # -- drain path ----------------------------------------------------------
@@ -206,7 +231,7 @@ class BurstDrain:
     async def _drain_loop(self, worker_id: int) -> None:
         assert self._queue is not None and self._cond is not None
         while True:
-            key, nbytes, enqueued, done = await self._queue.get()
+            key, nbytes, enqueued, done, parent = await self._queue.get()
             try:
                 if self._crashed is not None:
                     if not done.done():
@@ -216,8 +241,11 @@ class BurstDrain:
                     continue
                 t0 = time.monotonic()
                 try:
-                    data = self.fast.get(key)
-                    await asyncio.to_thread(self.slow.put, key, data)
+                    with self._tracer.span(
+                        "service.drain", parent=parent, key=key, nbytes=nbytes
+                    ):
+                        data = self.fast.get(key)
+                        await asyncio.to_thread(self.slow.put, key, data)
                 except BaseException as exc:  # noqa: BLE001 - reach the future
                     self._note_failure(exc)
                     if not done.done():
@@ -238,6 +266,9 @@ class BurstDrain:
                     self.stats.drain_lag_seconds_max, lag
                 )
                 self._metrics.histogram("service.drain_lag_seconds").observe(lag)
+                self._metrics.histogram(
+                    "service.drain_lag_seconds", tenant=_tenant_of(key)
+                ).observe(lag)
                 self.stats.drained_blobs += 1
                 self.stats.drained_bytes += nbytes
                 await self._release(key, nbytes)

@@ -53,10 +53,12 @@ from ..exceptions import (
     CheckpointNotFoundError,
     CommitError,
     ConfigurationError,
+    QuotaExceededError,
     ServiceUnavailableError,
     SimulatedCrash,
+    UnknownTenantError,
 )
-from ..obs import get_registry, get_tracer
+from ..obs import MetricsFlusher, SLOTracker, get_registry, get_tracer
 from .sharded import NamespacedStore, ShardedStore, TENANT_PREFIX
 from .buffer import BurstDrain
 from .tenants import TenantRegistry
@@ -81,13 +83,32 @@ class IngestAck:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
-class _PendingCommit:
-    __slots__ = ("item", "future", "batch_size")
+def _admission_outcome(exc: BaseException) -> str:
+    """Label value classifying why a submit was refused."""
+    if isinstance(exc, UnknownTenantError):
+        return "unknown-tenant"
+    if isinstance(exc, QuotaExceededError):
+        return "quota"
+    if isinstance(exc, CommitError):
+        return "duplicate"
+    if isinstance(exc, ServiceUnavailableError):
+        return "unavailable"
+    return "error"
 
-    def __init__(self, item: GroupSealItem, future: "asyncio.Future") -> None:
+
+class _PendingCommit:
+    __slots__ = ("item", "future", "batch_size", "trace_ctx")
+
+    def __init__(
+        self,
+        item: GroupSealItem,
+        future: "asyncio.Future",
+        trace_ctx: Mapping[str, Any] | None = None,
+    ) -> None:
         self.item = item
         self.future = future
         self.batch_size = 0
+        self.trace_ctx = trace_ctx
 
 
 class CheckpointIngestService:
@@ -115,6 +136,15 @@ class CheckpointIngestService:
     rate_max_wait:
         Longest a submit may wait for a rate-quota token before being
         refused.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOTracker` fed one good/bad
+        observation per submit; its verdict surfaces in :meth:`stats`
+        and :meth:`metrics_text`.
+    flush_sink / flush_interval:
+        When both are set, :meth:`start` launches a
+        :class:`~repro.obs.flush.MetricsFlusher` that emits registry
+        (and SLO) snapshots to the sink every ``flush_interval`` seconds
+        for offline ``repro report`` analysis.
     """
 
     def __init__(
@@ -127,6 +157,9 @@ class CheckpointIngestService:
         max_batch: int = 32,
         max_batch_delay: float = 0.002,
         rate_max_wait: float = 0.5,
+        slo: SLOTracker | None = None,
+        flush_sink: Any = None,
+        flush_interval: float = 0.0,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
@@ -153,6 +186,10 @@ class CheckpointIngestService:
         self._closed = False
         self._tracer = get_tracer()
         self._metrics = get_registry()
+        self.slo = slo
+        self._flusher: MetricsFlusher | None = None
+        self._flush_sink = flush_sink
+        self._flush_interval = float(flush_interval)
         self.commits = 0
         self.group_commits = 0
 
@@ -162,10 +199,21 @@ class CheckpointIngestService:
         await self.buffer.start()
         self._commit_queue = asyncio.Queue()
         self._committer = asyncio.create_task(self._commit_loop(), name="committer")
+        if self._flush_sink is not None and self._flush_interval > 0:
+            self._flusher = MetricsFlusher(
+                self._flush_sink,
+                interval=self._flush_interval,
+                registry=self._metrics,
+                slo=self.slo,
+            )
+            self._flusher.start()
 
     async def close(self) -> None:
         """Stop accepting, finish in-flight work, sync the stores."""
         self._closed = True
+        if self._flusher is not None:
+            await self._flusher.close()
+            self._flusher = None
         # A submit holds an _inflight entry from admission until its
         # commit future resolves; once _closed is set no new entry can
         # appear, so waiting here keeps the committer alive until every
@@ -239,9 +287,60 @@ class CheckpointIngestService:
         blobs: Mapping[str, bytes],
         *,
         app_meta: Mapping[str, Any] | None = None,
+        trace_parent: Any = None,
     ) -> IngestAck:
-        """Ingest one checkpoint generation; returns once durably committed."""
+        """Ingest one checkpoint generation; returns once durably committed.
+
+        ``trace_parent`` (a :class:`~repro.obs.trace.Span` or a
+        ``tracer.context()`` dict) parents the ``service.submit`` span on
+        a remote caller's request span instead of this thread's stack.
+        """
         t_start = time.monotonic()
+        try:
+            ack = await self._submit_once(
+                tenant, step, blobs, app_meta=app_meta,
+                trace_parent=trace_parent, t_start=t_start,
+            )
+        except BaseException as exc:
+            self._observe_submit(
+                str(tenant), time.monotonic() - t_start, _admission_outcome(exc)
+            )
+            raise
+        self._observe_submit(ack.tenant, ack.latency_seconds, "accepted")
+        return ack
+
+    def _observe_submit(self, tenant: str, latency: float, outcome: str) -> None:
+        """Per-tenant admission/latency accounting for one submit attempt."""
+        m = self._metrics
+        try:
+            m.counter("service.admission", tenant=tenant, outcome=outcome).inc()
+        except ValueError:
+            # a tenant name the label charset refuses (only possible for
+            # refused strangers) still must not break accounting
+            m.counter("service.admission", tenant="_invalid", outcome=outcome).inc()
+            tenant = "_invalid"
+        if outcome == "accepted":
+            m.counter("service.submits").inc()
+            m.counter("service.submits", tenant=tenant).inc()
+            m.histogram("service.ingest_seconds").observe(latency)
+            m.histogram("service.ingest_seconds", tenant=tenant).observe(latency)
+        if self.slo is not None:
+            # Quota/duplicate refusals are the service *working*; only
+            # service-side failures burn the error budget.
+            self.slo.record(
+                latency, error=outcome in ("unavailable", "error")
+            )
+
+    async def _submit_once(
+        self,
+        tenant: str,
+        step: int,
+        blobs: Mapping[str, bytes],
+        *,
+        app_meta: Mapping[str, Any] | None,
+        trace_parent: Any,
+        t_start: float,
+    ) -> IngestAck:
         self._check_accepting()
         view = self.view(tenant)  # raises UnknownTenantError first
         step = int(step)
@@ -275,14 +374,28 @@ class CheckpointIngestService:
                         f"checkpoint; delete it before rewriting"
                     )
                 with self._tracer.span(
-                    "service.submit", tenant=tenant, step=step, nbytes=total
-                ):
+                    "service.submit",
+                    parent=trace_parent,
+                    tenant=tenant,
+                    step=step,
+                    nbytes=total,
+                ) as sub_span:
                     entries = []
                     drained = []
                     for name, data in sorted(blobs.items()):
                         bkey = view._k(array_key(step, name))
                         try:
-                            drained.append(await self.buffer.absorb(bkey, data))
+                            drained.append(
+                                await self.buffer.absorb(
+                                    bkey,
+                                    data,
+                                    parent=(
+                                        sub_span
+                                        if sub_span.span_id is not None
+                                        else None
+                                    ),
+                                )
+                            )
                         except SimulatedCrash as exc:
                             raise ServiceUnavailableError(
                                 f"service crashed while absorbing "
@@ -316,6 +429,18 @@ class CheckpointIngestService:
                     pending = _PendingCommit(
                         GroupSealItem(view, manifest),
                         asyncio.get_running_loop().create_future(),
+                        # the submit span's own ids (not the thread-local
+                        # stack top, which another coroutine may own at
+                        # this await point): the committer parents the
+                        # batch's group-commit span on it
+                        trace_ctx=(
+                            {
+                                "trace_id": sub_span.trace_id,
+                                "span_id": sub_span.span_id,
+                            }
+                            if sub_span.span_id is not None
+                            else None
+                        ),
                     )
                     # _check_accepting() verified the queue exists at
                     # admission, before any payload was absorbed.
@@ -333,8 +458,6 @@ class CheckpointIngestService:
             if charged:
                 self.tenants.release_bytes(tenant, total)
         latency = time.monotonic() - t_start
-        self._metrics.histogram("service.ingest_seconds").observe(latency)
-        self._metrics.counter("service.submits").inc()
         return IngestAck(
             tenant=tenant,
             step=step,
@@ -371,6 +494,11 @@ class CheckpointIngestService:
                         group_seal,
                         [p.item for p in batch],
                         barrier=self.store,
+                        # the worker thread has no span stack; parent the
+                        # group-commit span on the first traced submit
+                        parent=next(
+                            (p.trace_ctx for p in batch if p.trace_ctx), None
+                        ),
                     )
                 except BaseException as exc:  # noqa: BLE001 - reach submitters
                     if isinstance(exc, SimulatedCrash):
@@ -381,6 +509,7 @@ class CheckpointIngestService:
                     continue
                 self.commits += len(batch)
                 self.group_commits += 1
+                self._metrics.histogram("service.commit_batch").observe(len(batch))
                 for p in batch:
                     p.batch_size = len(batch)
                     if not p.future.done():
@@ -461,7 +590,7 @@ class CheckpointIngestService:
     # -- diagnostics ---------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "commits": self.commits,
             "group_commits": self.group_commits,
             "mean_batch": (self.commits / self.group_commits) if self.group_commits else 0.0,
@@ -469,12 +598,32 @@ class CheckpointIngestService:
             "tenants": self.tenants.stats(),
             "crashed": self.crashed is not None,
         }
+        if isinstance(self.store, ShardedStore):
+            out["shards"] = self.store.shard_stats()
+        if self.slo is not None:
+            out["slo"] = self.slo.status()
+        return out
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the shared registry.
+
+        Refreshes the derived gauges (shard occupancy, SLO verdict)
+        first so a scrape always sees current values, not whatever the
+        last submit left behind.
+        """
+        if isinstance(self.store, ShardedStore):
+            self.store.shard_stats()
+        if self.slo is not None:
+            self.slo.export(self._metrics)
+        return self._metrics.to_prometheus()
 
 
 def build_service(
     root: str,
     tenants: TenantRegistry,
     config: "ServiceConfig | None" = None,
+    *,
+    flush_sink: Any = None,
 ) -> CheckpointIngestService:
     """Stand up a service over sharded directory stores under ``root``.
 
@@ -501,6 +650,13 @@ def build_service(
         os.path.join(root, "_placement"), durability=config.durability
     )
     store = ShardedStore(shards, placement=placement, vnodes=config.vnodes)
+    slo = None
+    if config.slo_latency_p99 is not None:
+        slo = SLOTracker(
+            latency_threshold_seconds=config.slo_latency_p99,
+            objective=config.slo_objective,
+            histogram=get_registry().histogram("service.ingest_seconds"),
+        )
     return CheckpointIngestService(
         store,
         tenants,
@@ -509,4 +665,7 @@ def build_service(
         max_batch=config.max_batch,
         max_batch_delay=config.max_batch_delay,
         rate_max_wait=config.rate_max_wait,
+        slo=slo,
+        flush_sink=flush_sink,
+        flush_interval=config.metrics_flush_interval,
     )

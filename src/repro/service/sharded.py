@@ -30,10 +30,11 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from ..ckpt.store import Store
 from ..exceptions import ConfigurationError, StorageError
+from ..obs.metrics import get_registry
 from .hashring import DEFAULT_VNODES, HashRing
 
 __all__ = ["NamespacedStore", "ShardedStore", "placement_unit", "TENANT_PREFIX"]
@@ -124,6 +125,7 @@ class ShardedStore(Store):
         self.ring = HashRing(list(self.shards), vnodes=vnodes)
         self.placement = placement
         self._cache: dict[str, str] = {}
+        self._put_bytes: dict[str, int] = {sid: 0 for sid in self.shards}
         self._lock = threading.Lock()
 
     # -- shard membership ----------------------------------------------------
@@ -248,6 +250,9 @@ class ShardedStore(Store):
             sid = self.ring.lookup(unit)
         self._record(unit, sid)
         self.shards[sid].put(key, data)
+        with self._lock:
+            self._put_bytes[sid] = self._put_bytes.get(sid, 0) + len(data)
+        get_registry().counter("service.shard_put_bytes", shard=sid).inc(len(data))
 
     def get(self, key: str) -> bytes:
         sid = self._locate(key)
@@ -282,6 +287,30 @@ class ShardedStore(Store):
         return {
             sid: len(store.list_keys(prefix))
             for sid, store in sorted(self.shards.items())
+        }
+
+    def shard_stats(self, prefix: str = "") -> dict[str, Any]:
+        """Per-shard occupancy plus an imbalance figure, gauges refreshed.
+
+        ``imbalance`` is max/mean key count across shards (1.0 = perfectly
+        even); the value the ROADMAP's rebalancing worker will watch.
+        """
+        counts = self.shard_key_counts(prefix)
+        with self._lock:
+            put_bytes = dict(self._put_bytes)
+        mean = sum(counts.values()) / len(counts) if counts else 0.0
+        imbalance = (max(counts.values()) / mean) if mean > 0 else 1.0
+        metrics = get_registry()
+        for sid, n in counts.items():
+            metrics.gauge("service.shard_keys", shard=sid).set(n)
+            metrics.gauge("service.shard_bytes_written", shard=sid).set(
+                put_bytes.get(sid, 0)
+            )
+        metrics.gauge("service.shard_imbalance").set(imbalance)
+        return {
+            "keys": counts,
+            "put_bytes": put_bytes,
+            "imbalance": imbalance,
         }
 
 

@@ -21,8 +21,10 @@ import re
 import threading
 import time
 from dataclasses import dataclass
+from typing import Any
 
 from ..exceptions import ConfigurationError, QuotaExceededError, UnknownTenantError
+from ..obs.metrics import get_registry
 
 __all__ = ["TenantSpec", "TenantRegistry", "TokenBucket"]
 
@@ -133,6 +135,12 @@ class TenantRegistry:
             if spec.name in self._tenants:
                 raise ConfigurationError(f"tenant {spec.name!r} already registered")
             self._tenants[spec.name] = _TenantState(spec, self._clock)
+        metrics = get_registry()
+        if spec.byte_quota is not None:
+            metrics.gauge("tenant.quota_limit_bytes", tenant=spec.name).set(
+                spec.byte_quota
+            )
+        metrics.gauge("tenant.quota_used_bytes", tenant=spec.name).set(0)
 
     def names(self) -> list[str]:
         with self._lock:
@@ -166,18 +174,34 @@ class TenantRegistry:
         with self._lock:
             if quota is not None and state.used_bytes + nbytes > quota:
                 state.refusals += 1
+                get_registry().counter(
+                    "tenant.quota_rejections", tenant=name, kind="bytes"
+                ).inc()
                 raise QuotaExceededError(
                     f"tenant {name!r} byte quota exceeded: "
                     f"{state.used_bytes} used + {nbytes} requested > "
                     f"{quota} limit"
                 )
             state.used_bytes += nbytes
+            used = state.used_bytes
+        self._set_usage_gauges(name, used, quota)
 
     def release_bytes(self, name: str, nbytes: int) -> None:
         """Return a reservation (generation failed, was reaped or deleted)."""
         state = self._state(name)
         with self._lock:
             state.used_bytes = max(0, state.used_bytes - nbytes)
+            used = state.used_bytes
+        self._set_usage_gauges(name, used, state.spec.byte_quota)
+
+    @staticmethod
+    def _set_usage_gauges(name: str, used: int, quota: int | None) -> None:
+        metrics = get_registry()
+        metrics.gauge("tenant.quota_used_bytes", tenant=name).set(used)
+        if quota:
+            metrics.gauge("tenant.quota_utilization", tenant=name).set(
+                used / quota
+            )
 
     def used_bytes(self, name: str) -> int:
         return self._state(name).used_bytes
@@ -203,6 +227,9 @@ class TenantRegistry:
             state.bucket.cancel()
             with self._lock:
                 state.refusals += 1
+            get_registry().counter(
+                "tenant.quota_rejections", tenant=name, kind="rate"
+            ).inc()
             raise QuotaExceededError(
                 f"tenant {name!r} ingest-rate quota exceeded: next admission "
                 f"in {delay:.3f}s > max wait {max_wait:.3f}s "
@@ -214,13 +241,19 @@ class TenantRegistry:
 
     # -- diagnostics ---------------------------------------------------------
 
-    def stats(self) -> dict[str, dict[str, int]]:
+    def stats(self) -> dict[str, dict[str, Any]]:
         with self._lock:
             return {
                 name: {
                     "used_bytes": st.used_bytes,
                     "submits": st.submits,
                     "refusals": st.refusals,
+                    "byte_quota": st.spec.byte_quota,
+                    "utilization": (
+                        st.used_bytes / st.spec.byte_quota
+                        if st.spec.byte_quota
+                        else None
+                    ),
                 }
                 for name, st in sorted(self._tenants.items())
             }

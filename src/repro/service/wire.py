@@ -17,6 +17,16 @@ re-raises the *same* exception family the service raised
 remote caller and an in-process caller handle failures identically and
 nobody ever diagnoses a quota refusal from a hung stream or a generic
 ``OSError``.
+
+Trace propagation rides the header: a tracing client adds
+``"trace": {"trace_id": ..., "span_id": ...}`` naming its in-flight
+request span, and the server parents its ``service.request`` span (and
+everything below it) on that context.  Span ids embed the PID and the
+span clock is machine-monotonic, so the client-side and server-side
+JSONL traces stitch into a single tree with ``repro report client.jsonl
+server.jsonl``.  A header without ``trace`` is a legacy client (the
+server span becomes a local root); a malformed ``trace`` is answered
+with a typed :class:`FormatError` frame like any other bad header.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+import time
 from typing import Any, Mapping
 
 from ..exceptions import (
@@ -38,6 +49,8 @@ from ..exceptions import (
     StorageError,
     UnknownTenantError,
 )
+from ..obs.metrics import get_registry
+from ..obs.trace import Span, get_tracer
 from .ingest import CheckpointIngestService
 
 __all__ = [
@@ -80,6 +93,31 @@ def _error_frame(exc: ReproError) -> dict[str, Any]:
         "ok": False,
         "error": {"type": type(exc).__name__, "message": str(exc)},
     }
+
+
+def _parse_trace_context(header: Mapping[str, Any]) -> dict[str, Any] | None:
+    """Extract and validate the header's trace context.
+
+    ``None`` when absent (a legacy or non-tracing client -- fine).  A
+    present-but-malformed context raises :class:`FormatError`: silently
+    mis-parenting spans would be worse than refusing the request.
+    """
+    ctx = header.get("trace")
+    if ctx is None:
+        return None
+    if not isinstance(ctx, Mapping):
+        raise FormatError(
+            f"wire trace context must be an object, got {type(ctx).__name__}"
+        )
+    span_id = ctx.get("span_id")
+    trace_id = ctx.get("trace_id")
+    if not isinstance(span_id, str) or not span_id:
+        raise FormatError(
+            "wire trace context requires a non-empty string 'span_id'"
+        )
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise FormatError("wire trace context 'trace_id' must be a string")
+    return {"span_id": span_id, "trace_id": trace_id}
 
 
 async def _read_message(
@@ -195,15 +233,37 @@ class ServiceServer:
                     # typed error and close the connection.
                     await _write_message(writer, _error_frame(exc))
                     break
+                registry = get_registry()
+                started = time.perf_counter()
                 try:
-                    resp, resp_payload = await self._dispatch(header, payload)
+                    # The request span adopts the client's trace context
+                    # (when sent), making every server-side span a
+                    # descendant of the client's request span.
+                    ctx = _parse_trace_context(header)
+                    op = str(header.get("op"))
+                    with get_tracer().span(
+                        "service.request", parent=ctx, op=op
+                    ) as req_span:
+                        resp, resp_payload = await self._dispatch(
+                            header, payload, parent=req_span
+                        )
+                    registry.counter("service.requests", op=op).inc()
+                    registry.histogram(
+                        "service.request_seconds", op=op
+                    ).observe(time.perf_counter() - started)
                 except ReproError as exc:
+                    registry.counter(
+                        "service.request_errors", type=type(exc).__name__
+                    ).inc()
                     resp = _error_frame(exc)
                     resp_payload = b""
                 except (KeyError, TypeError, ValueError) as exc:
                     # A header missing required fields (or carrying the
                     # wrong types) is the client's fault, not a server
                     # crash: answer with a typed FormatError frame.
+                    registry.counter(
+                        "service.request_errors", type="FormatError"
+                    ).inc()
                     resp = _error_frame(
                         FormatError(f"malformed request header: {exc!r}")
                     )
@@ -219,10 +279,13 @@ class ServiceServer:
                 self.on_disconnect()
 
     async def _dispatch(
-        self, header: dict[str, Any], payload: bytes
+        self, header: dict[str, Any], payload: bytes, parent: Any = None
     ) -> tuple[dict[str, Any], bytes]:
         op = header.get("op")
         svc = self.service
+        # Only a real recorded span can parent downstream work; when
+        # tracing is off the request "span" is a _NullSpan with no ids.
+        trace_parent = parent if isinstance(parent, Span) else None
         if op == "ping":
             return {"ok": True, "pong": True}, b""
         if op == "submit":
@@ -232,6 +295,7 @@ class ServiceServer:
                 int(header["step"]),
                 blobs,
                 app_meta=header.get("app_meta"),
+                trace_parent=trace_parent,
             )
             return {"ok": True, "ack": ack.to_dict()}, b""
         if op == "restore":
@@ -248,6 +312,9 @@ class ServiceServer:
             return {"ok": True, "steps": steps}, b""
         if op == "stats":
             return {"ok": True, "stats": svc.stats()}, b""
+        if op == "metrics":
+            text = await asyncio.to_thread(svc.metrics_text)
+            return {"ok": True}, text.encode("utf-8")
         raise FormatError(f"unknown wire op {op!r}")
 
 
@@ -295,13 +362,21 @@ class ServiceClient:
     ) -> tuple[dict[str, Any], bytes]:
         if self._reader is None or self._writer is None:
             raise ServiceError("client is not connected; call connect() first")
-        await _write_message(self._writer, header, payload)
-        try:
-            resp, resp_payload = await _read_message(self._reader)
-        except asyncio.IncompleteReadError as exc:
-            raise ServiceUnavailableError(
-                "connection closed by the service mid-request"
-            ) from exc
+        with get_tracer().span(f"service.client.{header.get('op')}") as sp:
+            if sp.span_id is not None:
+                # Tracing is on: name our request span in the header so
+                # the server parents its spans on it (trace propagation).
+                header = {
+                    **header,
+                    "trace": {"trace_id": sp.trace_id, "span_id": sp.span_id},
+                }
+            await _write_message(self._writer, header, payload)
+            try:
+                resp, resp_payload = await _read_message(self._reader)
+            except asyncio.IncompleteReadError as exc:
+                raise ServiceUnavailableError(
+                    "connection closed by the service mid-request"
+                ) from exc
         if not resp.get("ok"):
             err = resp.get("error") or {}
             cls = _ERROR_TYPES.get(str(err.get("type")), ServiceError)
@@ -348,3 +423,8 @@ class ServiceClient:
     async def stats(self) -> dict[str, Any]:
         resp, _ = await self._call({"op": "stats"})
         return resp["stats"]
+
+    async def metrics(self) -> str:
+        """Prometheus text exposition of the server's metric registry."""
+        _, payload = await self._call({"op": "metrics"})
+        return payload.decode("utf-8")

@@ -11,9 +11,12 @@ from repro.obs import (
     STAGES,
     MetricsRegistry,
     get_registry,
+    labels_suffix,
+    split_labels,
     stage_parent,
     top_level_seconds,
 )
+from repro.obs.metrics import NullMetric
 
 
 class TestStageTaxonomy:
@@ -95,6 +98,202 @@ class TestMetricTypes:
         for t in threads:
             t.join()
         assert counter.value == 4000
+
+
+class TestLabels:
+    def test_labeled_children_are_independent_series(self):
+        registry = MetricsRegistry()
+        registry.counter("service.submits", tenant="alice").inc()
+        registry.counter("service.submits", tenant="bob").inc(2)
+        registry.counter("service.submits").inc(5)
+        assert registry.counter("service.submits", tenant="alice").value == 1
+        assert registry.counter("service.submits", tenant="bob").value == 2
+        assert registry.counter("service.submits").value == 5
+
+    def test_full_name_is_base_plus_sorted_labels(self):
+        registry = MetricsRegistry()
+        metric = registry.counter("m", b="2", a="1")
+        assert metric.name == "m{a=1,b=2}"
+        assert metric.family == "m"
+        assert metric.labels == (("a", "1"), ("b", "2"))
+
+    def test_labels_suffix_round_trip(self):
+        suffix = labels_suffix({"tenant": "alice", "op": "submit"})
+        assert suffix == "{op=submit,tenant=alice}"
+        assert split_labels("x.y" + suffix) == (
+            "x.y",
+            {"op": "submit", "tenant": "alice"},
+        )
+        assert split_labels("bare") == ("bare", {})
+
+    def test_bad_label_value_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="label value"):
+            registry.counter("m", tenant="a{b}")
+        with pytest.raises(ValueError, match="label key"):
+            registry.counter("m", **{"bad-key": "v"})
+
+    def test_kind_is_enforced_across_the_family(self):
+        registry = MetricsRegistry()
+        registry.counter("f", tenant="a")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("f", tenant="b")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.histogram("f")
+
+    def test_family_lists_all_children(self):
+        registry = MetricsRegistry()
+        registry.counter("f")
+        registry.counter("f", tenant="a")
+        registry.counter("f", tenant="b")
+        registry.counter("other")
+        names = [m.name for m in registry.family("f")]
+        assert names == ["f", "f{tenant=a}", "f{tenant=b}"]
+
+    def test_snapshot_and_nested_keep_label_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", tenant="x").inc(3)
+        assert registry.snapshot() == {"a.b{tenant=x}": 3}
+        assert registry.nested() == {"a": {"b{tenant=x}": 3}}
+
+    def test_brace_in_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="braces"):
+            MetricsRegistry().counter("a{b}")
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantiles_are_zero(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+        snap = h.snapshot()
+        assert snap["p50"] == 0.0 and snap["p99"] == 0.0
+
+    def test_single_observation_is_exact(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.037)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.037)
+
+    def test_quantile_accuracy_on_uniform_data(self):
+        h = MetricsRegistry().histogram("h")
+        n = 1000
+        for i in range(1, n + 1):
+            h.observe(i / n)  # uniform on (0, 1]
+        assert h.quantile(0.5) == pytest.approx(0.5, rel=0.10)
+        assert h.quantile(0.95) == pytest.approx(0.95, rel=0.10)
+        assert h.quantile(0.99) == pytest.approx(0.99, rel=0.10)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (2.0, 2.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.01) >= 2.0
+        assert h.quantile(0.99) <= 2.0
+
+    def test_nonpositive_observations_underflow(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.0)
+        h.observe(-1.0)
+        h.observe(4.0)
+        assert h.count == 3
+        assert h.min == -1.0
+        # the underflow bucket reports 0.0 for ranks it covers
+        assert h.quantile(0.1) == 0.0
+        assert h.quantile(1.0) == pytest.approx(4.0, rel=0.08)
+
+    def test_merge_is_lossless(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("a")
+        b = registry.histogram("b")
+        combined = registry.histogram("c")
+        for i in range(1, 101):
+            (a if i % 2 else b).observe(i / 10.0)
+            combined.observe(i / 10.0)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.total == pytest.approx(combined.total)
+        assert a.min == combined.min
+        assert a.max == combined.max
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == pytest.approx(combined.quantile(q))
+
+    def test_merge_rejects_non_histogram(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="merge"):
+            registry.histogram("h").merge(registry.counter("c"))
+
+    def test_merge_self_is_noop(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        h.merge(h)
+        assert h.count == 1
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_families(self):
+        registry = MetricsRegistry()
+        registry.counter("service.submits", tenant="alice").inc(3)
+        registry.counter("service.submits").inc(5)
+        registry.gauge("service.shard-imbalance").set(1.25)
+        text = registry.to_prometheus()
+        assert "# TYPE service_submits counter" in text
+        assert 'service_submits{tenant="alice"} 3' in text
+        assert "\nservice_submits 5" in text
+        assert "# TYPE service_shard_imbalance gauge" in text
+        assert "service_shard_imbalance 1.25" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("svc.latency", tenant="a")
+        for v in (0.01, 0.02, 0.03):
+            h.observe(v)
+        text = registry.to_prometheus()
+        assert "# TYPE svc_latency summary" in text
+        assert 'svc_latency{tenant="a",quantile="0.5"}' in text
+        assert 'svc_latency{tenant="a",quantile="0.99"}' in text
+        assert 'svc_latency_sum{tenant="a"} 0.06' in text
+        assert 'svc_latency_count{tenant="a"} 3' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestDisable:
+    def test_disabled_registry_drops_updates(self):
+        registry = MetricsRegistry()
+        registry.counter("kept").inc(2)
+        registry.disable()
+        assert not registry.enabled
+        metric = registry.counter("dropped", tenant="x")
+        assert isinstance(metric, NullMetric)
+        metric.inc(100)
+        registry.gauge("dropped.g").set(9)
+        registry.histogram("dropped.h").observe(1.0)
+        # existing series stay readable; nothing new was created
+        assert registry.snapshot() == {"kept": 2}
+        registry.enable()
+        registry.counter("kept").inc()
+        assert registry.counter("kept").value == 3
+
+    def test_null_metric_absorbs_the_whole_surface(self):
+        null = NullMetric()
+        null.inc()
+        null.set(5)
+        null.observe(1.0)
+        assert null.quantile(0.99) == 0.0
+        assert null.merge(null) is null
+        assert null.snapshot() == 0.0
+        assert null.value == 0.0
+
+    def test_reset_reenables(self):
+        registry = MetricsRegistry()
+        registry.disable()
+        registry.reset()
+        assert registry.enabled
+        registry.counter("a").inc()
+        assert registry.snapshot() == {"a": 1}
 
 
 class TestExport:

@@ -114,6 +114,99 @@ class TestAggregation:
         assert data["metrics"] == {"pipeline.calls": 1}
 
 
+class TestStitching:
+    def _span(self, name, span_id, parent_id=None, start=0.0, pid=1):
+        return {
+            "type": "span", "name": name, "span_id": span_id,
+            "parent_id": parent_id, "trace_id": "t-1", "start": start,
+            "end": start + 1.0, "duration": 1.0, "pid": pid, "tid": 1,
+            "attrs": {},
+        }
+
+    def _write(self, path, events):
+        import json
+
+        path.write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in events)
+        )
+        return str(path)
+
+    def test_multi_file_load_merges_spans_and_metrics(self, tmp_path):
+        meta = {"type": "meta", "format": "repro-trace", "version": 1}
+        client = self._write(
+            tmp_path / "client.jsonl",
+            [
+                meta,
+                self._span("svc-put", "c-1", pid=100),
+                {"type": "metrics", "values": {"client.calls": 1}},
+            ],
+        )
+        server = self._write(
+            tmp_path / "server.jsonl",
+            [
+                meta,
+                self._span("service.request", "s-1", "c-1", pid=200),
+                {"type": "metrics", "values": {"service.submits": 1}},
+            ],
+        )
+        report = TraceReport.from_jsonl(client, server)
+        assert report.span_count() == 2
+        assert report.processes() == [100, 200]
+        assert report.metrics == {"client.calls": 1, "service.submits": 1}
+        assert report.meta["format"] == "repro-trace"
+
+    def test_cross_process_links_counted(self, tmp_path):
+        report = TraceReport([
+            self._span("client", "c-1", pid=100),
+            self._span("server", "s-1", "c-1", pid=200),
+            self._span("inner", "s-2", "s-1", pid=200),  # same-pid link
+        ])
+        assert report.cross_process_links() == 1
+        assert report.to_dict()["cross_process_links"] == 1
+        assert "stitching  : 1 cross-process parent link" in report.render_summary()
+
+    def test_orphans_flag_missing_parents_only(self, tmp_path):
+        report = TraceReport([
+            self._span("root", "r-1"),
+            self._span("ok-child", "r-2", "r-1"),
+            self._span("lost", "r-3", "vanished"),
+        ])
+        orphans = report.orphans()
+        assert [s["name"] for s in orphans] == ["lost"]
+        assert report.to_dict()["orphans"] == 1
+        assert "orphans    : 1 span with missing parents (lost)" in (
+            report.render_summary()
+        )
+
+    def test_clean_stitched_trace_has_no_orphans(self, tmp_path):
+        report = TraceReport([
+            self._span("client", "c-1", pid=100),
+            self._span("server", "s-1", "c-1", pid=200),
+        ])
+        assert report.orphans() == []
+
+    def test_check_parentage_cli_gate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = self._write(
+            tmp_path / "bad.jsonl",
+            [
+                {"type": "meta", "format": "repro-trace", "version": 1},
+                self._span("floating", "x-1", "gone"),
+            ],
+        )
+        assert main(["report", bad, "--check-parentage"]) == 1
+        assert "floating" in capsys.readouterr().err
+        good = self._write(
+            tmp_path / "good.jsonl",
+            [
+                {"type": "meta", "format": "repro-trace", "version": 1},
+                self._span("root", "x-1"),
+            ],
+        )
+        assert main(["report", good, "--check-parentage"]) == 0
+
+
 class TestRendering:
     def test_render_contains_sections(self, tmp_path, smooth2d):
         report = TraceReport.from_jsonl(_compress_trace(tmp_path, smooth2d))

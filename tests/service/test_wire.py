@@ -187,3 +187,98 @@ class TestTypedErrorsAcrossTheWire:
                 await writer.wait_closed()
 
         _run_with_server(go)
+
+
+class TestTraceContext:
+    def test_trace_context_propagates_across_the_wire(self):
+        from repro.obs import MemorySink, TraceReport, get_tracer
+
+        sink = MemorySink()
+        tracer = get_tracer()
+        tracer.enable(sink)
+        try:
+
+            async def go(sock, svc):
+                async with ServiceClient(sock) as client:
+                    await client.submit("bob", 0, {"u": b"x" * 64})
+
+            _run_with_server(go)
+        finally:
+            tracer.disable()
+            tracer.reset()
+        spans = {s["name"]: s for s in sink.spans()}
+        client_span = spans["service.client.submit"]
+        request = spans["service.request"]
+        submit = spans["service.submit"]
+        # server-side request adopted the client's ids from the header
+        assert request["parent_id"] == client_span["span_id"]
+        assert request["trace_id"] == client_span["trace_id"]
+        assert submit["parent_id"] == request["span_id"]
+        assert submit["trace_id"] == client_span["trace_id"]
+        # regression lint: no span anywhere may float free of the tree
+        report = TraceReport(sink.spans())
+        assert report.orphans() == []
+
+    def test_untraced_legacy_header_is_served(self):
+        async def go(sock, svc):
+            from repro.service.wire import _read_message, _write_message
+
+            # a pre-telemetry client: no "trace" field at all
+            reader, writer = await asyncio.open_unix_connection(sock)
+            try:
+                await _write_message(writer, {"op": "steps", "tenant": "bob"})
+                resp, _ = await _read_message(reader)
+                assert resp["ok"] is True
+                assert resp["steps"] == []
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _run_with_server(go)
+
+    def test_malformed_trace_context_gets_typed_format_error(self):
+        async def go(sock, svc):
+            from repro.service.wire import _read_message, _write_message
+
+            reader, writer = await asyncio.open_unix_connection(sock)
+            try:
+                for bogus in (
+                    "not-a-mapping",
+                    {"span_id": 7},  # span_id must be a string
+                    {"span_id": ""},  # ... and non-empty
+                    {"span_id": "ok", "trace_id": 42},  # trace_id not str
+                ):
+                    await _write_message(
+                        writer, {"op": "ping", "trace": bogus}
+                    )
+                    resp, _ = await _read_message(reader)
+                    assert resp["ok"] is False, bogus
+                    assert resp["error"]["type"] == "FormatError", bogus
+                # the connection survives every refusal
+                await _write_message(writer, {"op": "ping"})
+                resp, _ = await _read_message(reader)
+                assert resp["ok"] is True
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _run_with_server(go)
+
+
+class TestMetricsOp:
+    def test_metrics_op_serves_prometheus_text(self):
+        from repro.obs import get_registry
+
+        get_registry().reset()
+
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                await client.submit("bob", 3, {"u": b"x" * 64})
+                text = await client.metrics()
+            assert "# TYPE service_submits counter" in text
+            assert 'service_submits{tenant="bob"} 1' in text
+            assert "# TYPE service_requests counter" in text
+            assert 'service_requests{op="submit"} 1' in text
+            assert "# TYPE service_ingest_seconds summary" in text
+
+        _run_with_server(go)
