@@ -1,0 +1,112 @@
+"""CI gate: enforce the compression-quality floors from BENCH_quality.json.
+
+Reads the artifact written by ``benchmarks/test_quality.py`` and fails
+(exit 1) when any of the sweep's promises is broken:
+
+* **bound**: each arm's worst max pointwise error must stay within its
+  error bound (small float headroom allowed) -- the one guarantee lossy
+  checkpointing makes to the application;
+* **PSNR floor**: the temporal arm's worst PSNR must clear the analytic
+  floor ``20 log10(range / eb)`` that any bound-respecting
+  reconstruction satisfies;
+* **wins**: temporal chains must store fewer bytes than independent
+  blobs on at least ``min_win_ratio`` of the apps at every bound
+  (3/5 by default) -- otherwise the delta machinery is dead weight.
+
+Usage::
+
+    python benchmarks/check_quality_floor.py [path/to/BENCH_quality.json]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench_results",
+    "BENCH_quality.json",
+)
+BOUND_SLACK = 1.0 + 1e-6
+DEFAULT_MIN_WIN_RATIO = 3.0 / 5.0
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"quality floor: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    results = bench.get("results")
+    if not isinstance(results, list) or not results:
+        print(
+            "quality floor: BENCH_quality.json has no results -- "
+            "regenerate it with benchmarks/test_quality.py",
+            file=sys.stderr,
+        )
+        return 1
+
+    min_win_ratio = float(bench.get("min_win_ratio", DEFAULT_MIN_WIN_RATIO))
+    failures: list[str] = []
+    cells = 0
+    for r in results:
+        try:
+            app = r["app"]
+            eb = float(r["error_bound"])
+            floor = float(r["psnr_floor_db"])
+            ind_err = float(r["independent"]["worst"]["max_abs_error"])
+            t_err = float(r["temporal"]["worst"]["max_abs_error"])
+            t_psnr = float(r["temporal"]["worst"]["psnr_db"])
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"quality floor: malformed result in {path}: {exc} -- "
+                "regenerate the artifact",
+                file=sys.stderr,
+            )
+            return 1
+        cells += 1
+        if ind_err > eb * BOUND_SLACK:
+            failures.append(
+                f"{app}@{eb:.0e}: independent max error {ind_err:.3e} "
+                f"exceeds the bound"
+            )
+        if t_err > eb * BOUND_SLACK:
+            failures.append(
+                f"{app}@{eb:.0e}: temporal max error {t_err:.3e} "
+                f"exceeds the bound"
+            )
+        if math.isfinite(floor) and t_psnr < floor:
+            failures.append(
+                f"{app}@{eb:.0e}: temporal PSNR {t_psnr:.1f} dB is below "
+                f"the {floor:.1f} dB analytic floor"
+            )
+
+    bounds = sorted({float(r["error_bound"]) for r in results})
+    for eb in bounds:
+        cell = [r for r in results if float(r["error_bound"]) == eb]
+        wins = sum(bool(r.get("temporal_wins")) for r in cell)
+        if wins < min_win_ratio * len(cell):
+            failures.append(
+                f"bound {eb:.0e}: temporal stores fewer bytes on only "
+                f"{wins}/{len(cell)} apps (need >= {min_win_ratio:.0%})"
+            )
+
+    if failures:
+        for line in failures:
+            print(f"quality floor: FAIL -- {line}", file=sys.stderr)
+        return 1
+    print(
+        f"quality floor: OK -- {cells} app x bound cells respect their "
+        f"bounds and PSNR floors; temporal wins the size comparison at "
+        f"every bound ({', '.join(f'{b:.0e}' for b in bounds)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_PATH))

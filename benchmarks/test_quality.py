@@ -1,0 +1,111 @@
+"""Rate-distortion sweep -- temporal vs independent compression quality.
+
+Drives the five proxy apps through both compression arms (independent
+bounded-quantizer blobs per generation vs. temporal delta chains) at a
+ladder of error bounds, scoring every generation on the Z-checker axes
+(PSNR, max pointwise error, spectral distortion, autocorrelation
+distortion).  Writes ``BENCH_quality.json``, which
+``benchmarks/check_quality_floor.py`` regression-gates in CI:
+
+* every arm must respect its error bound on every app;
+* temporal PSNR must clear the analytic floor ``20 log10(range / eb)``;
+* temporal must store fewer bytes than independent on >= 3/5 apps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.quality import default_quality_apps, rate_distortion_sweep
+from repro.analysis.tables import render_table
+from repro.config import TemporalConfig
+
+from _util import FAST, save_and_print, write_bench_json
+
+ERROR_BOUNDS = (1e-2, 1e-3) if FAST else (1e-2, 1e-3, 1e-4)
+GENERATIONS = 4 if FAST else 8
+STEPS_PER_GENERATION = 2
+KEYFRAME_EVERY = 8
+BOUND_SLACK = 1.0 + 1e-6  # float64 rounding headroom on the bound check
+MIN_WIN_RATIO = 3.0 / 5.0
+
+
+def run_sweep():
+    return rate_distortion_sweep(
+        default_quality_apps(),
+        ERROR_BOUNDS,
+        generations=GENERATIONS,
+        steps_per_generation=STEPS_PER_GENERATION,
+        temporal=TemporalConfig(keyframe_every=KEYFRAME_EVERY),
+    )
+
+
+def test_quality_sweep():
+    results = run_sweep()
+
+    rows = []
+    for r in results:
+        t = r.temporal
+        rows.append(
+            [
+                r.app,
+                f"{r.error_bound:.0e}",
+                r.independent.compression_rate_percent,
+                t.compression_rate_percent,
+                t.worst.psnr_db,
+                r.psnr_floor_db,
+                f"{t.worst.max_abs_error:.2e}",
+                f"{t.worst.spectral_distortion:.2e}",
+                "yes" if r.temporal_wins else "no",
+            ]
+        )
+    text = render_table(
+        [
+            "app",
+            "bound",
+            "indep [%]",
+            "temporal [%]",
+            "psnr [dB]",
+            "floor [dB]",
+            "max err",
+            "spectral",
+            "win",
+        ],
+        rows,
+        floatfmt=".1f",
+        title=(
+            f"Z-checker quality sweep: {GENERATIONS} generations, "
+            f"{STEPS_PER_GENERATION} steps apart, keyframe every "
+            f"{KEYFRAME_EVERY} (temporal arm scored on its committed "
+            f"chain recons)"
+        ),
+    )
+    save_and_print("quality", text)
+    write_bench_json(
+        "quality",
+        {
+            "error_bounds": list(ERROR_BOUNDS),
+            "generations": GENERATIONS,
+            "steps_per_generation": STEPS_PER_GENERATION,
+            "keyframe_every": KEYFRAME_EVERY,
+            "min_win_ratio": MIN_WIN_RATIO,
+            "results": [r.to_dict() for r in results],
+        },
+    )
+
+    # Both arms must honor the bound on every app at every bound.
+    for r in results:
+        assert r.independent.worst.max_abs_error <= r.error_bound * BOUND_SLACK
+        assert r.temporal.worst.max_abs_error <= r.error_bound * BOUND_SLACK
+        # A bound-respecting reconstruction cannot fall below the
+        # analytic PSNR floor; catching this here means a broken sweep
+        # never writes a "passing" artifact.
+        if r.psnr_floor_db != float("inf"):
+            assert r.temporal.worst.psnr_db >= r.psnr_floor_db
+
+    # The headline claim: temporal chains beat independent blobs on a
+    # clear majority of apps at every bound.
+    for eb in ERROR_BOUNDS:
+        cell = [r for r in results if r.error_bound == float(eb)]
+        wins = sum(r.temporal_wins for r in cell)
+        assert wins >= MIN_WIN_RATIO * len(cell), (
+            f"bound {eb:.0e}: temporal wins only {wins}/{len(cell)} apps"
+        )

@@ -23,6 +23,7 @@ from .config import (
     QUANTIZER_SIMPLE,
     CompressionConfig,
     ObservabilityConfig,
+    TemporalConfig,
 )
 from .core import (
     CompressionStats,
@@ -67,6 +68,7 @@ __all__ = [
     # configuration
     "CompressionConfig",
     "ObservabilityConfig",
+    "TemporalConfig",
     "MAX_LEVELS",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",

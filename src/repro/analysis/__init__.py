@@ -13,6 +13,18 @@ from .distribution import (
     render_histogram,
 )
 from .drift import DriftResult, error_drift_experiment, lossy_roundtrip_state
+from .quality import (
+    AppSweepResult,
+    ArmResult,
+    QualityReport,
+    assess,
+    autocorrelation_distortion,
+    default_quality_apps,
+    max_pointwise_error,
+    psnr,
+    rate_distortion_sweep,
+    spectral_distortion,
+)
 from .random_walk import SqrtFit, expected_random_walk_error, fit_sqrt_growth
 from .tables import format_bytes, render_bars, render_series, render_table
 
@@ -28,6 +40,16 @@ __all__ = [
     "DriftResult",
     "error_drift_experiment",
     "lossy_roundtrip_state",
+    "QualityReport",
+    "psnr",
+    "max_pointwise_error",
+    "spectral_distortion",
+    "autocorrelation_distortion",
+    "assess",
+    "ArmResult",
+    "AppSweepResult",
+    "rate_distortion_sweep",
+    "default_quality_apps",
     "SqrtFit",
     "fit_sqrt_growth",
     "expected_random_walk_error",

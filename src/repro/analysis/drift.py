@@ -65,16 +65,39 @@ def lossy_roundtrip_state(
     """Push every float array of a snapshot through compress+decompress.
 
     Non-float arrays (step counters, flags) pass through unchanged, the
-    same split the checkpoint manager applies.
+    same split the checkpoint manager applies.  Floating arrays that the
+    pipeline cannot take directly are still lossy-compressed rather than
+    silently skipped: non-native-endian float32/float64 are byteswapped to
+    native before compression and the result carries the original dtype;
+    float16 is promoted (exactly) to float32, compressed, and cast back.
+    A snapshot that quietly bypassed compression would make the drift
+    experiment report zero error for fields that were never lossy.
     """
     compressor = WaveletCompressor(config)
+    native = {np.dtype(np.float64), np.dtype(np.float32)}
     out: dict[str, np.ndarray] = {}
     for name, arr in state.items():
         a = np.asarray(arr)
-        if a.dtype in (np.dtype(np.float64), np.dtype(np.float32)) and a.size >= 2:
-            out[name] = compressor.decompress(compressor.compress(a))
-        else:
+        if a.size < 2 or a.dtype.kind != "f":
             out[name] = np.array(a, copy=True)
+        elif a.dtype in native:
+            out[name] = compressor.decompress(compressor.compress(a))
+        elif a.dtype.newbyteorder("=") in native:
+            swapped = a.astype(a.dtype.newbyteorder("="))
+            out[name] = compressor.decompress(
+                compressor.compress(swapped)
+            ).astype(a.dtype)
+        elif a.dtype.newbyteorder("=") == np.dtype(np.float16):
+            widened = a.astype(np.float32)  # exact: f16 embeds in f32
+            out[name] = compressor.decompress(
+                compressor.compress(widened)
+            ).astype(a.dtype)
+        else:
+            raise ConfigurationError(
+                f"state array {name!r} has unsupported floating dtype "
+                f"{a.dtype}; the drift experiment refuses to pass it "
+                "through uncompressed"
+            )
     return out
 
 

@@ -25,6 +25,10 @@ __all__ = [
     "optimal_interval_with_compression",
     "IntervalComparison",
     "compare_compression_intervals",
+    "temporal_checkpoint_cost",
+    "temporal_restart_cost",
+    "KeyframePlan",
+    "plan_keyframe_interval",
 ]
 
 
@@ -156,6 +160,104 @@ def optimal_interval_with_compression(
     c_without = io_seconds
     c_with = compression_seconds + io_seconds * compression_rate_fraction
     return daly_interval(c_without, mtbf), daly_interval(c_with, mtbf)
+
+
+def temporal_checkpoint_cost(
+    keyframe_cost: float, delta_cost: float, keyframe_every: int
+) -> float:
+    """Average per-generation write cost of a temporal delta chain.
+
+    One generation in ``keyframe_every`` pays the full keyframe cost; the
+    rest pay the (much cheaper) delta cost: ``(K + (k-1) D) / k``.
+    """
+    _check_positive(keyframe_every=keyframe_every)
+    if keyframe_cost < 0 or delta_cost < 0:
+        raise ConfigurationError("keyframe and delta costs must be >= 0")
+    k = int(keyframe_every)
+    return (keyframe_cost + (k - 1) * delta_cost) / k
+
+
+def temporal_restart_cost(
+    keyframe_read_cost: float,
+    delta_read_cost: float,
+    keyframe_every: int,
+    base_cost: float = 0.0,
+) -> float:
+    """Expected restore cost when restarting from a temporal chain.
+
+    A failure lands uniformly on one of the ``k`` chain positions
+    ``0..k-1``; restoring position ``i`` reads the keyframe plus ``i``
+    deltas, so on average ``(k-1)/2`` deltas replay on top of the
+    keyframe.  ``base_cost`` carries any chain-independent restart work
+    (job relaunch, store scan).
+    """
+    _check_positive(keyframe_every=keyframe_every)
+    if keyframe_read_cost < 0 or delta_read_cost < 0 or base_cost < 0:
+        raise ConfigurationError("restart cost components must be >= 0")
+    k = int(keyframe_every)
+    return base_cost + keyframe_read_cost + delta_read_cost * (k - 1) / 2.0
+
+
+@dataclass(frozen=True)
+class KeyframePlan:
+    """The chain-length choice that minimizes Daly expected runtime.
+
+    Temporal compression makes checkpoints cheaper as chains grow (more
+    deltas per keyframe) but restarts dearer (more links to replay); this
+    is the trade the plan resolves.
+    """
+
+    keyframe_every: int
+    checkpoint_cost: float
+    restart_cost: float
+    interval: float
+    runtime: float
+
+
+def plan_keyframe_interval(
+    work: float,
+    keyframe_cost: float,
+    delta_cost: float,
+    mtbf: float,
+    *,
+    keyframe_read_cost: float | None = None,
+    delta_read_cost: float | None = None,
+    base_restart_cost: float = 0.0,
+    max_keyframe_every: int = 64,
+) -> KeyframePlan:
+    """Choose ``keyframe_every`` (and the Daly interval) minimizing the
+    expected wallclock of ``work`` seconds of useful computation.
+
+    For every chain length ``k`` in ``[1, max_keyframe_every]`` the model
+    pairs the averaged checkpoint cost
+    (:func:`temporal_checkpoint_cost`) with the expected chain-replay
+    restart cost (:func:`temporal_restart_cost`), runs each at its own
+    Daly-optimal interval, and keeps the cheapest.  Read costs default to
+    the corresponding write costs.  ``k = 1`` is the independent
+    (keyframe-only) baseline, so the returned plan never loses to it.
+    """
+    _check_positive(work=work, keyframe_cost=keyframe_cost, mtbf=mtbf)
+    if delta_cost < 0:
+        raise ConfigurationError("delta_cost must be >= 0")
+    if not isinstance(max_keyframe_every, int) or max_keyframe_every < 1:
+        raise ConfigurationError(
+            f"max_keyframe_every must be an int >= 1, got {max_keyframe_every!r}"
+        )
+    kf_read = keyframe_cost if keyframe_read_cost is None else keyframe_read_cost
+    d_read = delta_cost if delta_read_cost is None else delta_read_cost
+    best: KeyframePlan | None = None
+    for k in range(1, max_keyframe_every + 1):
+        c = temporal_checkpoint_cost(keyframe_cost, delta_cost, k)
+        r = temporal_restart_cost(kf_read, d_read, k, base_restart_cost)
+        tau = daly_interval(c, mtbf) if c > 0 else mtbf
+        runtime = expected_runtime(work, tau, c, r, mtbf)
+        if best is None or runtime < best.runtime:
+            best = KeyframePlan(
+                keyframe_every=k, checkpoint_cost=c, restart_cost=r,
+                interval=tau, runtime=runtime,
+            )
+    assert best is not None
+    return best
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..config import CompressionConfig, ResilienceConfig
+from ..config import CompressionConfig, ResilienceConfig, TemporalConfig
 from ..core import container
 from ..core.chunked import CHUNK_MAGIC, chunked_compress, chunked_decompress
 from ..core.pipeline import WaveletCompressor
@@ -72,6 +72,13 @@ from .protocol import ArrayRegistry
 from .redundancy import encode_parity, rebuild_member
 from .resilience import ResilientStore, RetryPolicy
 from .store import Store
+from .temporal import (
+    CODEC_DELTA,
+    CODEC_KEYFRAME,
+    TemporalEngine,
+    chain_closure,
+    decode_delta,
+)
 
 __all__ = [
     "CheckpointManager",
@@ -215,6 +222,16 @@ class CheckpointManager:
         one XOR-parity blob per array group and enables transparent
         single-blob reconstruction on restore/verify.  ``None`` keeps the
         historic fail-fast behaviour.
+    temporal:
+        When set (a :class:`~repro.config.TemporalConfig`), lossy-policy
+        float arrays are encoded as temporal deltas against the previous
+        *committed* generation's reconstruction, with periodic keyframes
+        (see :mod:`repro.ckpt.temporal`).  Restores transparently walk
+        the delta chain back to the nearest keyframe; retention pruning
+        keeps every generation a retained chain depends on; a fresh
+        manager over an existing store seeds its predictor from the
+        latest committed generation so chains survive process restarts.
+        Temporal arrays bypass the chunked multi-worker path.
     """
 
     def __init__(
@@ -231,6 +248,7 @@ class CheckpointManager:
         backend_threads: int | None = None,
         backend_block_bytes: int | None = None,
         resilience: ResilienceConfig | None = None,
+        temporal: TemporalConfig | None = None,
     ) -> None:
         self.registry = registry
         self.resilience = resilience if resilience is not None else ResilienceConfig()
@@ -277,6 +295,15 @@ class CheckpointManager:
         self.workers = workers
         self.chunk_rows = chunk_rows
         self._executor = None  # lazily-started pool, shared across writes
+        if temporal is not None and not isinstance(temporal, TemporalConfig):
+            raise CheckpointError(
+                f"temporal must be a TemporalConfig or None, got {temporal!r}"
+            )
+        self.temporal = temporal
+        self._temporal_engine = (
+            TemporalEngine(temporal) if temporal is not None else None
+        )
+        self._temporal_seeded = False
 
     # -- worker pool -----------------------------------------------------------
 
@@ -299,6 +326,41 @@ class CheckpointManager:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- temporal state --------------------------------------------------------
+
+    def _temporal_chain_indices(self, manifest: CheckpointManifest) -> dict[str, int]:
+        """Per-array chain positions of a committed temporal generation."""
+        return {
+            e.name: int(e.codec_params.get("chain_index", 0))
+            for e in manifest.entries
+            if e.codec in (CODEC_DELTA, CODEC_KEYFRAME)
+        }
+
+    def _seed_temporal_engine(self, step: int, arrays: Mapping[str, np.ndarray]) -> None:
+        """Point the temporal predictor at committed generation ``step``."""
+        assert self._temporal_engine is not None
+        chain = self._temporal_chain_indices(self.read_manifest(step))
+        self._temporal_engine.seed(
+            step, {n: arrays[n] for n in chain if n in arrays}, chain
+        )
+        self._temporal_seeded = True
+
+    def _seed_temporal_from_store(self) -> None:
+        """Continue an existing store's delta chain from a fresh process.
+
+        Runs once, before the first write: decodes the latest committed
+        generation (the exact reconstructions a restore would produce)
+        and adopts it as the prediction base with the manifest's chain
+        positions, so ``keyframe_every`` keeps counting across restarts.
+        """
+        if self._temporal_engine is None or self._temporal_seeded:
+            return
+        self._temporal_seeded = True
+        latest = self.latest_step()
+        if latest is None:
+            return
+        self._seed_temporal_engine(latest, self.load_arrays(latest))
 
     # -- write ---------------------------------------------------------------
 
@@ -329,6 +391,7 @@ class CheckpointManager:
                 f"delete it before rewriting"
             )
         meta = validate_app_meta(app_meta)
+        self._seed_temporal_from_store()
         tracer = get_tracer()
         txn = self.journal.begin(step)
         try:
@@ -338,6 +401,8 @@ class CheckpointManager:
         except BaseException:
             # a live failure (bad input, compression error, full store):
             # reap the pending generation so no orphan outlives the attempt
+            if self._temporal_engine is not None:
+                self._temporal_engine.rollback()
             try:
                 txn.abort()
             except StorageError:
@@ -360,7 +425,29 @@ class CheckpointManager:
                 with tracer.span(
                     "ckpt.array", array=name, mode=mode, nbytes=int(arr.nbytes)
                 ) as sp_arr:
-                    if mode == "lossy":
+                    if (
+                        mode == "lossy"
+                        and self._temporal_engine is not None
+                        and self._temporal_engine.eligible(arr)
+                    ):
+                        try:
+                            encoded = self._temporal_engine.encode(
+                                name, arr, step
+                            )
+                        except NonFiniteDataError as exc:
+                            raise NonFiniteDataError(
+                                f"array {name!r}: {exc} (pin it to the "
+                                f"lossless path with policy={{{name!r}: "
+                                f"'lossless'}} if NaN/Inf are legitimate)"
+                            ) from exc
+                        blob = encoded.blob
+                        codec = encoded.codec
+                        params = encoded.params
+                        sp_arr.set(
+                            temporal_reason=encoded.reason,
+                            chain_index=encoded.chain_index,
+                        )
+                    elif mode == "lossy":
                         try:
                             if (
                                 self.workers > 1
@@ -420,6 +507,12 @@ class CheckpointManager:
                 parity=parity_entries,
             )
             txn.seal(manifest)
+            if self._temporal_engine is not None:
+                # The generation is durably committed; only now may the
+                # engine predict from it.  A crash before this point
+                # leaves the predictor on the last committed generation,
+                # exactly what recovery will find in the store.
+                self._temporal_engine.commit(step)
             root.set(
                 n_arrays=len(entries),
                 raw_bytes=sum(e.raw_bytes for e in entries),
@@ -438,8 +531,17 @@ class CheckpointManager:
 
     def _prune(self) -> None:
         steps = self.steps()
-        for step in steps[: max(0, len(steps) - self.retention)]:
-            self.delete(step)
+        retained = steps[max(0, len(steps) - self.retention) :]
+        candidates = steps[: max(0, len(steps) - self.retention)]
+        if not candidates:
+            return
+        # Chain-aware: a retained delta generation's restore must walk its
+        # chain back to a keyframe, so the base-link closure of every
+        # retained step is off-limits regardless of age.
+        needed = chain_closure(self.read_manifest, retained)
+        for step in candidates:
+            if step not in needed:
+                self.delete(step)
 
     # -- parity ----------------------------------------------------------------
 
@@ -670,6 +772,65 @@ class CheckpointManager:
             name = sorted(unassigned)[0]
             raise self._corruption(step, name, bad[name])
 
+    def _decode_temporal_chain(
+        self, step: int, entry: ArrayEntry, blob: bytes
+    ) -> np.ndarray:
+        """Reconstruct a temporal-delta array by replaying its chain.
+
+        Walks ``base_step`` links (manifest ``codec_params``) back to the
+        nearest keyframe, CRC-verifying every ancestor blob, then replays
+        the deltas forward.  Any missing or damaged link raises a pointed
+        :class:`~repro.exceptions.CorruptionError` naming the broken
+        generation.
+        """
+        name = entry.name
+        chain: list[bytes] = [blob]
+        params = entry.codec_params
+        visited = {int(step)}
+        while True:
+            base_step = params.get("base_step")
+            if base_step is None:
+                raise CorruptionError(
+                    f"delta entry {name!r} of checkpoint {step} records no "
+                    "base_step; the manifest is inconsistent"
+                )
+            base_step = int(base_step)
+            if base_step in visited:
+                raise CorruptionError(
+                    f"temporal chain of array {name!r} at checkpoint {step} "
+                    f"loops back to generation {base_step}"
+                )
+            visited.add(base_step)
+            try:
+                base_manifest = self.read_manifest(base_step)
+            except CheckpointNotFoundError as exc:
+                raise CorruptionError(
+                    f"temporal chain of array {name!r} at checkpoint {step} "
+                    f"is broken: base generation {base_step} is missing "
+                    f"(pruned or never committed)"
+                ) from exc
+            try:
+                base_entry = base_manifest.entry(name)
+            except KeyError as exc:
+                raise CorruptionError(
+                    f"temporal chain of array {name!r} at checkpoint {step} "
+                    f"is broken: generation {base_step} does not record "
+                    f"that array"
+                ) from exc
+            try:
+                base_blob = self._fetch_entry_blob(base_step, base_entry)
+            except (StorageError, FormatError, IntegrityError) as exc:
+                raise self._corruption(base_step, name, exc)
+            if base_entry.codec == CODEC_DELTA:
+                chain.append(base_blob)
+                params = base_entry.codec_params
+                continue
+            current = deserialize_array(base_blob)
+            break
+        for delta_blob in reversed(chain):
+            current = decode_delta(delta_blob, current)
+        return current
+
     def load_arrays(
         self, step: int, *, repair: bool | None = None
     ) -> dict[str, np.ndarray]:
@@ -690,7 +851,12 @@ class CheckpointManager:
             with tracer.span(
                 "ckpt.array_load", array=entry.name, codec=entry.codec
             ):
-                arr = deserialize_array(blobs[entry.name])
+                if entry.codec == CODEC_DELTA:
+                    arr = self._decode_temporal_chain(
+                        step, entry, blobs[entry.name]
+                    )
+                else:
+                    arr = deserialize_array(blobs[entry.name])
             if tuple(arr.shape) != entry.shape:
                 raise RestoreError(
                     f"array {entry.name!r} decoded to shape {arr.shape}, "
@@ -714,6 +880,10 @@ class CheckpointManager:
         with get_tracer().span("restore", step=step):
             arrays = self.load_arrays(step, repair=repair)
             self.registry.restore(arrays)
+        if self._temporal_engine is not None:
+            # The application rewound: future deltas must predict from the
+            # generation it actually resumed, not from a later write.
+            self._seed_temporal_engine(step, arrays)
         get_registry().counter("ckpt.restores").inc()
         return self.read_manifest(step)
 

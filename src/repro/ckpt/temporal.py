@@ -1,0 +1,438 @@
+"""Temporal delta compression across checkpoint generations.
+
+The paper's Section V dismisses incremental checkpointing because mesh
+data changes everywhere every step -- but consecutive generations remain
+highly *correlated*.  Following the temporal-compression literature
+(PAPERS.md: "Parallel Implementation of Lossy Data Compression for
+Temporal Data Sets"), this module predicts generation ``N`` from the
+reconstruction of generation ``N-1`` and stores only the quantized
+prediction residual:
+
+    pred   = P(recon[N-1])              # "previous" or wavelet low band
+    q      = rint((x[N] - pred) / 2eb)  # bounded uniform quantization
+    recon  = pred + q * 2eb             # |x - recon| <= eb, guaranteed
+
+Because the predictor consumes the *decoded* previous generation (the
+same bytes a restore would produce), the error bound holds per
+generation and never compounds along the chain -- the compressor tracks
+exactly the drift a restarted run would see.
+
+Keyframes
+---------
+Chains cannot grow unboundedly (restore must replay every link) and a
+predictor can go bad (turbulent fields, restarted physics).  A fresh
+self-contained keyframe -- the bounded-quantizer wavelet pipeline blob,
+decodable by :func:`repro.ckpt.manager.deserialize_array` -- is forced
+when any of these trips:
+
+* ``chain-limit``: ``keyframe_every`` generations since the last keyframe;
+* ``overflow``: a residual index falls outside int32;
+* ``drift``: the measured reconstruction error exceeds the bound (plus
+  ``drift_slack`` for float rounding);
+* ``inflation``: the encoded delta would be at least as large as the raw
+  array.
+
+Crash consistency
+-----------------
+:meth:`TemporalEngine.encode` never mutates committed predictor state; it
+stages the new reconstruction and only :meth:`TemporalEngine.commit` --
+called by the manager *after* the two-phase commit journal publishes the
+generation -- promotes it.  A crash mid-commit therefore leaves the
+engine predicting from the last *committed* generation, matching what
+recovery will find in the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..config import (
+    PREDICTOR_LOWBAND,
+    PREDICTOR_PREVIOUS,
+    TemporalConfig,
+)
+from ..core import container
+from ..core.bands import high_band_mask
+from ..core.pipeline import WaveletCompressor
+from ..core.wavelet import wavelet_forward, wavelet_inverse
+from ..exceptions import (
+    CheckpointError,
+    CorruptionError,
+    FormatError,
+    NonFiniteDataError,
+)
+
+__all__ = [
+    "DELTA_KIND",
+    "CODEC_DELTA",
+    "CODEC_KEYFRAME",
+    "EncodedGeneration",
+    "TemporalEngine",
+    "decode_delta",
+    "delta_base_step",
+    "predict",
+]
+
+#: Container-header ``kind`` of a temporal residual blob.
+DELTA_KIND = "temporal-delta"
+#: Manifest codec name of a delta generation (chained restore required).
+CODEC_DELTA = "temporal-delta"
+#: Manifest codec name of a keyframe (self-contained wavelet-lossy blob).
+CODEC_KEYFRAME = "temporal-keyframe"
+
+_INDEX_DTYPES = (np.dtype(np.int8), np.dtype(np.int16), np.dtype(np.int32))
+
+
+def predict(prev_recon: np.ndarray, config: TemporalConfig) -> np.ndarray:
+    """The float64 prediction of the next generation from ``prev_recon``.
+
+    Pure function of the previous reconstruction and the config, so the
+    encoder and every future decoder compute bit-identical predictions.
+    """
+    prev = np.asarray(prev_recon, dtype=np.float64)
+    if config.predictor == PREDICTOR_PREVIOUS:
+        return prev.copy()
+    assert config.predictor == PREDICTOR_LOWBAND
+    coeffs, applied = wavelet_forward(prev, config.lowband_levels, "haar")
+    coeffs[high_band_mask(coeffs.shape, applied)] = 0.0
+    return wavelet_inverse(coeffs, applied, "haar")
+
+
+def _index_dtype_for(max_abs_index: float) -> np.dtype | None:
+    for dt in _INDEX_DTYPES:
+        if max_abs_index <= np.iinfo(dt).max:
+            return dt
+    return None
+
+
+@dataclass(frozen=True)
+class EncodedGeneration:
+    """What the engine produced for one array of one generation."""
+
+    name: str
+    step: int
+    codec: str  # CODEC_DELTA or CODEC_KEYFRAME
+    params: dict[str, Any]  # manifest codec_params (JSON-safe scalars)
+    blob: bytes
+    reason: str  # why this kind was chosen (e.g. "delta", "chain-limit")
+    chain_index: int  # 0 for keyframes, links since keyframe otherwise
+    max_error: float  # measured |x - recon| over the array
+
+    @property
+    def is_keyframe(self) -> bool:
+        return self.codec == CODEC_KEYFRAME
+
+
+def _encode_delta(
+    arr: np.ndarray,
+    prev_recon: np.ndarray,
+    base_step: int,
+    chain_index: int,
+    config: TemporalConfig,
+) -> tuple[bytes, np.ndarray, str, float] | tuple[None, None, str, float]:
+    """Try to encode ``arr`` as a residual against ``prev_recon``.
+
+    Returns ``(blob, recon, "delta", max_error)`` on success, or
+    ``(None, None, fallback_reason, max_error)`` when a keyframe must be
+    written instead.
+    """
+    eb = float(config.error_bound)
+    pred = predict(prev_recon, config)
+    residual = arr.astype(np.float64, copy=False) - pred
+    q = np.rint(residual / (2.0 * eb))
+    max_q = float(np.abs(q).max()) if q.size else 0.0
+    index_dtype = _index_dtype_for(max_q)
+    if index_dtype is None:
+        return None, None, "overflow", float("inf")
+    recon = (pred + q * (2.0 * eb)).astype(arr.dtype)
+    max_error = (
+        float(np.abs(arr.astype(np.float64) - recon.astype(np.float64)).max())
+        if arr.size
+        else 0.0
+    )
+    if max_error > eb * (1.0 + config.drift_slack):
+        return None, None, "drift", max_error
+    header = {
+        "kind": DELTA_KIND,
+        "shape": list(arr.shape),
+        "dtype": arr.dtype.str,
+        "base_step": int(base_step),
+        "chain_index": int(chain_index),
+        "predictor": config.predictor,
+        "lowband_levels": int(config.lowband_levels),
+        "error_bound": eb,
+        "index_dtype": index_dtype.str,
+    }
+    body = container.write_body(
+        header, {"indices": np.ascontiguousarray(q.astype(index_dtype))}
+    )
+    blob = container.wrap_envelope(body, config.codec, config.codec_level)
+    if len(blob) >= arr.nbytes:
+        return None, None, "inflation", max_error
+    return blob, recon, "delta", max_error
+
+
+def delta_base_step(blob: bytes) -> int:
+    """The generation a delta blob predicts from (header peek)."""
+    body, _ = container.unwrap_envelope(blob)
+    header, _ = container.read_body(body)
+    if header.get("kind") != DELTA_KIND:
+        raise FormatError(
+            f"not a temporal delta blob (kind={header.get('kind')!r})"
+        )
+    return int(header["base_step"])
+
+
+def decode_delta(blob: bytes, prev_recon: np.ndarray) -> np.ndarray:
+    """Reconstruct a generation from its delta blob and the decoded
+    previous generation.
+
+    Bit-identical to the reconstruction the encoder staged: both sides
+    run :func:`predict` on the same decoded previous generation and the
+    same deterministic float64 arithmetic.
+    """
+    body, _ = container.unwrap_envelope(blob)
+    header, sections = container.read_body(body)
+    if header.get("kind") != DELTA_KIND:
+        raise FormatError(
+            f"not a temporal delta blob (kind={header.get('kind')!r})"
+        )
+    try:
+        shape = tuple(int(s) for s in header["shape"])
+        dtype = np.dtype(header["dtype"])
+        index_dtype = np.dtype(header["index_dtype"])
+        eb = float(header["error_bound"])
+        config = TemporalConfig(
+            error_bound=eb,
+            predictor=str(header["predictor"]),
+            lowband_levels=int(header["lowband_levels"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"temporal delta header is malformed: {exc}") from exc
+    if "indices" not in sections:
+        raise FormatError("temporal delta blob is missing its indices section")
+    prev = np.asarray(prev_recon)
+    if tuple(prev.shape) != shape:
+        raise FormatError(
+            f"temporal delta was encoded against shape {shape}, but the "
+            f"previous generation decoded to {tuple(prev.shape)}"
+        )
+    try:
+        q = np.frombuffer(sections["indices"], dtype=index_dtype)
+    except ValueError as exc:
+        raise FormatError(
+            f"temporal delta indices are not a whole number of "
+            f"{index_dtype} items: {exc}"
+        ) from exc
+    expected = 1
+    for s in shape:
+        expected *= s
+    if q.size != expected:
+        raise FormatError(
+            f"temporal delta holds {q.size} indices, shape {shape} needs "
+            f"{expected}"
+        )
+    pred = predict(prev, config)
+    recon = pred + q.reshape(shape).astype(np.float64) * (2.0 * eb)
+    return recon.astype(dtype)
+
+
+class TemporalEngine:
+    """Per-array temporal delta encoder with staged (transactional) state.
+
+    One engine serves one checkpoint stream: it remembers, for every
+    array name, the reconstruction and chain position of the last
+    *committed* generation.  ``encode`` stages; ``commit`` promotes;
+    anything staged for a generation that never commits is discarded.
+    """
+
+    def __init__(self, config: TemporalConfig) -> None:
+        if not isinstance(config, TemporalConfig):
+            raise CheckpointError(
+                f"config must be a TemporalConfig, got {type(config).__name__}"
+            )
+        self.config = config
+        self._keyframe_compressor = WaveletCompressor(config.keyframe_config())
+        # name -> (step, chain_index, recon) of the last committed generation
+        self._state: dict[str, tuple[int, int, np.ndarray]] = {}
+        # name -> (step, chain_index, recon) staged by encode()
+        self._pending: dict[str, tuple[int, int, np.ndarray]] = {}
+
+    # -- eligibility -----------------------------------------------------------
+
+    @staticmethod
+    def eligible(arr: np.ndarray) -> bool:
+        """Can this array go through the temporal path at all?
+
+        Mirrors the lossy pipeline's domain: native float32/float64 with
+        at least two elements (anything else takes the manager's normal
+        lossless route).
+        """
+        a = np.asarray(arr)
+        return (
+            a.dtype in (np.dtype(np.float32), np.dtype(np.float64))
+            and a.ndim >= 1
+            and a.size >= 2
+        )
+
+    # -- write -----------------------------------------------------------------
+
+    def encode(self, name: str, arr: np.ndarray, step: int) -> EncodedGeneration:
+        """Encode one array for generation ``step`` (staged, not committed)."""
+        a = np.ascontiguousarray(arr)
+        if not self.eligible(a):
+            raise CheckpointError(
+                f"array {name!r} ({a.dtype}, shape {a.shape}) is not "
+                "eligible for temporal compression; route it through the "
+                "lossless path instead"
+            )
+        if a.size and not np.isfinite(a).all():
+            raise NonFiniteDataError(
+                f"array {name!r} holds NaN/Inf; the temporal path shares "
+                "the lossy pipeline's finite-data domain"
+            )
+        prev = self._state.get(name)
+        blob = recon = None
+        max_error = 0.0
+        if prev is None:
+            reason = "initial"
+        elif prev[2].shape != a.shape or prev[2].dtype != a.dtype:
+            reason = "shape-changed"
+        elif prev[1] + 1 >= self.config.keyframe_every:
+            reason = "chain-limit"
+        else:
+            base_step, base_chain, prev_recon = prev
+            blob, recon, reason, max_error = _encode_delta(
+                a, prev_recon, base_step, base_chain + 1, self.config
+            )
+        if blob is not None:
+            assert prev is not None and recon is not None
+            chain_index = prev[1] + 1
+            params = {
+                "base_step": int(prev[0]),
+                "chain_index": chain_index,
+                "error_bound": float(self.config.error_bound),
+                "predictor": self.config.predictor,
+                "lowband_levels": int(self.config.lowband_levels),
+            }
+            encoded = EncodedGeneration(
+                name=name, step=int(step), codec=CODEC_DELTA, params=params,
+                blob=blob, reason=reason, chain_index=chain_index,
+                max_error=max_error,
+            )
+        else:
+            blob = self._keyframe_compressor.compress(a)
+            # Reconstruct through the *decode* path so the staged state is
+            # bit-identical to what any future restore will produce.
+            recon = WaveletCompressor.decompress(blob)
+            max_error = (
+                float(
+                    np.abs(
+                        a.astype(np.float64) - recon.astype(np.float64)
+                    ).max()
+                )
+                if a.size
+                else 0.0
+            )
+            params = {
+                "chain_index": 0,
+                "error_bound": float(self.config.error_bound),
+                "reason": reason,
+            }
+            encoded = EncodedGeneration(
+                name=name, step=int(step), codec=CODEC_KEYFRAME, params=params,
+                blob=blob, reason=reason, chain_index=0, max_error=max_error,
+            )
+        self._pending[name] = (int(step), encoded.chain_index, recon)
+        return encoded
+
+    def commit(self, step: int) -> None:
+        """Promote everything staged for ``step``; drop stale stagings."""
+        for name, (s, chain_index, recon) in list(self._pending.items()):
+            if s == int(step):
+                self._state[name] = (s, chain_index, recon)
+        self._pending.clear()
+
+    def rollback(self) -> None:
+        """Discard staged state (the generation did not commit)."""
+        self._pending.clear()
+
+    # -- seeding ---------------------------------------------------------------
+
+    def seed(
+        self, step: int, arrays: dict[str, np.ndarray],
+        chain_indices: dict[str, int],
+    ) -> None:
+        """Adopt committed generation ``step`` as the prediction base.
+
+        Used when a fresh writer process continues an existing store's
+        chain, and after ``restore()`` rewinds the application: arrays
+        are the *decoded* generation (exactly the reconstructions the
+        encoder would have staged), chain positions come from the
+        manifest so ``keyframe_every`` keeps counting correctly.
+        """
+        self._pending.clear()
+        self._state = {
+            name: (
+                int(step),
+                int(chain_indices.get(name, 0)),
+                np.ascontiguousarray(arr),
+            )
+            for name, arr in arrays.items()
+            if self.eligible(arr)
+        }
+
+    def reset(self) -> None:
+        """Forget all state: the next generation writes keyframes."""
+        self._state.clear()
+        self._pending.clear()
+
+    def chain_index(self, name: str) -> int | None:
+        """Committed chain position of ``name`` (None before the first)."""
+        entry = self._state.get(name)
+        return None if entry is None else entry[1]
+
+    def committed_recon(self, name: str) -> np.ndarray | None:
+        """The committed reconstruction of ``name`` -- bit-identical to
+        what a chained restore of the last committed generation decodes."""
+        entry = self._state.get(name)
+        return None if entry is None else entry[2]
+
+
+def chain_closure(
+    read_manifest: Any, steps: list[int]
+) -> set[int]:
+    """Every generation the delta chains of ``steps`` depend on.
+
+    ``read_manifest`` is a callable mapping a step to its
+    :class:`~repro.ckpt.manifest.CheckpointManifest`.  Used by retention
+    pruning: a retained generation's restore must be able to walk its
+    chain back to a keyframe, so the closure is off-limits.
+    """
+    needed: set[int] = set()
+    frontier = [int(s) for s in steps]
+    while frontier:
+        step = frontier.pop()
+        if step in needed:
+            continue
+        needed.add(step)
+        try:
+            manifest = read_manifest(step)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise CorruptionError(
+                f"cannot read manifest of generation {step} while resolving "
+                f"delta chains: {exc}"
+            ) from exc
+        for entry in manifest.entries:
+            if entry.codec == CODEC_DELTA:
+                base = entry.codec_params.get("base_step")
+                if base is None:
+                    raise CorruptionError(
+                        f"delta entry {entry.name!r} of generation {step} "
+                        "records no base_step; the manifest is inconsistent"
+                    )
+                frontier.append(int(base))
+    return needed

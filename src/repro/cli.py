@@ -24,7 +24,9 @@ checkpoint
     Write one array as a complete checkpoint into a directory store.
     ``--parity`` adds an XOR-parity blob per array group so any single
     corrupt-or-missing blob is reconstructible; ``--retries N`` rides
-    over transient I/O errors with bounded exponential backoff.
+    over transient I/O errors with bounded exponential backoff;
+    ``--temporal`` stores lossy generations as delta chains predicted
+    from the previous generation (keyframes every ``K`` generations).
 verify
     CRC-verify every checkpoint in a checkpoint directory.  With
     ``--repair``, reconstruct any single corrupt-or-missing blob per
@@ -44,6 +46,12 @@ restart
     exponential MTBF over store operations).  Demonstrates the crash/
     restart loop end to end: torn generations are reaped at each startup,
     rework is bounded by the checkpoint interval.
+quality
+    Rate-distortion sweep of independent vs temporal compression over
+    the proxy apps at a ladder of error bounds, scoring each arm on the
+    Z-checker quality axes (PSNR, max pointwise error, spectral and
+    autocorrelation distortion).  ``--out`` writes the JSON document
+    that CI regression-gates.
 report
     Render the profiling report of ``--trace`` JSONL file(s): the Fig. 9
     stage breakdown, recorded metrics and (optionally) the span tree.
@@ -80,7 +88,12 @@ from typing import Iterator
 import numpy as np
 
 from . import __version__
-from .config import CompressionConfig, ObservabilityConfig, ResilienceConfig
+from .config import (
+    CompressionConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    TemporalConfig,
+)
 from .core.chunked import CHUNK_MAGIC, chunked_compress_with_stats, chunked_decompress
 from .core.errors import error_report
 from .core.pipeline import WaveletCompressor, inspect as inspect_blob
@@ -199,6 +212,41 @@ def _add_resilience_args(parser: argparse.ArgumentParser, *, parity: bool) -> No
     )
 
 
+def _add_temporal_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--temporal", action="store_true",
+        help="encode lossy float arrays as temporal deltas against the "
+             "previous committed generation (periodic keyframes bound the "
+             "restore chain; restores replay the chain transparently)",
+    )
+    parser.add_argument(
+        "--temporal-bound", type=float, default=1e-3, metavar="E",
+        help="guaranteed max absolute element error of the temporal path "
+             "[default: 1e-3]",
+    )
+    parser.add_argument(
+        "--temporal-predictor", choices=("previous", "lowband"),
+        default="previous",
+        help="predict generation N from the previous reconstruction "
+             "verbatim, or from its wavelet low band [default: previous]",
+    )
+    parser.add_argument(
+        "--temporal-keyframe-every", type=int, default=8, metavar="K",
+        help="force a self-contained keyframe after K generations "
+             "[default: 8]",
+    )
+
+
+def _temporal_from_args(args: argparse.Namespace) -> TemporalConfig | None:
+    if not getattr(args, "temporal", False):
+        return None
+    return TemporalConfig(
+        error_bound=args.temporal_bound,
+        predictor=args.temporal_predictor,
+        keyframe_every=args.temporal_keyframe_every,
+    )
+
+
 def _resilience_from_args(args: argparse.Namespace) -> ResilienceConfig:
     return ResilienceConfig(
         retries=args.retries,
@@ -304,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-rows", type=int, default=256, metavar="R",
         help="slab height for --workers > 1 [default: 256]",
     )
+    _add_temporal_args(p)
     _add_resilience_args(p, parity=True)
     _add_trace_arg(p)
 
@@ -398,8 +447,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="force parity repair during restores",
     )
     _add_config_args(p)
+    _add_temporal_args(p)
     _add_resilience_args(p, parity=True)
     _add_trace_arg(p)
+
+    p = sub.add_parser(
+        "quality",
+        help="rate-distortion sweep: Z-checker quality metrics for "
+             "independent vs temporal compression over the proxy apps",
+    )
+    p.add_argument(
+        "--bounds", default="1e-2,1e-3,1e-4", metavar="E1,E2,...",
+        help="comma-separated absolute error bounds to sweep "
+             "[default: 1e-2,1e-3,1e-4]",
+    )
+    p.add_argument(
+        "--apps", default=None, metavar="A,B,...",
+        help="subset of apps to sweep (heat, advection, nbody, "
+             "shallow_water, climate) [default: all five]",
+    )
+    p.add_argument(
+        "--generations", type=int, default=8, metavar="G",
+        help="checkpoint generations per app [default: 8]",
+    )
+    p.add_argument(
+        "--steps-per-generation", type=int, default=2, metavar="S",
+        help="simulation steps between checkpoints [default: 2]",
+    )
+    p.add_argument(
+        "--scale", type=int, default=1, metavar="X",
+        help="multiply the apps' leading dimension [default: 1]",
+    )
+    p.add_argument(
+        "--predictor", choices=("previous", "lowband"), default="previous",
+        help="temporal predictor to sweep with [default: previous]",
+    )
+    p.add_argument(
+        "--keyframe-every", type=int, default=8, metavar="K",
+        help="temporal chain length bound [default: 8]",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the full sweep as JSON (BENCH_quality.json shape)",
+    )
 
     p = sub.add_parser(
         "report", help="render the profiling report of --trace JSONL file(s)"
@@ -739,12 +829,15 @@ def _cmd_restart(args: argparse.Namespace) -> int:
     def app_factory():
         return app_cls(shape, args.seed)
 
+    temporal = _temporal_from_args(args)
+
     def manager_factory(app):
         return CheckpointManager(
             registry_from_checkpointable(app),
             store,
             config=config,
             resilience=resilience,
+            temporal=temporal,
         )
 
     coordinator = RestartCoordinator(
@@ -799,6 +892,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_rows=args.chunk_rows,
             resilience=_resilience_from_args(args),
+            temporal=_temporal_from_args(args),
         ) as manager:
             manifest = manager.checkpoint(args.step)
     parity_note = (
@@ -809,6 +903,76 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         f"{manifest.total_stored_bytes} bytes stored "
         f"(rate {manifest.compression_rate_percent:.2f}%){parity_note}"
     )
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from .analysis.quality import default_quality_apps, rate_distortion_sweep
+    from .config import TemporalConfig
+
+    try:
+        bounds = [float(tok) for tok in args.bounds.split(",") if tok.strip()]
+    except ValueError as exc:
+        raise ReproError(f"cannot parse --bounds {args.bounds!r}: {exc}") from exc
+    if not bounds:
+        raise ReproError("--bounds must name at least one error bound")
+    apps = default_quality_apps(args.scale)
+    if args.apps is not None:
+        wanted = [tok.strip() for tok in args.apps.split(",") if tok.strip()]
+        unknown = sorted(set(wanted) - set(apps))
+        if unknown:
+            raise ReproError(
+                f"unknown app(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(apps))}"
+            )
+        apps = {name: apps[name] for name in wanted}
+    temporal = TemporalConfig(
+        predictor=args.predictor, keyframe_every=args.keyframe_every
+    )
+    results = rate_distortion_sweep(
+        apps,
+        bounds,
+        generations=args.generations,
+        steps_per_generation=args.steps_per_generation,
+        temporal=temporal,
+    )
+
+    header = (
+        f"{'app':<14}{'bound':>8}  {'indep%':>8}{'temp%':>8}"
+        f"  {'psnr(dB)':>9}{'floor':>8}  {'max err':>9}  win"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        t = r.temporal
+        print(
+            f"{r.app:<14}{r.error_bound:>8.0e}"
+            f"  {r.independent.compression_rate_percent:>8.1f}"
+            f"{t.compression_rate_percent:>8.1f}"
+            f"  {t.worst.psnr_db:>9.1f}{r.psnr_floor_db:>8.1f}"
+            f"  {t.worst.max_abs_error:>9.2e}"
+            f"  {'yes' if r.temporal_wins else 'no'}"
+        )
+    for eb in bounds:
+        cell = [r for r in results if r.error_bound == eb]
+        wins = sum(r.temporal_wins for r in cell)
+        print(
+            f"bound {eb:.0e}: temporal stores fewer bytes on "
+            f"{wins}/{len(cell)} app(s)"
+        )
+    if args.out:
+        doc = {
+            "bounds": bounds,
+            "generations": args.generations,
+            "steps_per_generation": args.steps_per_generation,
+            "predictor": args.predictor,
+            "keyframe_every": args.keyframe_every,
+            "results": [r.to_dict() for r in results],
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -1072,6 +1236,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "restore": _cmd_restore,
     "restart": _cmd_restart,
+    "quality": _cmd_quality,
     "report": _cmd_report,
     "serve": _cmd_serve,
     "svc-put": _cmd_svc_put,

@@ -20,6 +20,7 @@ __all__ = [
     "ObservabilityConfig",
     "ResilienceConfig",
     "ServiceConfig",
+    "TemporalConfig",
     "DEFAULT_BACKEND_BLOCK_BYTES",
     "QUANTIZER_SIMPLE",
     "QUANTIZER_PROPOSED",
@@ -254,6 +255,131 @@ class CompressionConfig:
     def lossless(self) -> bool:
         """True when the configuration performs no quantization."""
         return self.quantizer == QUANTIZER_NONE
+
+
+#: Predictor that uses the previous generation's reconstruction directly.
+PREDICTOR_PREVIOUS = "previous"
+#: Predictor that smooths the previous reconstruction to its wavelet low
+#: band first (robust when per-step noise dominates the signal).
+PREDICTOR_LOWBAND = "lowband"
+
+_PREDICTORS = (PREDICTOR_PREVIOUS, PREDICTOR_LOWBAND)
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """How checkpoints exploit correlation *across* generations.
+
+    Consumed by :class:`repro.ckpt.temporal.TemporalEngine` and, through
+    the ``temporal=`` parameter, by
+    :class:`repro.ckpt.manager.CheckpointManager`: generation ``N`` is
+    predicted from the reconstruction of generation ``N-1`` and only the
+    quantized residual is stored.  Because the prediction always uses the
+    *decoded* previous generation, the configured ``error_bound`` holds
+    per generation and never compounds along the chain.
+
+    Parameters
+    ----------
+    error_bound:
+        Guaranteed maximum absolute error of any reconstructed element,
+        for keyframes and delta generations alike.
+    predictor:
+        ``"previous"`` predicts generation N by the reconstruction of
+        N-1 verbatim; ``"lowband"`` predicts by its wavelet low band
+        (high-frequency coefficients zeroed), which shrinks residuals
+        when the field moves smoothly under per-step noise.
+    lowband_levels:
+        Decomposition depth of the ``"lowband"`` predictor (ignored by
+        ``"previous"``).
+    keyframe_every:
+        Longest allowed chain: after this many generations since the
+        last keyframe a fresh self-contained keyframe is forced,
+        bounding restore cost (see
+        :func:`repro.ckpt.interval.plan_keyframe_interval`).
+    drift_slack:
+        Fractional tolerance on the *measured* per-generation error
+        before a drift fallback forces a keyframe; covers float rounding
+        of the residual arithmetic, nothing more.
+    codec:
+        Lossless codec that deflates each residual container.
+    codec_level:
+        Compression level forwarded to ``codec``.
+    """
+
+    error_bound: float = 1e-3
+    predictor: str = PREDICTOR_PREVIOUS
+    lowband_levels: int = 2
+    keyframe_every: int = 8
+    drift_slack: float = 1e-6
+    codec: str = "zlib"
+    codec_level: int = 6
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.error_bound, (int, float)) or isinstance(
+            self.error_bound, bool
+        ) or not self.error_bound > 0:
+            raise ConfigurationError(
+                f"error_bound must be a positive number, got {self.error_bound!r}"
+            )
+        if self.predictor not in _PREDICTORS:
+            raise ConfigurationError(
+                f"unknown predictor {self.predictor!r}; expected one of "
+                f"{_PREDICTORS}"
+            )
+        if not isinstance(self.lowband_levels, int) or isinstance(
+            self.lowband_levels, bool
+        ) or self.lowband_levels < 1:
+            raise ConfigurationError(
+                f"lowband_levels must be an int >= 1, got {self.lowband_levels!r}"
+            )
+        if not isinstance(self.keyframe_every, int) or isinstance(
+            self.keyframe_every, bool
+        ) or self.keyframe_every < 1:
+            raise ConfigurationError(
+                f"keyframe_every must be an int >= 1, got {self.keyframe_every!r}"
+            )
+        if self.drift_slack < 0:
+            raise ConfigurationError(
+                f"drift_slack must be >= 0, got {self.drift_slack}"
+            )
+        if not isinstance(self.codec, str) or not self.codec:
+            raise ConfigurationError(
+                f"codec must be a non-empty str; {_BACKENDS_HINT}"
+            )
+        if not isinstance(self.codec_level, int) or isinstance(
+            self.codec_level, bool
+        ) or not 0 <= self.codec_level <= 9:
+            raise ConfigurationError(
+                f"codec_level must be an int in [0, 9], got {self.codec_level!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict (embedded in manifests and bench output)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TemporalConfig":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown TemporalConfig keys: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes: Any) -> "TemporalConfig":
+        """Return a copy with ``changes`` applied (validates eagerly)."""
+        return dataclasses.replace(self, **changes)
+
+    def keyframe_config(self) -> "CompressionConfig":
+        """The bounded-quantizer pipeline configuration keyframes use."""
+        return CompressionConfig(
+            quantizer=QUANTIZER_BOUNDED,
+            error_bound=self.error_bound,
+            wavelet="haar",
+            backend=self.codec,
+            backend_level=self.codec_level,
+        )
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,61 @@ class TestLossyRoundtripState:
         out["field"][0, 0] = 1e9
         assert smooth2d[0, 0] != 1e9
 
+    def test_float16_is_compressed_not_passed_through(self, smooth2d):
+        """Regression: float16 fields used to bypass compression silently,
+        so the drift experiment reported zero error for them."""
+        state = {"field": smooth2d.astype(np.float16)}
+        out = lossy_roundtrip_state(
+            state, CompressionConfig(n_bins=2, quantizer="simple")
+        )
+        assert out["field"].dtype == np.float16
+        assert not np.array_equal(out["field"], state["field"])
+
+    def test_float16_lossless_roundtrip_close(self, smooth2d):
+        state = {"field": smooth2d.astype(np.float16)}
+        out = lossy_roundtrip_state(state, CompressionConfig(quantizer="none"))
+        assert out["field"].dtype == np.float16
+        np.testing.assert_allclose(
+            out["field"].astype(np.float64),
+            state["field"].astype(np.float64),
+            rtol=1e-3,
+        )
+
+    @pytest.mark.parametrize("base", [np.float32, np.float64])
+    def test_non_native_endian_is_compressed(self, smooth2d, base):
+        """Regression: big-endian float arrays also bypassed compression."""
+        swapped_dtype = np.dtype(base).newbyteorder()
+        state = {"field": smooth2d.astype(swapped_dtype)}
+        out = lossy_roundtrip_state(
+            state, CompressionConfig(n_bins=2, quantizer="simple")
+        )
+        assert out["field"].dtype == swapped_dtype
+        assert not np.array_equal(
+            out["field"].astype(base), state["field"].astype(base)
+        )
+
+    def test_non_native_endian_matches_native_path(self, smooth2d):
+        """Byte order must not change the numbers: the swapped path has to
+        produce bit-identical values to compressing the native array."""
+        config = CompressionConfig(n_bins=4, quantizer="simple")
+        native = lossy_roundtrip_state({"field": smooth2d}, config)
+        swapped_dtype = np.dtype(np.float64).newbyteorder()
+        swapped = lossy_roundtrip_state(
+            {"field": smooth2d.astype(swapped_dtype)}, config
+        )
+        assert swapped["field"].dtype == swapped_dtype
+        np.testing.assert_array_equal(
+            swapped["field"].astype(np.float64), native["field"]
+        )
+
+    def test_unsupported_float_dtype_raises(self):
+        longdouble = np.dtype(np.longdouble)
+        if longdouble.itemsize == 8:
+            pytest.skip("longdouble aliases float64 on this platform")
+        state = {"field": np.linspace(0, 1, 16).astype(longdouble)}
+        with pytest.raises(ConfigurationError, match="field"):
+            lossy_roundtrip_state(state, CompressionConfig())
+
 
 class TestDriftExperiment:
     def test_result_structure(self):

@@ -28,10 +28,7 @@ class TestRoundtrip:
         for step, arr in enumerate(drifting_arrays):
             store.append(step, arr)
         back = store.restore()
-        if differencer == "xor":
-            np.testing.assert_array_equal(back, drifting_arrays[-1])
-        else:
-            np.testing.assert_allclose(back, drifting_arrays[-1], rtol=1e-12)
+        np.testing.assert_array_equal(back, drifting_arrays[-1])
 
     def test_restore_every_step_xor_exact(self, drifting_arrays):
         store = IncrementalArrayStore(differencer="xor", full_every=4)
@@ -39,6 +36,45 @@ class TestRoundtrip:
             store.append(step, arr)
         for step, arr in enumerate(drifting_arrays):
             np.testing.assert_array_equal(store.restore(step), arr)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_subtract_bit_exact_over_full_chain(self, rng, dtype):
+        """Regression: subtract replay used to round <= 1 ulp per link and
+        compound over the chain; the XOR correction makes every step of a
+        full ``full_every`` chain restore bit-identically."""
+        full_every = 6
+        store = IncrementalArrayStore(differencer="subtract", full_every=full_every)
+        arrays = []
+        a = rng.standard_normal((17, 9)).astype(dtype)
+        for step in range(full_every + 1):  # one full chain plus next keyframe
+            # Drift by irrational-ish increments so base + d genuinely rounds.
+            a = (a * dtype(1.0000001) + dtype(1e-7)
+                 * rng.standard_normal(a.shape).astype(dtype))
+            arrays.append(a.copy())
+            store.append(step, a)
+        for step, arr in enumerate(arrays):
+            back = store.restore(step)
+            assert back.dtype == arr.dtype
+            np.testing.assert_array_equal(back, arr)
+
+    @pytest.mark.parametrize("differencer", ["xor", "subtract"])
+    def test_bit_exact_over_random_steps(self, rng, differencer):
+        """Property-style check: arbitrary (sorted random) step labels and
+        chain positions restore bit-identically for both differencers,
+        including values that stress float rounding."""
+        steps = sorted(rng.choice(10_000, size=23, replace=False).tolist())
+        store = IncrementalArrayStore(differencer=differencer, full_every=5)
+        expected = {}
+        a = rng.standard_normal((8, 8, 3))
+        for step in steps:
+            a = a * 1.0000000001 + rng.standard_normal(a.shape) * 1e-9
+            a.flat[0] = np.pi * step  # exercise large/small mixtures
+            expected[step] = a.copy()
+            store.append(step, a)
+        order = list(expected)
+        rng.shuffle(order)
+        for step in order:
+            np.testing.assert_array_equal(store.restore(step), expected[step])
 
     def test_integer_arrays(self, rng):
         store = IncrementalArrayStore()
@@ -83,6 +119,28 @@ class TestChainStructure:
         store.append(0, rng.standard_normal((64, 64)))
         rec = store.append(1, rng.standard_normal((64, 64)))
         assert rec.stored_bytes > rec.raw_bytes / 2
+
+
+class TestRecords:
+    def test_empty_array_rate_is_zero_not_nan(self):
+        store = IncrementalArrayStore()
+        rec = store.append(0, np.empty((0,), dtype=np.float64))
+        assert rec.raw_bytes == 0
+        assert rec.compression_rate_percent == 0.0
+
+    def test_keyframe_restore_decodes_single_blob(self, rng, monkeypatch):
+        """Keyframe restores short-circuit: exactly one decompress call."""
+        store = IncrementalArrayStore(full_every=3)
+        arrays = [rng.standard_normal((8, 8)) for _ in range(5)]
+        for step, arr in enumerate(arrays):
+            store.append(step, arr)
+        calls = []
+        real = store.codec.decompress
+        monkeypatch.setattr(
+            store.codec, "decompress", lambda b: calls.append(1) or real(b)
+        )
+        np.testing.assert_array_equal(store.restore(3), arrays[3])
+        assert len(calls) == 1
 
 
 class TestValidation:

@@ -13,6 +13,9 @@ from repro.ckpt.interval import (
     daly_interval,
     expected_runtime,
     optimal_interval_with_compression,
+    plan_keyframe_interval,
+    temporal_checkpoint_cost,
+    temporal_restart_cost,
     young_interval,
 )
 from repro.exceptions import ConfigurationError
@@ -129,3 +132,77 @@ class TestCompressionCoupling:
             mtbf=3600.0,
         )
         assert cmp_result.runtime_saving_fraction < 0
+
+
+class TestTemporalCosts:
+    def test_chain_of_one_is_keyframe_only(self):
+        assert temporal_checkpoint_cost(100.0, 5.0, 1) == 100.0
+        assert temporal_restart_cost(40.0, 2.0, 1) == 40.0
+
+    def test_checkpoint_cost_amortizes_toward_delta_cost(self):
+        costs = [temporal_checkpoint_cost(100.0, 5.0, k) for k in (1, 2, 8, 64)]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] > 5.0  # never drops below the delta cost
+
+    def test_restart_cost_grows_with_chain_length(self):
+        costs = [temporal_restart_cost(40.0, 2.0, k) for k in (1, 4, 16)]
+        assert costs == sorted(costs)
+        # k links: keyframe plus (k-1)/2 expected delta replays
+        assert temporal_restart_cost(40.0, 2.0, 5) == 40.0 + 2.0 * 2.0
+
+    def test_base_cost_is_additive(self):
+        assert temporal_restart_cost(40.0, 2.0, 3, base_cost=7.0) == (
+            temporal_restart_cost(40.0, 2.0, 3) + 7.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            temporal_checkpoint_cost(100.0, 5.0, 0)
+        with pytest.raises(ConfigurationError):
+            temporal_checkpoint_cost(100.0, -1.0, 4)
+        with pytest.raises(ConfigurationError):
+            temporal_restart_cost(40.0, -2.0, 4)
+
+
+class TestKeyframePlan:
+    def test_never_loses_to_the_independent_baseline(self):
+        plan = plan_keyframe_interval(1e6, 100.0, 5.0, 3600.0)
+        baseline_tau = daly_interval(100.0, 3600.0)
+        baseline = expected_runtime(1e6, baseline_tau, 100.0, 100.0, 3600.0)
+        assert plan.runtime <= baseline
+
+    def test_cheap_deltas_favor_longer_chains(self):
+        cheap = plan_keyframe_interval(1e6, 100.0, 1.0, 3600.0)
+        dear = plan_keyframe_interval(1e6, 100.0, 99.0, 3600.0)
+        assert cheap.keyframe_every > dear.keyframe_every
+        assert cheap.checkpoint_cost < dear.checkpoint_cost
+
+    def test_equal_costs_degenerate_to_chain_of_one(self):
+        # deltas as expensive as keyframes buy nothing and cost restarts
+        plan = plan_keyframe_interval(1e6, 100.0, 100.0, 3600.0)
+        assert plan.keyframe_every == 1
+
+    def test_plan_is_internally_consistent(self):
+        plan = plan_keyframe_interval(
+            1e6, 100.0, 5.0, 3600.0, base_restart_cost=30.0
+        )
+        k = plan.keyframe_every
+        assert plan.checkpoint_cost == temporal_checkpoint_cost(100.0, 5.0, k)
+        assert plan.restart_cost == temporal_restart_cost(
+            100.0, 5.0, k, 30.0
+        )
+        assert plan.interval == daly_interval(plan.checkpoint_cost, 3600.0)
+
+    def test_respects_max_keyframe_every(self):
+        plan = plan_keyframe_interval(
+            1e6, 100.0, 0.1, 3600.0, max_keyframe_every=4
+        )
+        assert plan.keyframe_every <= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_keyframe_interval(0.0, 100.0, 5.0, 3600.0)
+        with pytest.raises(ConfigurationError):
+            plan_keyframe_interval(1e6, 100.0, -5.0, 3600.0)
+        with pytest.raises(ConfigurationError):
+            plan_keyframe_interval(1e6, 100.0, 5.0, 3600.0, max_keyframe_every=0)

@@ -1,0 +1,644 @@
+"""Temporal delta chains: engine semantics, crash matrix, chained restore.
+
+The claims under test:
+
+* every generation reconstructs within the configured error bound, no
+  matter how long the delta chain is (the predictor consumes decoded
+  state, so errors never compound);
+* keyframe fallbacks fire for exactly the documented reasons;
+* a crash at any store operation of a delta commit leaves the store
+  restorable to the last *committed* generation, and a fresh writer
+  continues the chain from there;
+* retention pruning never severs a retained generation's chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.faults import (
+    CRASH_MODES,
+    CrashInjectingStore,
+    CrashPlan,
+    CrashPoint,
+)
+from repro.ckpt.manager import CheckpointManager, deserialize_array
+from repro.ckpt.manifest import array_key
+from repro.ckpt.protocol import ArrayRegistry
+from repro.ckpt.recovery import recover
+from repro.ckpt.store import CountingStore, MemoryStore
+from repro.ckpt.temporal import (
+    CODEC_DELTA,
+    CODEC_KEYFRAME,
+    TemporalEngine,
+    chain_closure,
+    decode_delta,
+    delta_base_step,
+    predict,
+)
+from repro.config import TemporalConfig
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    CorruptionError,
+    FormatError,
+    NonFiniteDataError,
+    SimulatedCrash,
+)
+
+EB = 1e-4
+
+
+def _drifting_arrays(n_steps: int, *, shape=(12, 6), seed=3):
+    """A smoothly-evolving field: the regime temporal deltas exist for."""
+    rng = np.random.default_rng(seed)
+    arr = np.cumsum(rng.standard_normal(shape), axis=0)
+    out = []
+    for _ in range(n_steps):
+        arr = arr + 0.01 * rng.standard_normal(shape)
+        out.append(arr.copy())
+    return out
+
+
+def _engine(**overrides) -> TemporalEngine:
+    return TemporalEngine(TemporalConfig(error_bound=EB, **overrides))
+
+
+# -- config ---------------------------------------------------------------------
+
+
+class TestTemporalConfig:
+    def test_defaults_are_valid(self):
+        cfg = TemporalConfig()
+        assert cfg.error_bound == 1e-3
+        assert cfg.predictor == "previous"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"error_bound": 0.0},
+            {"error_bound": -1e-3},
+            {"error_bound": True},
+            {"predictor": "oracle"},
+            {"lowband_levels": 0},
+            {"keyframe_every": 0},
+            {"drift_slack": -0.1},
+            {"codec": ""},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TemporalConfig(**kwargs)
+
+    def test_dict_roundtrip(self):
+        cfg = TemporalConfig(error_bound=1e-5, predictor="lowband")
+        assert TemporalConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            TemporalConfig.from_dict({"error_bound": 1e-3, "sneaky": 1})
+
+    def test_keyframe_config_pins_bounded_quantizer(self):
+        kf = TemporalConfig(error_bound=1e-5).keyframe_config()
+        assert kf.quantizer == "bounded"
+        assert kf.error_bound == 1e-5
+
+
+# -- predictor ------------------------------------------------------------------
+
+
+class TestPredict:
+    def test_previous_is_identity_in_float64(self):
+        prev = np.linspace(0, 1, 24, dtype=np.float32).reshape(6, 4)
+        out = predict(prev, TemporalConfig(predictor="previous"))
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, prev.astype(np.float64))
+
+    def test_previous_returns_a_copy(self):
+        prev = np.zeros(8)
+        out = predict(prev, TemporalConfig(predictor="previous"))
+        out += 1.0
+        assert prev.sum() == 0.0
+
+    def test_lowband_smooths_high_frequency(self):
+        rng = np.random.default_rng(0)
+        smooth = np.sin(np.linspace(0, 3, 64))
+        noisy = smooth + rng.standard_normal(64)
+        out = predict(noisy, TemporalConfig(predictor="lowband"))
+        assert out.shape == noisy.shape
+        # zeroing the high bands must bring the field closer to its
+        # smooth component than the raw noisy input is
+        assert np.abs(out - smooth).mean() < np.abs(noisy - smooth).mean()
+
+    def test_lowband_is_deterministic(self):
+        arr = np.cumsum(np.random.default_rng(1).standard_normal((8, 8)))
+        cfg = TemporalConfig(predictor="lowband", lowband_levels=3)
+        np.testing.assert_array_equal(predict(arr, cfg), predict(arr, cfg))
+
+
+# -- engine: encode/commit semantics -------------------------------------------
+
+
+class TestEngineEncode:
+    def test_first_generation_is_an_initial_keyframe(self):
+        eng = _engine()
+        enc = eng.encode("f", np.ones((4, 4)), 0)
+        assert enc.is_keyframe and enc.reason == "initial"
+        assert enc.chain_index == 0
+        assert enc.max_error <= EB * (1 + 1e-6)
+
+    def test_second_generation_is_a_delta_decoding_bit_identically(self):
+        steps = _drifting_arrays(2)
+        eng = _engine()
+        eng.encode("f", steps[0], 0)
+        eng.commit(0)
+        base_recon = eng.committed_recon("f")
+        enc = eng.encode("f", steps[1], 1)
+        assert not enc.is_keyframe and enc.reason == "delta"
+        assert enc.chain_index == 1
+        assert enc.params["base_step"] == 0
+        # the decode path reproduces the staged reconstruction exactly
+        recon = decode_delta(enc.blob, base_recon)
+        eng.commit(1)
+        np.testing.assert_array_equal(recon, eng.committed_recon("f"))
+        assert np.abs(steps[1] - recon).max() <= EB * (1 + 1e-6)
+
+    def test_bound_holds_over_a_long_chain(self):
+        steps = _drifting_arrays(10)
+        eng = _engine(keyframe_every=16)
+        for i, arr in enumerate(steps):
+            enc = eng.encode("f", arr, i)
+            eng.commit(i)
+            assert enc.max_error <= EB * (1 + 1e-6)
+            assert (
+                np.abs(arr - eng.committed_recon("f")).max() <= EB * (1 + 1e-6)
+            )
+
+    def test_chain_limit_forces_a_keyframe(self):
+        steps = _drifting_arrays(4)
+        eng = _engine(keyframe_every=3)
+        reasons = []
+        for i, arr in enumerate(steps):
+            reasons.append(eng.encode("f", arr, i).reason)
+            eng.commit(i)
+        assert reasons == ["initial", "delta", "delta", "chain-limit"]
+
+    def test_shape_change_forces_a_keyframe(self):
+        eng = _engine()
+        eng.encode("f", np.cumsum(np.ones((4, 4))).reshape(4, 4), 0)
+        eng.commit(0)
+        enc = eng.encode("f", np.ones((8, 2)), 1)
+        assert enc.is_keyframe and enc.reason == "shape-changed"
+
+    def test_residual_overflow_forces_a_keyframe(self):
+        eng = _engine()  # eb 1e-4: a jump of 1e9 needs ~5e12 > int32 bins
+        eng.encode("f", np.zeros((4, 4)), 0)
+        eng.commit(0)
+        enc = eng.encode("f", np.full((4, 4), 1e9), 1)
+        assert enc.is_keyframe and enc.reason == "overflow"
+
+    def test_drift_forces_a_keyframe(self):
+        # At 8192 the float32 spacing is 2^-10 ~ 9.77e-4.  With the bound
+        # between half an ulp and a full ulp, the float64 reconstruction
+        # (8192 + 4.94e-4, within the bound) rounds to the *neighboring*
+        # float32 -- a full-ulp error the bound does not cover, so the
+        # measured-drift guard must fire.
+        eb = 5.5e-4
+        prev = np.full(8, 8192.0 - 4 * 2**-10, dtype=np.float32)
+        arr = np.full(8, 8192.0, dtype=np.float32)
+        eng = TemporalEngine(TemporalConfig(error_bound=eb))
+        eng.seed(0, {"f": prev}, {"f": 0})
+        enc = eng.encode("f", arr, 1)
+        assert enc.is_keyframe and enc.reason == "drift"
+
+    def test_inflating_delta_forces_a_keyframe(self):
+        # raw is 8 bytes; any container blob is bigger than that
+        eng = _engine()
+        eng.encode("f", np.array([1.0, 2.0], dtype=np.float32), 0)
+        eng.commit(0)
+        enc = eng.encode("f", np.array([1.0, 2.1], dtype=np.float32), 1)
+        assert enc.is_keyframe and enc.reason == "inflation"
+
+    def test_ineligible_array_is_rejected(self):
+        eng = _engine()
+        with pytest.raises(CheckpointError, match="not\\s+eligible"):
+            eng.encode("f", np.arange(4, dtype=np.int64), 0)
+
+    def test_non_finite_data_is_rejected(self):
+        eng = _engine()
+        with pytest.raises(NonFiniteDataError, match="NaN"):
+            eng.encode("f", np.array([1.0, np.nan]), 0)
+
+    def test_eligibility_domain(self):
+        assert TemporalEngine.eligible(np.zeros(2, dtype=np.float32))
+        assert TemporalEngine.eligible(np.zeros((3, 3)))
+        assert not TemporalEngine.eligible(np.zeros(2, dtype=np.int32))
+        assert not TemporalEngine.eligible(np.zeros(2, dtype=np.float16))
+        assert not TemporalEngine.eligible(np.float64(3.0))  # 0-d
+        assert not TemporalEngine.eligible(np.zeros(1))  # size 1
+
+
+class TestEngineTransactions:
+    def test_uncommitted_encode_does_not_move_the_predictor(self):
+        steps = _drifting_arrays(3)
+        eng = _engine()
+        eng.encode("f", steps[0], 0)
+        eng.commit(0)
+        eng.encode("f", steps[1], 1)  # staged, never committed
+        eng.rollback()
+        enc = eng.encode("f", steps[2], 2)
+        assert enc.params["base_step"] == 0  # still predicts from step 0
+
+    def test_commit_drops_stagings_of_other_steps(self):
+        steps = _drifting_arrays(2)
+        eng = _engine()
+        eng.encode("f", steps[0], 0)
+        eng.commit(99)  # wrong step: staging must be discarded, not kept
+        assert eng.committed_recon("f") is None
+        assert eng.encode("f", steps[1], 1).reason == "initial"
+
+    def test_reset_restarts_chains(self):
+        steps = _drifting_arrays(2)
+        eng = _engine()
+        eng.encode("f", steps[0], 0)
+        eng.commit(0)
+        eng.reset()
+        assert eng.encode("f", steps[1], 1).reason == "initial"
+
+    def test_seed_adopts_state_and_chain_position(self):
+        steps = _drifting_arrays(2)
+        eng = _engine(keyframe_every=4)
+        eng.seed(7, {"f": steps[0]}, {"f": 2})
+        assert eng.chain_index("f") == 2
+        enc = eng.encode("f", steps[1], 8)
+        assert enc.reason == "delta"
+        assert enc.params["base_step"] == 7
+        assert enc.chain_index == 3
+
+    def test_seed_skips_ineligible_arrays(self):
+        eng = _engine()
+        eng.seed(0, {"i": np.arange(3)}, {"i": 0})
+        assert eng.committed_recon("i") is None
+
+
+# -- blob format ----------------------------------------------------------------
+
+
+class TestDeltaFormat:
+    def _delta(self, predictor="previous"):
+        steps = _drifting_arrays(2)
+        eng = TemporalEngine(
+            TemporalConfig(error_bound=EB, predictor=predictor)
+        )
+        eng.encode("f", steps[0], 0)
+        eng.commit(0)
+        base = eng.committed_recon("f")
+        return eng.encode("f", steps[1], 1).blob, base, steps[1]
+
+    def test_delta_base_step_peeks_the_header(self):
+        blob, _, _ = self._delta()
+        assert delta_base_step(blob) == 0
+
+    def test_keyframe_blob_is_not_a_delta(self):
+        eng = _engine()
+        kf = eng.encode("f", np.cumsum(np.ones(16)), 0)
+        with pytest.raises(FormatError, match="not a temporal delta"):
+            delta_base_step(kf.blob)
+        with pytest.raises(FormatError, match="not a temporal delta"):
+            decode_delta(kf.blob, np.zeros(16))
+
+    def test_decode_rejects_mismatched_previous_shape(self):
+        blob, base, _ = self._delta()
+        with pytest.raises(FormatError, match="shape"):
+            decode_delta(blob, base.ravel())
+
+    def test_lowband_delta_roundtrips(self):
+        blob, base, orig = self._delta(predictor="lowband")
+        recon = decode_delta(blob, base)
+        assert np.abs(orig - recon).max() <= EB * (1 + 1e-6)
+
+
+# -- chain closure --------------------------------------------------------------
+
+
+class _FakeEntry:
+    def __init__(self, name, codec, params):
+        self.name, self.codec, self.codec_params = name, codec, params
+
+
+class _FakeManifest:
+    def __init__(self, *entries):
+        self.entries = entries
+
+
+class TestChainClosure:
+    def test_walks_base_links_to_the_keyframe(self):
+        manifests = {
+            0: _FakeManifest(_FakeEntry("f", CODEC_KEYFRAME, {})),
+            1: _FakeManifest(_FakeEntry("f", CODEC_DELTA, {"base_step": 0})),
+            2: _FakeManifest(_FakeEntry("f", CODEC_DELTA, {"base_step": 1})),
+            3: _FakeManifest(_FakeEntry("f", CODEC_KEYFRAME, {})),
+        }
+        assert chain_closure(manifests.__getitem__, [2]) == {0, 1, 2}
+        assert chain_closure(manifests.__getitem__, [3]) == {3}
+        assert chain_closure(manifests.__getitem__, [2, 3]) == {0, 1, 2, 3}
+
+    def test_missing_base_step_is_corruption(self):
+        manifests = {5: _FakeManifest(_FakeEntry("f", CODEC_DELTA, {}))}
+        with pytest.raises(CorruptionError, match="base_step"):
+            chain_closure(manifests.__getitem__, [5])
+
+
+# -- manager integration --------------------------------------------------------
+
+
+def _registry(arr: np.ndarray, name: str = "field") -> ArrayRegistry:
+    reg = ArrayRegistry()
+    reg.register(name, arr.copy())
+    return reg
+
+
+def _manager(registry, store, **kwargs) -> CheckpointManager:
+    kwargs.setdefault(
+        "temporal", TemporalConfig(error_bound=EB, keyframe_every=4)
+    )
+    return CheckpointManager(registry, store, **kwargs)
+
+
+def _write_chain(store, steps, **kwargs):
+    """Checkpoint every array in ``steps`` through one manager."""
+    reg = _registry(steps[0])
+    manager = _manager(reg, store, **kwargs)
+    for i, arr in enumerate(steps):
+        np.copyto(reg.get("field"), arr)
+        manager.checkpoint(i)
+    return manager
+
+
+class TestManagerChains:
+    def test_manifest_records_keyframes_and_deltas(self):
+        store = MemoryStore()
+        manager = _write_chain(store, _drifting_arrays(6))
+        codecs = [
+            manager.read_manifest(s).entry("field").codec
+            for s in range(6)
+        ]
+        assert codecs == [
+            CODEC_KEYFRAME, CODEC_DELTA, CODEC_DELTA, CODEC_DELTA,
+            CODEC_KEYFRAME, CODEC_DELTA,
+        ]
+        entry = manager.read_manifest(5).entry("field")
+        assert entry.codec_params["base_step"] == 4
+        assert entry.codec_params["chain_index"] == 1
+
+    def test_every_generation_restores_within_bound(self):
+        steps = _drifting_arrays(6)
+        store = MemoryStore()
+        _write_chain(store, steps)
+        reader = _manager(_registry(np.zeros_like(steps[0])), store)
+        for i, arr in enumerate(steps):
+            reader.restore(i)
+            err = np.abs(reader.registry.get("field") - arr).max()
+            assert err <= EB * (1 + 1e-6), f"step {i}: {err}"
+
+    def test_restore_at_keyframe_boundary_is_self_contained(self):
+        steps = _drifting_arrays(5)
+        store = MemoryStore()
+        manager = _write_chain(store, steps)
+        for kf_step in (0, 4):
+            entry = manager.read_manifest(kf_step).entry("field")
+            assert entry.codec == CODEC_KEYFRAME
+            reader = _manager(_registry(np.zeros_like(steps[0])), store)
+            reader.restore(kf_step)
+            # the keyframe decodes standalone, identical to the chained path
+            blob = store.get(array_key(kf_step, "field"))
+            np.testing.assert_array_equal(
+                reader.registry.get("field"), deserialize_array(blob)
+            )
+
+    def test_two_readers_decode_bit_identically(self):
+        steps = _drifting_arrays(6)
+        store = MemoryStore()
+        _write_chain(store, steps)
+        a = _manager(_registry(np.zeros_like(steps[0])), store).load_arrays(5)
+        b = _manager(_registry(np.zeros_like(steps[0])), store).load_arrays(5)
+        np.testing.assert_array_equal(a["field"], b["field"])
+
+    def test_fresh_writer_continues_the_chain(self):
+        steps = _drifting_arrays(4)
+        store = MemoryStore()
+        _write_chain(store, steps[:3])
+        # a new process, no shared state: must seed from the store and
+        # keep appending deltas instead of restarting with a keyframe
+        reg = _registry(steps[3])
+        writer = _manager(reg, store)
+        writer.checkpoint(3)
+        entry = writer.read_manifest(3).entry("field")
+        assert entry.codec == CODEC_DELTA
+        assert entry.codec_params["base_step"] == 2
+        assert entry.codec_params["chain_index"] == 3
+        reader = _manager(_registry(np.zeros_like(steps[0])), store)
+        reader.restore(3)
+        assert (
+            np.abs(reader.registry.get("field") - steps[3]).max()
+            <= EB * (1 + 1e-6)
+        )
+
+    def test_restore_rewinds_the_predictor(self):
+        steps = _drifting_arrays(4)
+        store = MemoryStore()
+        reg = _registry(steps[0])
+        manager = _manager(reg, store)
+        for i in range(3):
+            np.copyto(reg.get("field"), steps[i])
+            manager.checkpoint(i)
+        manager.restore(1)  # the app rewinds two generations
+        np.copyto(reg.get("field"), steps[3])
+        manager.checkpoint(3)
+        entry = manager.read_manifest(3).entry("field")
+        assert entry.codec == CODEC_DELTA
+        # the delta predicts from the restored generation, not from step 2
+        assert entry.codec_params["base_step"] == 1
+
+    def test_drift_fallback_reaches_the_manifest(self):
+        # Seed the predictor with the half-ulp construction from
+        # test_drift_forces_a_keyframe so the drift fallback fires
+        # deterministically inside a real commit.
+        store = MemoryStore()
+        arr = np.full(8, 8192.0, dtype=np.float32)
+        prev = np.full(8, 8192.0 - 4 * 2**-10, dtype=np.float32)
+        reg = _registry(arr)
+        manager = _manager(
+            reg, store, temporal=TemporalConfig(error_bound=5.5e-4)
+        )
+        manager._temporal_engine.seed(0, {"field": prev}, {"field": 0})
+        manager._temporal_seeded = True
+        manager.checkpoint(1)
+        entry = manager.read_manifest(1).entry("field")
+        assert entry.codec == CODEC_KEYFRAME
+        assert entry.codec_params["reason"] == "drift"
+
+    def test_ineligible_arrays_take_the_normal_path(self):
+        store = MemoryStore()
+        reg = ArrayRegistry()
+        reg.register("field", np.cumsum(np.ones((6, 4))).reshape(6, 4))
+        reg.register("counter", np.arange(3, dtype=np.int64))
+        manager = _manager(reg, store)
+        manager.checkpoint(0)
+        manifest = manager.read_manifest(0)
+        assert manifest.entry("field").codec == CODEC_KEYFRAME
+        assert manifest.entry("counter").codec.startswith("lossless:")
+        reader_reg = ArrayRegistry()
+        reader_reg.register("field", np.zeros((6, 4)))
+        reader_reg.register("counter", np.zeros(3, dtype=np.int64))
+        _manager(reader_reg, store).restore(0)
+        np.testing.assert_array_equal(
+            reader_reg.get("counter"), np.arange(3, dtype=np.int64)
+        )
+
+
+class TestChainPruning:
+    def test_retention_spares_the_chain_closure(self):
+        steps = _drifting_arrays(5)
+        store = MemoryStore()
+        manager = _write_chain(store, steps[:4], retention=2)
+        # steps 2,3 are retained deltas chained back to keyframe 0:
+        # nothing may be pruned yet
+        assert manager.steps() == [0, 1, 2, 3]
+        np.copyto(manager.registry.get("field"), steps[4])
+        manager.checkpoint(4)  # chain-limit keyframe
+        # retained {3,4}: 3 still chains to 0, so only nothing-before-0 --
+        # everything stays
+        assert manager.steps() == [0, 1, 2, 3, 4]
+        reader = _manager(_registry(np.zeros_like(steps[0])), store)
+        reader.restore(3)
+
+    def test_prune_fires_once_chains_detach(self):
+        steps = _drifting_arrays(6)
+        store = MemoryStore()
+        manager = _write_chain(store, steps, retention=2)
+        # after step 5 (delta on keyframe 4) the retained closure is {4,5}
+        assert manager.steps() == [4, 5]
+        reader = _manager(_registry(np.zeros_like(steps[0])), store)
+        reader.restore(5)
+        assert (
+            np.abs(reader.registry.get("field") - steps[5]).max()
+            <= EB * (1 + 1e-6)
+        )
+
+
+class TestChainCorruption:
+    def test_missing_base_generation_is_reported_as_a_broken_chain(self):
+        steps = _drifting_arrays(3)
+        store = MemoryStore()
+        manager = _write_chain(store, steps)
+        manager.delete(1)  # sever the chain under step 2
+        reader = _manager(_registry(np.zeros_like(steps[0])), store)
+        with pytest.raises(CorruptionError, match="chain.*broken"):
+            reader.restore(2)
+
+    def test_corrupt_base_blob_names_the_broken_generation(self):
+        steps = _drifting_arrays(3)
+        store = MemoryStore()
+        _write_chain(store, steps)
+        key = array_key(1, "field")
+        store.put(key, store.get(key)[:-7])  # truncate the mid-chain delta
+        reader = _manager(_registry(np.zeros_like(steps[0])), store)
+        with pytest.raises(CorruptionError, match="checkpoint 1"):
+            reader.restore(2)
+
+
+# -- crash matrix ---------------------------------------------------------------
+
+
+def _ops_per_delta_commit() -> int:
+    steps = _drifting_arrays(2)
+    store = MemoryStore()
+    _write_chain(store, steps[:1])
+    counting = CountingStore(store)
+    reg = _registry(steps[1])
+    _manager(reg, counting).checkpoint(1)
+    return counting.puts + counting.gets
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("mode", CRASH_MODES)
+    def test_crash_mid_delta_commit_preserves_the_committed_chain(self, mode):
+        n_ops = _ops_per_delta_commit()
+        steps = _drifting_arrays(3)
+        for op_index in range(n_ops):
+            inner = MemoryStore()
+            _write_chain(inner, steps[:2])  # keyframe 0 + delta 1 committed
+            before = _manager(
+                _registry(np.zeros_like(steps[0])), inner
+            ).load_arrays(1)["field"]
+
+            crashing = CrashInjectingStore(
+                inner, CrashPlan([CrashPoint(op_index, mode)], seed=op_index)
+            )
+            writer = _manager(_registry(steps[2]), crashing)
+            with pytest.raises(SimulatedCrash):
+                writer.checkpoint(2)
+
+            # next incarnation: recovery finds the committed prefix intact
+            report = recover(inner)
+            assert report.committed[:2] == [0, 1], (
+                f"op {op_index} mode {mode}: committed chain lost"
+            )
+            reader = _manager(_registry(np.zeros_like(steps[0])), inner)
+            newest = report.committed[-1]
+            reader.restore(newest)
+            if newest == 1:
+                # the generation the crash interrupted left no trace;
+                # restore is bit-identical to the pre-crash decode
+                np.testing.assert_array_equal(
+                    reader.registry.get("field"), before
+                )
+            assert (
+                np.abs(reader.registry.get("field") - steps[newest]).max()
+                <= EB * (1 + 1e-6)
+            )
+
+            # and a fresh writer continues from whatever committed
+            reg = _registry(steps[2])
+            cont = _manager(reg, inner)
+            if newest != 2:
+                cont.checkpoint(2)
+            cont_reader = _manager(_registry(np.zeros_like(steps[0])), inner)
+            cont_reader.restore(2)
+            assert (
+                np.abs(cont_reader.registry.get("field") - steps[2]).max()
+                <= EB * (1 + 1e-6)
+            )
+
+    def test_failed_commit_rolls_the_predictor_back(self):
+        steps = _drifting_arrays(3)
+        store = MemoryStore()
+        manager = _write_chain(store, steps[:2])
+        # a live failure (not a crash): non-finite data aborts the txn
+        np.copyto(manager.registry.get("field"), np.full_like(steps[0], np.nan))
+        with pytest.raises(NonFiniteDataError):
+            manager.checkpoint(2)
+        # the engine must still predict from committed generation 1
+        np.copyto(manager.registry.get("field"), steps[2])
+        manager.checkpoint(3)
+        entry = manager.read_manifest(3).entry("field")
+        assert entry.codec == CODEC_DELTA
+        assert entry.codec_params["base_step"] == 1
+
+
+class TestManagerValidation:
+    def test_temporal_must_be_a_config(self):
+        with pytest.raises(CheckpointError, match="TemporalConfig"):
+            CheckpointManager(
+                _registry(np.zeros((2, 2))), MemoryStore(),
+                temporal={"error_bound": 1e-3},
+            )
+
+    def test_none_disables_the_temporal_path(self):
+        store = MemoryStore()
+        steps = _drifting_arrays(2)
+        manager = _write_chain(store, steps, temporal=None)
+        codec = manager.read_manifest(1).entry("field").codec
+        assert codec not in (CODEC_DELTA, CODEC_KEYFRAME)
