@@ -1,0 +1,135 @@
+"""CI gate: enforce the chaos-campaign floors from BENCH_chaos.json.
+
+Reads the artifact written by ``benchmarks/test_chaos.py`` and fails
+(exit 1) when any replication guarantee regressed:
+
+* ``kill_matrix`` -- one row per shard killed mid-load.  Every row must
+  show ``verified == acked`` (zero acked-generation loss, bit-identical
+  restores, checked both mid-storm and after repair), a ``degraded``
+  surface that flipped while the shard was dark and ``recovered``
+  afterwards, replica sets back at full strength and zero remaining
+  replication debt.
+* ``storm_campaigns`` -- one row per storm seed.  Each must have acked
+  at least one generation (a matrix that refuses everything proves
+  nothing), verified every acked one and ended debt-free.
+* ``deterministic_recovery`` -- every seed replayed twice must ack the
+  identical set: recovery is a function of the schedule, not the race.
+
+Usage::
+
+    python benchmarks/check_chaos_floor.py [path/to/BENCH_chaos.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench_results",
+    "BENCH_chaos.json",
+)
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"chaos floor: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+
+    kills = bench.get("kill_matrix")
+    if not isinstance(kills, list) or not kills:
+        failures.append(
+            "no kill_matrix recorded -- regenerate with "
+            "benchmarks/test_chaos.py"
+        )
+        kills = []
+    n_shards = int(bench.get("shards", 0))
+    if kills and len(kills) != n_shards:
+        failures.append(
+            f"kill matrix covers {len(kills)}/{n_shards} shards -- every "
+            "shard must be killed once"
+        )
+    for row in kills:
+        shard = row.get("shard", "?")
+        acked = int(row.get("acked", 0))
+        if acked <= 0:
+            failures.append(f"kill {shard}: nothing was acked")
+        if int(row.get("verified", -1)) != acked:
+            failures.append(
+                f"kill {shard}: {row.get('verified')}/{acked} acked "
+                "generations restored bit-identically"
+            )
+        if int(row.get("mid_storm_verified", -1)) != acked:
+            failures.append(
+                f"kill {shard}: mid-storm failover reads lost data "
+                f"({row.get('mid_storm_verified')}/{acked})"
+            )
+        if not row.get("degraded_flipped"):
+            failures.append(
+                f"kill {shard}: degraded surface never flipped while the "
+                "shard was down"
+            )
+        if not row.get("recovered"):
+            failures.append(
+                f"kill {shard}: degraded surface did not recover after repair"
+            )
+        if not row.get("replicas_full"):
+            failures.append(
+                f"kill {shard}: replica sets not back at full strength"
+            )
+        if int(row.get("debt_after_repair", 1)) != 0:
+            failures.append(f"kill {shard}: replication debt remained")
+
+    campaigns = bench.get("storm_campaigns")
+    if not isinstance(campaigns, list) or not campaigns:
+        failures.append("no storm_campaigns recorded")
+        campaigns = []
+    for row in campaigns:
+        seed = row.get("seed", "?")
+        acked = row.get("acked", [])
+        if not acked:
+            failures.append(f"storm seed {seed}: refused every submit")
+        if int(row.get("verified", -1)) != len(acked):
+            failures.append(
+                f"storm seed {seed}: {row.get('verified')}/{len(acked)} "
+                "acked generations restored bit-identically"
+            )
+        if int(row.get("debt_after_repair", 1)) != 0:
+            failures.append(f"storm seed {seed}: replication debt remained")
+        if row.get("degraded_after_repair"):
+            failures.append(
+                f"storm seed {seed}: still degraded after repair"
+            )
+
+    if not bench.get("deterministic_recovery"):
+        failures.append(
+            "recovery was not deterministic across same-seed replays"
+        )
+    if not bench.get("zero_acked_loss"):
+        failures.append("campaign recorded acked-generation loss")
+
+    mode = "FAST" if bench.get("fast_mode") else "full"
+    if failures:
+        for line in failures:
+            print(f"chaos floor: FAIL -- {line}", file=sys.stderr)
+        return 1
+    total_acked = sum(int(r.get("acked", 0)) for r in kills) + sum(
+        len(r.get("acked", [])) for r in campaigns
+    )
+    print(
+        f"chaos floor: OK ({mode} mode) -- {len(kills)} shard kills and "
+        f"{len(campaigns)} storm seeds, {total_acked} acked generations "
+        "all restored bit-identically, deterministic recovery, zero debt"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_PATH))

@@ -64,6 +64,14 @@ __all__ = [
     "CrashPoint",
     "CrashPlan",
     "CrashInjectingStore",
+    "STORM_DOWN",
+    "STORM_SLOW",
+    "STORM_FLAKY",
+    "STORM_BITFLIP",
+    "STORM_KINDS",
+    "StormWindow",
+    "ShardStormPlan",
+    "StormInjectingStore",
 ]
 
 FAULT_TRANSIENT = "transient"
@@ -511,6 +519,244 @@ class CrashInjectingStore(Store):
         self.inner.delete(key)
 
     def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+
+# -- shard-level fault storms ---------------------------------------------------
+#
+# Faults and crashes above hit individual *operations*.  Storms model what
+# the replicated service actually faces: a whole shard misbehaving for a
+# window of time -- a machine down, a disk slow, a NIC flaky, a controller
+# corrupting reads -- while concurrent tenant load keeps flowing.  The
+# chaos harness wraps every shard backend in a StormInjectingStore driven
+# by one ShardStormPlan and asserts the service invariants (no acked
+# generation lost, restores bit-identical, SLO surface degrading and
+# recovering) rather than exact fault placements, because the asyncio
+# service interleaves operations nondeterministically; windows are
+# therefore scheduled in *time* (injected clock), not by op index.
+
+STORM_DOWN = "down"  # every data operation fails hard
+STORM_SLOW = "slow"  # operations complete after an injected delay
+STORM_FLAKY = "flaky"  # operations fail transiently with probability `rate`
+STORM_BITFLIP = "bitflip"  # reads return a flipped bit with probability `rate`
+
+STORM_KINDS = (STORM_DOWN, STORM_SLOW, STORM_FLAKY, STORM_BITFLIP)
+
+
+@dataclass(frozen=True)
+class StormWindow:
+    """One shard-level fault window on the plan's relative clock.
+
+    ``start``/``end`` are seconds since the plan was armed.  ``rate`` is
+    the per-operation hit probability for ``flaky``/``bitflip`` storms
+    (``down`` ignores it: every op fails); ``delay`` is the per-operation
+    stall for ``slow`` storms.  Bitflips are **read-side only** by
+    design: a flipped byte *at rest* would silently corrupt manifests and
+    commit markers in ways no storage layer can distinguish from valid
+    data, whereas a misread is exactly what the CRC failover + read-repair
+    path exists to heal -- corruption at rest is the bitflip FaultPlan
+    kind's job, exercised by the resilience suite.
+    """
+
+    shard: str
+    kind: str
+    start: float
+    end: float
+    rate: float = 1.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORM_KINDS:
+            raise ConfigurationError(
+                f"unknown storm kind {self.kind!r}; expected one of {STORM_KINDS}"
+            )
+        if not self.end > self.start >= 0:
+            raise ConfigurationError(
+                f"storm window needs 0 <= start < end, got [{self.start}, {self.end})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"storm rate must be in [0, 1], got {self.rate}"
+            )
+        if self.delay < 0:
+            raise ConfigurationError(
+                f"storm delay must be >= 0, got {self.delay}"
+            )
+
+
+class ShardStormPlan:
+    """A time-windowed schedule of shard-level fault storms.
+
+    Shared by every :class:`StormInjectingStore` of one chaos run so all
+    shards march to the same clock.  The plan is *armed* (t=0 pinned) on
+    construction using the injected ``clock``; tests pass a fake clock
+    and step it explicitly, the chaos benchmark uses wall time.
+
+    ``from_seed`` builds a deterministic storm matrix: ``storms`` windows
+    placed over ``[0, duration)`` across ``shards``, kinds and shards
+    drawn from a seeded RNG -- the fixed seed matrix CI replays.
+    """
+
+    def __init__(
+        self,
+        windows: Iterable[StormWindow] = (),
+        *,
+        seed: int = 0,
+        clock=None,
+    ) -> None:
+        import time as _time
+
+        self.windows = sorted(windows, key=lambda w: (w.start, w.shard))
+        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._clock = clock if clock is not None else _time.monotonic
+        self._t0 = self._clock()
+
+    @classmethod
+    def from_seed(
+        cls,
+        shards: Iterable[str],
+        *,
+        seed: int = 0,
+        duration: float = 2.0,
+        storms: int = 4,
+        kinds: tuple[str, ...] = STORM_KINDS,
+        rate: float = 0.5,
+        delay: float = 0.001,
+        clock=None,
+    ) -> "ShardStormPlan":
+        shard_ids = sorted(shards)
+        if not shard_ids:
+            raise ConfigurationError("a storm plan needs at least one shard")
+        for kind in kinds:
+            if kind not in STORM_KINDS:
+                raise ConfigurationError(
+                    f"unknown storm kind {kind!r}; expected one of {STORM_KINDS}"
+                )
+        rng = np.random.default_rng(seed)
+        windows = []
+        for _ in range(int(storms)):
+            shard = str(rng.choice(shard_ids))
+            kind = str(rng.choice(list(kinds)))
+            start = float(rng.uniform(0.0, duration * 0.6))
+            length = float(rng.uniform(duration * 0.1, duration * 0.4))
+            windows.append(
+                StormWindow(
+                    shard=shard,
+                    kind=kind,
+                    start=start,
+                    end=min(start + length, duration),
+                    rate=rate,
+                    delay=delay,
+                )
+            )
+        return cls(windows, seed=seed, clock=clock)
+
+    def now(self) -> float:
+        """Seconds since the plan was armed."""
+        return self._clock() - self._t0
+
+    def active(self, shard: str) -> list[StormWindow]:
+        """The storm windows currently covering ``shard``."""
+        t = self.now()
+        return [
+            w for w in self.windows if w.shard == shard and w.start <= t < w.end
+        ]
+
+    def hit(self, rate: float) -> bool:
+        """One seeded Bernoulli draw (flaky / bitflip per-op decision)."""
+        return float(self._rng.random()) < rate
+
+    def position(self, n: int) -> int:
+        """A deterministic position in ``[0, n)`` (bitflip placement)."""
+        if n <= 0:
+            return 0
+        return int(self._rng.integers(0, n))
+
+    @property
+    def horizon(self) -> float:
+        """End of the last window (seconds since armed); 0 when empty."""
+        return max((w.end for w in self.windows), default=0.0)
+
+
+class StormInjectingStore(Store):
+    """Shard backend wrapper acting out a :class:`ShardStormPlan`.
+
+    Wrap each shard of a :class:`~repro.service.sharded.ShardedStore`
+    with its own shard id and the *shared* plan.  During a ``down``
+    window every data operation (put/get/exists/list_keys/delete) raises
+    :class:`~repro.exceptions.StorageError` -- the shard is gone as far
+    as callers can tell, which is what trips the circuit breaker and
+    forces failover.  ``sync`` passes through even while down: the
+    wrapper simulates an unreachable shard, not lost history, and the
+    group-commit barrier syncing a shard it never wrote to must not
+    explode the whole batch.
+    """
+
+    def __init__(self, inner: Store, shard_id: str, plan: ShardStormPlan, *, sleep=None) -> None:
+        import time as _time
+
+        self.inner = inner
+        self.shard_id = shard_id
+        self.plan = plan
+        self._sleep = sleep if sleep is not None else _time.sleep
+        self.events: list[FaultEvent] = []
+
+    def _storm(self, op: str, key: str) -> None:
+        """Apply active windows; raises when the op must fail."""
+        for w in self.plan.active(self.shard_id):
+            if w.kind == STORM_DOWN:
+                self._note(op, key, STORM_DOWN)
+                raise StorageError(
+                    f"shard {self.shard_id!r} is down (injected storm)"
+                )
+            if w.kind == STORM_SLOW and w.delay > 0:
+                self._note(op, key, STORM_SLOW, delay=w.delay)
+                self._sleep(w.delay)
+            elif w.kind == STORM_FLAKY and self.plan.hit(w.rate):
+                self._note(op, key, STORM_FLAKY)
+                raise TransientStorageError(
+                    f"shard {self.shard_id!r} flaked on {op} of {key!r} "
+                    f"(injected storm)"
+                )
+
+    def _note(self, op: str, key: str, kind: str, **detail: Any) -> None:
+        self.events.append(
+            FaultEvent(index=len(self.events), op=op, key=key, kind=f"storm-{kind}", detail=detail)
+        )
+        get_registry().counter(
+            f"store.storms.{kind}", shard=self.shard_id
+        ).inc()
+
+    def put(self, key: str, data: bytes) -> None:
+        self._storm("put", key)
+        self.inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        self._storm("get", key)
+        data = self.inner.get(key)
+        for w in self.plan.active(self.shard_id):
+            if w.kind == STORM_BITFLIP and len(data) > 0 and self.plan.hit(w.rate):
+                bit = self.plan.position(len(data) * 8)
+                self._note("get", key, STORM_BITFLIP, bit=bit)
+                buf = bytearray(data)
+                buf[bit // 8] ^= 1 << (bit % 8)
+                return bytes(buf)
+        return data
+
+    def exists(self, key: str) -> bool:
+        self._storm("exists", key)
+        return self.inner.exists(key)
+
+    def delete(self, key: str) -> None:
+        self._storm("delete", key)
+        self.inner.delete(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        self._storm("list_keys", prefix)
         return self.inner.list_keys(prefix)
 
     def sync(self) -> None:

@@ -71,6 +71,16 @@ svc-stats
     (``--health`` exits 2 while the SLO error budget is burning).
 svc-metrics
     Print a running service's metric registry in Prometheus text format.
+svc-drain
+    Migrate every generation off one shard (crash-safe, unit by unit) so
+    it can be removed; ``--remove`` retires the emptied shard from the
+    ring in the same call.
+svc-rebalance
+    Converge recorded placements onto the current hash ring after a
+    shard was added, moving only the units whose replica set changed.
+svc-repair
+    Re-replicate generations that accepted a degraded write while a
+    replica shard was down (repays the replication-debt ledger).
 
 ``compress``, ``decompress`` and ``checkpoint`` accept ``--trace PATH``
 to stream a span/metrics trace of the run to a JSONL file, readable with
@@ -98,7 +108,7 @@ from .core.chunked import CHUNK_MAGIC, chunked_compress_with_stats, chunked_deco
 from .core.errors import error_report
 from .core.pipeline import WaveletCompressor, inspect as inspect_blob
 from .core.tuning import tune_for_tolerance
-from .exceptions import ReproError
+from .exceptions import ReproError, ServiceUnavailableError
 
 __all__ = ["main", "build_parser"]
 
@@ -533,6 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend store shards under the service root [default: 4]",
     )
     p.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="distinct shards each generation is written to; 2 survives "
+             "any single shard loss [default: 1]",
+    )
+    p.add_argument(
         "--buffer-bytes", default="64m", metavar="B",
         help="burst-buffer absorb capacity (suffixes k/m/g) [default: 64m]",
     )
@@ -611,6 +626,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "svc-metrics",
         help="print a service's metrics in Prometheus text format",
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
+
+    p = sub.add_parser(
+        "svc-drain",
+        help="migrate every generation off one shard so it can be removed",
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
+    p.add_argument("shard", help="shard id to drain (e.g. shard-02)")
+    p.add_argument(
+        "--remove", action="store_true",
+        help="also remove the shard from the ring once it drains empty",
+    )
+
+    p = sub.add_parser(
+        "svc-rebalance",
+        help="converge placements onto the current hash ring (after a "
+             "shard was added)",
+    )
+    p.add_argument("socket", help="unix socket of a running 'serve'")
+
+    p = sub.add_parser(
+        "svc-repair",
+        help="re-replicate generations written degraded while a replica "
+             "shard was down",
     )
     p.add_argument("socket", help="unix socket of a running 'serve'")
     return parser
@@ -1036,6 +1076,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     registry = TenantRegistry([_parse_tenant_spec(s) for s in args.tenant])
     config = ServiceConfig(
         shards=args.shards,
+        replication=args.replication,
         buffer_capacity_bytes=_parse_size(args.buffer_bytes),
         drain_workers=args.drain_workers,
         max_batch=args.max_batch,
@@ -1226,6 +1267,66 @@ def _cmd_svc_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_svc_drain(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+
+    async def _run():
+        # Migration copies every key of every unit on the shard; give it
+        # a generous per-request bound instead of the default.
+        async with ServiceClient(args.socket, op_timeout=600.0) as client:
+            return await client.drain(args.shard, remove=args.remove)
+
+    summary = asyncio.run(_run())
+    tail = " and removed from the ring" if summary.get("removed") else ""
+    print(
+        f"drained {summary['shard']}: {summary['units_moved']} unit(s), "
+        f"{summary['keys_copied']} key(s), {summary['bytes_copied']} bytes "
+        f"moved; {summary['remaining']} key(s) remaining{tail}"
+    )
+    return 0 if summary["remaining"] == 0 else 1
+
+
+def _cmd_svc_rebalance(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+
+    async def _run():
+        async with ServiceClient(args.socket, op_timeout=600.0) as client:
+            return await client.rebalance()
+
+    summary = asyncio.run(_run())
+    print(
+        f"rebalanced: {summary['units_moved']} unit(s) moved "
+        f"({summary['keys_copied']} key(s), {summary['bytes_copied']} bytes), "
+        f"{summary['units_in_place']} already placed"
+    )
+    return 0
+
+
+def _cmd_svc_repair(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+
+    async def _run():
+        async with ServiceClient(args.socket, op_timeout=600.0) as client:
+            return await client.repair()
+
+    summary = asyncio.run(_run())
+    remaining = summary.get("remaining_debt", {}) or {}
+    print(
+        f"repaired {summary.get('repaired_units', 0)}/"
+        f"{summary.get('attempted_units', 0)} unit(s) "
+        f"({summary.get('keys_copied', 0)} key(s), "
+        f"{summary.get('bytes_copied', 0)} bytes); "
+        f"{remaining.get('units', 0)} unit(s) still in debt"
+    )
+    return 0 if remaining.get("units", 0) == 0 else 1
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -1243,6 +1344,9 @@ _COMMANDS = {
     "svc-get": _cmd_svc_get,
     "svc-stats": _cmd_svc_stats,
     "svc-metrics": _cmd_svc_metrics,
+    "svc-drain": _cmd_svc_drain,
+    "svc-rebalance": _cmd_svc_rebalance,
+    "svc-repair": _cmd_svc_repair,
 }
 
 
@@ -1250,6 +1354,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ServiceUnavailableError as exc:
+        # The one failure a human hits constantly: nothing is listening.
+        # Say what was tried and the likeliest fix, in one line each.
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: is 'repro-ckpt serve' running and the socket path "
+            "correct? the client gave up after bounded retries instead "
+            "of hanging",
+            file=sys.stderr,
+        )
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

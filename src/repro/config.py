@@ -526,6 +526,17 @@ class ServiceConfig:
     metrics_flush_interval:
         Seconds between background metric-snapshot emissions to the trace
         sink while serving; ``0`` disables the flusher.
+    replication:
+        Distinct shards each generation is written to (hashring successor
+        walk).  ``1`` keeps the pre-replication single-copy behavior;
+        ``2`` survives any single shard loss.  Clamped by the number of
+        shards actually present.
+    health_failure_threshold:
+        Consecutive failures that open a shard's circuit breaker (reads
+        fail over, writes degrade around it).
+    health_open_seconds:
+        How long an open breaker skips a shard before admitting a
+        half-open probe.
     """
 
     shards: int = 4
@@ -539,6 +550,9 @@ class ServiceConfig:
     slo_latency_p99: float | None = 1.0
     slo_objective: float = 0.995
     metrics_flush_interval: float = 0.0
+    replication: int = 1
+    health_failure_threshold: int = 3
+    health_open_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         for name, minimum in (
@@ -547,6 +561,8 @@ class ServiceConfig:
             ("buffer_capacity_bytes", 1),
             ("drain_workers", 1),
             ("max_batch", 1),
+            ("replication", 1),
+            ("health_failure_threshold", 1),
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) \
@@ -578,6 +594,11 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"metrics_flush_interval must be >= 0, "
                 f"got {self.metrics_flush_interval}"
+            )
+        if not self.health_open_seconds > 0:
+            raise ConfigurationError(
+                f"health_open_seconds must be > 0, "
+                f"got {self.health_open_seconds!r}"
             )
 
     def replace(self, **changes: Any) -> "ServiceConfig":

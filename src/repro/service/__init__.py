@@ -5,12 +5,18 @@ long-running front-end many applications stream checkpoints into
 concurrently: per-tenant namespaces and quotas, consistent-hash sharding
 over backend stores, a working burst-buffer absorb/drain stage, and
 batched group commits that amortize durability barriers across tenants.
-See DESIGN.md section 11.
+Since the replication PR it is also the resilience layer: N-way
+replicated placement with failover reads and read-repair, per-shard
+circuit breakers, degraded-write debt, and crash-safe live migration
+for draining and rebalancing shards.  See DESIGN.md sections 11 and 14.
 """
 
 from .buffer import BurstDrain, DrainStats
 from .hashring import DEFAULT_VNODES, HashRing, stable_hash
+from .health import ShardHealth
 from .ingest import CheckpointIngestService, IngestAck
+from .migration import MigrationWorker
+from .replication import ReplicationDebt, repair_debt, repair_unit
 from .sharded import (
     NamespacedStore,
     ShardedStore,
@@ -26,8 +32,13 @@ __all__ = [
     "DEFAULT_VNODES",
     "HashRing",
     "stable_hash",
+    "ShardHealth",
     "CheckpointIngestService",
     "IngestAck",
+    "MigrationWorker",
+    "ReplicationDebt",
+    "repair_debt",
+    "repair_unit",
     "NamespacedStore",
     "ShardedStore",
     "TENANT_PREFIX",

@@ -110,6 +110,33 @@ class HashRing:
             i = 0  # wrap around the ring
         return self._owner[self._points[i]]
 
+    def successors(self, unit: str, n: int, *, exclude: set[str] | frozenset[str] = frozenset()) -> list[str]:
+        """The first ``n`` *distinct* shards clockwise of ``unit``'s hash.
+
+        This is the classic replica-placement rule: replica 0 is
+        :meth:`lookup`, replica 1 the next distinct shard clockwise, and
+        so on -- so when a shard leaves the ring, each unit's replica set
+        changes by exactly the departed member.  Shards in ``exclude``
+        are skipped (used when draining a shard for removal).  Returns
+        fewer than ``n`` shards when the ring has fewer eligible members;
+        never returns duplicates.
+        """
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ConfigurationError(f"replica count must be an int >= 1, got {n!r}")
+        h = stable_hash(unit)
+        start = bisect.bisect_right(self._points, h)
+        out: list[str] = []
+        seen: set[str] = set(exclude)
+        for offset in range(len(self._points)):
+            owner = self._owner[self._points[(start + offset) % len(self._points)]]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            out.append(owner)
+            if len(out) == n:
+                break
+        return out
+
     def spread(self, units: list[str] | tuple[str, ...]) -> dict[str, int]:
         """Units per shard for a key population (diagnostics/tests)."""
         counts = {sid: 0 for sid in self._shards}

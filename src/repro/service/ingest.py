@@ -568,7 +568,12 @@ class CheckpointIngestService:
         manifest = CheckpointManifest.from_json(view.get(manifest_key(step)))
         out: dict[str, bytes] = {}
         for entry in manifest.entries:
-            payload = view.get(array_key(step, entry.name))
+            # get_verified routes the CRC down into the sharded store, so a
+            # replica corrupt at rest fails over to a good copy (and is
+            # repaired) instead of surfacing IntegrityError to the tenant.
+            payload = view.get_verified(
+                array_key(step, entry.name), entry.crc32, entry.stored_bytes or None
+            )
             entry.verify(payload)
             out[entry.name] = payload
         return out
@@ -587,6 +592,26 @@ class CheckpointIngestService:
             self.store.prune_placement()
         return reports
 
+    def repair_replication(self) -> dict[str, Any]:
+        """Repay recorded replication debt (run after a shard recovers).
+
+        Degraded writes accepted while a replica shard was down left the
+        shortfall in the store's debt ledger; this pass re-copies those
+        units onto their missing replicas (verify-before-trust) and
+        retires exactly the debt that was actually repaid.
+        """
+        if not isinstance(self.store, ShardedStore):
+            return {
+                "repaired_units": 0,
+                "attempted_units": 0,
+                "keys_copied": 0,
+                "bytes_copied": 0,
+                "remaining_debt": {"units": 0, "missing_copies": 0},
+            }
+        from .replication import repair_debt
+
+        return repair_debt(self.store)
+
     # -- diagnostics ---------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
@@ -600,6 +625,7 @@ class CheckpointIngestService:
         }
         if isinstance(self.store, ShardedStore):
             out["shards"] = self.store.shard_stats()
+            out["degraded"] = self.store.degraded
         if self.slo is not None:
             out["slo"] = self.slo.status()
         return out
@@ -649,7 +675,19 @@ def build_service(
     placement = DirectoryStore(
         os.path.join(root, "_placement"), durability=config.durability
     )
-    store = ShardedStore(shards, placement=placement, vnodes=config.vnodes)
+    from .health import ShardHealth
+
+    health = ShardHealth(
+        failure_threshold=config.health_failure_threshold,
+        open_seconds=config.health_open_seconds,
+    )
+    store = ShardedStore(
+        shards,
+        placement=placement,
+        vnodes=config.vnodes,
+        replication=config.replication,
+        health=health,
+    )
     slo = None
     if config.slo_latency_p99 is not None:
         slo = SLOTracker(

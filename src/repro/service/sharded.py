@@ -10,20 +10,32 @@ interface:
 * :class:`ShardedStore` -- consistent-hash placement over N backend
   stores.  The *placement unit* is a whole checkpoint generation (every
   key under ``.../ckpt/<step>/`` routes together), which keeps each
-  generation's blobs, manifest and COMMIT marker colocated on one shard:
-  commit atomicity and recovery classification then never straddle
-  backends.
+  generation's blobs, manifest and COMMIT marker colocated on one
+  replica set: commit atomicity and recovery classification then never
+  straddle backends.
 
 Placement is **stable** three ways deep:
 
 1. the :class:`~repro.service.hashring.HashRing` is a pure function of
-   the shard-id set (same key -> same shard across runs);
+   the shard-id set (same key -> same shards across runs);
 2. every *first placement* of a unit is persisted as a tiny record in a
    placement-map store, so generations written under an older shard set
    are still found after shards join (the per-tenant placement map the
    service exposes);
 3. reads fall back to probing every shard, so even a lost placement map
    degrades to a slower lookup, never to data loss.
+
+Since the replication PR, placement is also **redundant**: with
+``replication=N`` every unit is written to the first N distinct shards
+clockwise of its hash (the successor walk), reads fail over across the
+replicas (optionally guided by a :class:`~repro.service.health.ShardHealth`
+circuit breaker so a dead shard is skipped instead of waited out), a
+read that finds a replica missing -- or, through :meth:`ShardedStore.get_verified`,
+failing CRC -- repairs it from a good copy, and writes that cannot reach
+every replica *degrade* instead of erroring the tenant: they land on the
+replicas that are up and record the shortfall in a
+:class:`~repro.service.replication.ReplicationDebt` ledger for the
+repair pass to repay.
 """
 
 from __future__ import annotations
@@ -32,10 +44,13 @@ import re
 import threading
 from typing import Any, Iterable, Mapping
 
+from ..ckpt.resilience import ResilientStore, RetryPolicy
 from ..ckpt.store import Store
-from ..exceptions import ConfigurationError, StorageError
+from ..exceptions import ConfigurationError, IntegrityError, StorageError
 from ..obs.metrics import get_registry
 from .hashring import DEFAULT_VNODES, HashRing
+from .health import ShardHealth
+from .replication import ReplicationDebt, decode_replicas, encode_replicas
 
 __all__ = ["NamespacedStore", "ShardedStore", "placement_unit", "TENANT_PREFIX"]
 
@@ -52,8 +67,8 @@ def placement_unit(key: str) -> str:
     """The routing unit of ``key``: its generation directory, or itself.
 
     ``tenants/a/ckpt/0000000007/u.bin`` -> ``tenants/a/ckpt/0000000007``
-    so a generation's blobs, manifest and marker always share a shard;
-    keys outside any generation directory route individually.
+    so a generation's blobs, manifest and marker always share a replica
+    set; keys outside any generation directory route individually.
     """
     m = _GENERATION_RE.match(key)
     return m.group("unit") if m else key
@@ -80,6 +95,15 @@ class NamespacedStore(Store):
     def get(self, key: str) -> bytes:
         return self.inner.get(self._k(key))
 
+    def get_verified(self, key: str, crc32: int, nbytes: int | None = None) -> bytes:
+        """CRC-checked read with replica failover, when the inner store
+        supports it (a replicated :class:`ShardedStore`); otherwise a
+        plain read -- callers verify themselves."""
+        inner_verified = getattr(self.inner, "get_verified", None)
+        if inner_verified is None:
+            return self.inner.get(self._k(key))
+        return inner_verified(self._k(key), crc32, nbytes)
+
     def exists(self, key: str) -> bool:
         return self.inner.exists(self._k(key))
 
@@ -95,7 +119,7 @@ class NamespacedStore(Store):
 
 
 class ShardedStore(Store):
-    """Consistent-hash placement of generations across backend stores.
+    """Consistent-hash, replicated placement of generations across backends.
 
     Parameters
     ----------
@@ -104,12 +128,26 @@ class ShardedStore(Store):
         reuse the same ids across restarts.
     placement:
         Optional small store persisting first-placement records (unit ->
-        shard id).  Point it at a durable location (e.g. a
+        ordered replica list).  Point it at a durable location (e.g. a
         ``DirectoryStore`` next to the shard roots) so placement survives
         restarts and shard-set changes; ``None`` keeps the map in memory
-        only and relies on the ring + probe fallback.
+        only and relies on the ring + probe fallback.  Records written
+        before replication existed (a single shard id) load unchanged.
     vnodes:
         Virtual nodes per shard for the ring.
+    replication:
+        Distinct shards each placement unit is written to (successor
+        walk).  Clamped by the number of shards actually on the ring; a
+        two-shard store with ``replication=3`` holds two copies.
+    health:
+        Optional :class:`~repro.service.health.ShardHealth` breaker set.
+        When present, writes skip shards whose breaker is open (the unit
+        goes into replication debt) and reads try live replicas first,
+        falling back to open-breaker shards only when no live replica
+        holds the data.
+    retry_policy:
+        Per-replica retry/CRC policy for :meth:`get_verified` (defaults
+        to one CRC-aware re-read with no backoff sleep).
     """
 
     def __init__(
@@ -118,13 +156,28 @@ class ShardedStore(Store):
         *,
         placement: Store | None = None,
         vnodes: int = DEFAULT_VNODES,
+        replication: int = 1,
+        health: ShardHealth | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if not shards:
             raise ConfigurationError("ShardedStore needs at least one shard")
+        if not isinstance(replication, int) or isinstance(replication, bool) \
+                or replication < 1:
+            raise ConfigurationError(
+                f"replication must be an int >= 1, got {replication!r}"
+            )
         self.shards: dict[str, Store] = dict(shards)
         self.ring = HashRing(list(self.shards), vnodes=vnodes)
         self.placement = placement
-        self._cache: dict[str, str] = {}
+        self.replication = replication
+        self.health = health
+        self.debt = ReplicationDebt()
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy(
+            max_attempts=2, base_delay=0.0, jitter=0.0
+        )
+        self._verified: dict[str, ResilientStore] = {}
+        self._cache: dict[str, tuple[str, ...]] = {}
         self._put_bytes: dict[str, int] = {sid: 0 for sid in self.shards}
         self._lock = threading.Lock()
 
@@ -141,8 +194,11 @@ class ShardedStore(Store):
         """Remove an *empty* backend from the ring.
 
         Refuses while the shard still holds objects: placement records
-        pointing at a vanished shard would turn into data loss.  Drain or
-        migrate first.
+        pointing at a vanished shard would turn into data loss.  Drain
+        (:class:`~repro.service.migration.MigrationWorker`) first.  Any
+        recorded replica list still naming the departed shard -- records
+        a crashed drain left behind, or pre-drain debt -- is scrubbed
+        down to its surviving members so reads never consult a ghost.
         """
         store = self.shards.get(shard_id)
         if store is None:
@@ -155,60 +211,90 @@ class ShardedStore(Store):
             )
         self.ring.remove(shard_id)
         del self.shards[shard_id]
+        self._verified.pop(shard_id, None)
+        for unit, replicas in self.placement_map().items():
+            if shard_id not in replicas:
+                continue
+            survivors = [sid for sid in replicas if sid != shard_id]
+            if survivors:
+                self._record(unit, tuple(survivors), force=True)
+            else:
+                self._drop_record(unit)
+            self.debt.resolve(unit, [shard_id])
         with self._lock:
-            self._cache = {u: s for u, s in self._cache.items() if s != shard_id}
+            self._cache = {
+                u: tuple(s for s in reps if s != shard_id) or tuple()
+                for u, reps in self._cache.items()
+            }
+            self._cache = {u: reps for u, reps in self._cache.items() if reps}
 
     # -- placement -----------------------------------------------------------
 
-    def _record(self, unit: str, shard_id: str) -> None:
+    def _record(
+        self, unit: str, replicas: tuple[str, ...], *, force: bool = False
+    ) -> None:
         with self._lock:
             known = self._cache.get(unit)
-            if known == shard_id:
+            if known == replicas and not force:
                 return
-            self._cache[unit] = shard_id
+            self._cache[unit] = replicas
         if self.placement is not None:
-            self.placement.put(
-                _PLACEMENT_PREFIX + unit, shard_id.encode("utf-8")
-            )
+            self.placement.put(_PLACEMENT_PREFIX + unit, encode_replicas(list(replicas)))
 
-    def _recorded(self, unit: str) -> str | None:
+    def _drop_record(self, unit: str) -> None:
         with self._lock:
-            sid = self._cache.get(unit)
-        if sid is not None:
-            return sid
+            self._cache.pop(unit, None)
         if self.placement is not None:
+            self.placement.delete(_PLACEMENT_PREFIX + unit)
+        self.debt.forget(unit)
+
+    def _recorded(self, unit: str) -> tuple[str, ...] | None:
+        """The unit's recorded replica list, filtered to live shard ids."""
+        with self._lock:
+            replicas = self._cache.get(unit)
+        if replicas is None and self.placement is not None:
             pkey = _PLACEMENT_PREFIX + unit
             if self.placement.exists(pkey):
-                sid = self.placement.get(pkey).decode("utf-8")
-                if sid in self.shards:
-                    with self._lock:
-                        self._cache[unit] = sid
-                    return sid
-        return None
+                replicas = tuple(decode_replicas(self.placement.get(pkey)))
+                with self._lock:
+                    self._cache[unit] = replicas
+        if replicas is None:
+            return None
+        known = tuple(sid for sid in replicas if sid in self.shards)
+        return known or None
+
+    def _target_replicas(self, unit: str) -> tuple[str, ...]:
+        """Where the unit's copies should live: recorded homes, topped up
+        from the ring walk when the record is shorter than the target."""
+        recorded = self._recorded(unit) or ()
+        if len(recorded) >= self.replication:
+            return recorded
+        extra = self.ring.successors(
+            unit, self.replication, exclude=set(recorded)
+        )
+        return recorded + tuple(extra[: self.replication - len(recorded)])
 
     def shard_for(self, key: str) -> str:
         """The shard id a read of ``key`` should try first."""
-        unit = placement_unit(key)
-        return self._recorded(unit) or self.ring.lookup(unit)
+        return self.replicas_for(key)[0]
 
-    def _locate(self, key: str) -> str | None:
-        """The shard that actually holds ``key`` (record -> ring -> probe)."""
+    def replicas_for(self, key: str) -> list[str]:
+        """The ordered replica set a read of ``key`` should walk."""
         unit = placement_unit(key)
         recorded = self._recorded(unit)
-        if recorded is not None and self.shards[recorded].exists(key):
-            return recorded
-        ringed = self.ring.lookup(unit)
-        if ringed != recorded and self.shards[ringed].exists(key):
-            return ringed
-        for sid in sorted(self.shards):
-            if sid in (recorded, ringed):
-                continue
-            if self.shards[sid].exists(key):
-                return sid
-        return None
+        if recorded is not None:
+            return list(recorded)
+        return self.ring.successors(unit, self.replication)
 
-    def placement_map(self, prefix: str = "") -> dict[str, str]:
-        """Persisted ``{unit: shard_id}`` records under ``prefix``.
+    def _read_order(self, key: str) -> tuple[list[str], list[str]]:
+        """``(candidates, probes)``: replicas to try in order, then every
+        other shard for the probe fallback."""
+        candidates = self.replicas_for(key)
+        probes = [sid for sid in sorted(self.shards) if sid not in candidates]
+        return candidates, probes
+
+    def placement_map(self, prefix: str = "") -> dict[str, list[str]]:
+        """Persisted ``{unit: [replica ids]}`` records under ``prefix``.
 
         ``placement_map(f"tenants/{name}")`` is one tenant's map -- the
         record of where every one of its generations lives.
@@ -216,62 +302,286 @@ class ShardedStore(Store):
         if self.placement is None:
             with self._lock:
                 return {
-                    u: s for u, s in self._cache.items() if u.startswith(prefix)
+                    u: list(reps)
+                    for u, reps in self._cache.items()
+                    if u.startswith(prefix)
                 }
-        out: dict[str, str] = {}
+        out: dict[str, list[str]] = {}
         for key in self.placement.list_keys(_PLACEMENT_PREFIX + prefix):
             unit = key[len(_PLACEMENT_PREFIX):]
-            out[unit] = self.placement.get(key).decode("utf-8")
+            out[unit] = decode_replicas(self.placement.get(key))
         return out
 
     def prune_placement(self) -> int:
         """Drop placement records whose unit no longer holds any object
-        (generations reaped by recovery or retention); returns removals."""
+        (generations reaped by recovery or retention); returns removals.
+
+        :meth:`delete` already retires a unit's record when its last key
+        goes, so this pass only catches records orphaned out-of-band --
+        crash debris, or keys reaped directly on a backend store.
+        """
         removed = 0
-        for unit, sid in self.placement_map().items():
-            store = self.shards.get(sid)
-            if store is not None and store.list_keys(unit + "/"):
+        for unit, replicas in self.placement_map().items():
+            occupied = False
+            for sid in replicas:
+                store = self.shards.get(sid)
+                if store is None:
+                    continue
+                if store.list_keys(unit + "/") or store.exists(unit):
+                    occupied = True
+                    break
+            if occupied:
                 continue
-            if store is not None and store.exists(unit):
-                continue
-            with self._lock:
-                self._cache.pop(unit, None)
-            if self.placement is not None:
-                self.placement.delete(_PLACEMENT_PREFIX + unit)
+            self._drop_record(unit)
             removed += 1
         return removed
+
+    # -- replica helpers -----------------------------------------------------
+
+    def unit_keys(self, unit: str) -> list[str]:
+        """Every key of ``unit`` present on any reachable shard (union)."""
+        keys: set[str] = set()
+        for store in self.shards.values():
+            try:
+                keys.update(store.list_keys(unit + "/"))
+                if store.exists(unit):
+                    keys.add(unit)
+            except StorageError:
+                continue  # unreachable shard; its replicas cover the unit
+        return sorted(keys)
+
+    def replica_get(self, key: str, *, exclude: set[str] = frozenset()) -> bytes:
+        """Read ``key`` from any replica not in ``exclude`` (repair source)."""
+        candidates, probes = self._read_order(key)
+        last: StorageError | None = None
+        for sid in [*candidates, *probes]:
+            if sid in exclude:
+                continue
+            store = self.shards[sid]
+            try:
+                if store.exists(key):
+                    return store.get(key)
+            except StorageError as exc:
+                last = exc
+        if last is not None:
+            raise last
+        raise StorageError(f"no object stored under key {key!r}")
+
+    def _available(self, sid: str) -> bool:
+        return self.health is None or self.health.available(sid)
+
+    def _note_success(self, sid: str) -> None:
+        if self.health is not None:
+            self.health.record_success(sid)
+
+    def _note_failure(self, sid: str, exc: BaseException) -> None:
+        if self.health is not None:
+            self.health.record_failure(sid, str(exc))
+
+    def _read_repair(
+        self, key: str, data: bytes, targets: Iterable[str], reason: str
+    ) -> None:
+        """Re-put a good copy onto replicas that missed or corrupted it."""
+        for sid in targets:
+            store = self.shards.get(sid)
+            if store is None or not self._available(sid):
+                continue
+            try:
+                store.put(key, data)
+                self._note_success(sid)
+                get_registry().counter(
+                    "service.read_repairs", shard=sid, reason=reason
+                ).inc()
+            except StorageError as exc:
+                self._note_failure(sid, exc)
 
     # -- store interface -----------------------------------------------------
 
     def put(self, key: str, data: bytes) -> None:
         unit = placement_unit(key)
-        sid = self._recorded(unit)
-        if sid is None:
-            sid = self.ring.lookup(unit)
-        self._record(unit, sid)
-        self.shards[sid].put(key, data)
+        replicas = self._target_replicas(unit)
+        self._record(unit, replicas)
+        wrote: list[str] = []
+        missed: list[str] = []
+        for sid in replicas:
+            if not self._available(sid):
+                missed.append(sid)
+                continue
+            try:
+                self.shards[sid].put(key, data)
+            except StorageError as exc:
+                self._note_failure(sid, exc)
+                missed.append(sid)
+                continue
+            self._note_success(sid)
+            wrote.append(sid)
+        if not wrote:
+            raise StorageError(
+                f"write of {key!r} failed on every replica {list(replicas)}"
+            )
+        if missed:
+            # Degraded write: the data is durable on the replicas that
+            # are up; the shortfall is recorded as replication debt for
+            # the repair pass, never surfaced as a tenant error.
+            self.debt.record(unit, missed)
+        metrics = get_registry()
         with self._lock:
-            self._put_bytes[sid] = self._put_bytes.get(sid, 0) + len(data)
-        get_registry().counter("service.shard_put_bytes", shard=sid).inc(len(data))
+            for sid in wrote:
+                self._put_bytes[sid] = self._put_bytes.get(sid, 0) + len(data)
+        for sid in wrote:
+            metrics.counter("service.shard_put_bytes", shard=sid).inc(len(data))
 
     def get(self, key: str) -> bytes:
-        sid = self._locate(key)
-        if sid is None:
-            raise StorageError(f"no object stored under key {key!r}")
-        return self.shards[sid].get(key)
+        candidates, probes = self._read_order(key)
+        live = [sid for sid in candidates if self._available(sid)]
+        skipped = [sid for sid in candidates if sid not in live]
+        missing: list[str] = []
+        failed = False
+        # Live replicas first; shards with open breakers only as a last
+        # resort (they may hold the only copy of a degraded write); the
+        # full probe sweep last (lost placement map).
+        for tier, order in (("replica", live), ("open", skipped), ("probe", probes)):
+            for i, sid in enumerate(order):
+                store = self.shards[sid]
+                try:
+                    if not store.exists(key):
+                        if tier == "replica":
+                            missing.append(sid)
+                        continue
+                    data = store.get(key)
+                except StorageError as exc:
+                    self._note_failure(sid, exc)
+                    failed = True
+                    get_registry().counter(
+                        "service.failover_reads", shard=sid
+                    ).inc()
+                    continue
+                self._note_success(sid)
+                if tier == "replica":
+                    # Sweep the replicas we did not need to read so a
+                    # copy lost *behind* the serving one is noticed and
+                    # repaired too, not only copies ahead of it.
+                    for other in order[i + 1:]:
+                        try:
+                            if not self.shards[other].exists(key):
+                                missing.append(other)
+                        except StorageError as exc:
+                            self._note_failure(other, exc)
+                if missing:
+                    self._read_repair(key, data, missing, reason="missing")
+                if failed and tier != "replica":
+                    get_registry().counter("service.failover_served").inc()
+                return data
+        raise StorageError(f"no object stored under key {key!r}")
+
+    def get_verified(self, key: str, crc32: int, nbytes: int | None = None) -> bytes:
+        """CRC-checked read that fails over *and repairs* across replicas.
+
+        Each replica is read through the
+        :class:`~repro.ckpt.resilience.ResilientStore` verify machinery
+        (CRC-aware re-read under the configured retry policy).  A replica
+        whose bytes still mismatch is corrupt at rest *on that replica
+        only*: the next replica is tried, and the first good copy is
+        written back over every corrupt or missing one (read-repair).
+        Raises :class:`~repro.exceptions.IntegrityError` only when every
+        replica that holds the key is corrupt.
+        """
+        candidates, probes = self._read_order(key)
+        live = [sid for sid in candidates if self._available(sid)]
+        skipped = [sid for sid in candidates if sid not in live]
+        corrupt: list[str] = []
+        missing: list[str] = []
+        for tier, order in (("replica", live), ("open", skipped), ("probe", probes)):
+            for i, sid in enumerate(order):
+                store = self.shards[sid]
+                try:
+                    if not store.exists(key):
+                        if tier == "replica":
+                            missing.append(sid)
+                        continue
+                except StorageError as exc:
+                    self._note_failure(sid, exc)
+                    continue
+                verified = self._verified.get(sid)
+                if verified is None:
+                    verified = self._verified[sid] = ResilientStore(
+                        store, self._retry_policy, sleep=lambda _s: None
+                    )
+                try:
+                    data = verified.get_verified(key, crc32, nbytes)
+                except IntegrityError:
+                    corrupt.append(sid)
+                    get_registry().counter(
+                        "service.failover_reads", shard=sid
+                    ).inc()
+                    continue
+                except StorageError as exc:
+                    self._note_failure(sid, exc)
+                    get_registry().counter(
+                        "service.failover_reads", shard=sid
+                    ).inc()
+                    continue
+                self._note_success(sid)
+                if tier == "replica":
+                    # Audit the replicas behind the serving one: this is
+                    # the restore path, where paying one extra read per
+                    # replica to catch silent corruption-at-rest (and
+                    # heal it while a good copy provably exists) is the
+                    # whole point of keeping replicas.
+                    for other in order[i + 1:]:
+                        try:
+                            if not self.shards[other].exists(key):
+                                missing.append(other)
+                            elif self.shards[other].get(key) != data:
+                                corrupt.append(other)
+                        except StorageError as exc:
+                            self._note_failure(other, exc)
+                if corrupt:
+                    self._read_repair(key, data, corrupt, reason="crc")
+                if missing:
+                    self._read_repair(key, data, missing, reason="missing")
+                return data
+        if corrupt:
+            raise IntegrityError(
+                f"blob {key!r} is corrupt on every replica that holds it "
+                f"({sorted(corrupt)})"
+            )
+        raise StorageError(f"no object stored under key {key!r}")
 
     def exists(self, key: str) -> bool:
-        return self._locate(key) is not None
+        candidates, probes = self._read_order(key)
+        for sid in [*candidates, *probes]:
+            try:
+                if self.shards[sid].exists(key):
+                    return True
+            except StorageError:
+                continue
+        return False
 
     def delete(self, key: str) -> None:
-        sid = self._locate(key)
-        if sid is not None:
-            self.shards[sid].delete(key)
+        unit = placement_unit(key)
+        for sid, store in self.shards.items():
+            try:
+                if store.exists(key):
+                    store.delete(key)
+            except StorageError:
+                continue
+        # Placement records must not outlive their unit: when the last
+        # key of the generation goes, retire the record (and any debt)
+        # instead of leaking one stale record per reaped generation.
+        if self._recorded(unit) is not None and not self.unit_keys(unit):
+            self._drop_record(unit)
 
     def list_keys(self, prefix: str = "") -> list[str]:
-        merged: list[str] = []
+        merged: set[str] = set()
         for store in self.shards.values():
-            merged.extend(store.list_keys(prefix))
+            try:
+                merged.update(store.list_keys(prefix))
+            except StorageError:
+                # Unreachable shard: with replication its keys are also
+                # enumerable from a live replica; without, a listing gap
+                # is the honest answer while the shard is down.
+                continue
         return sorted(merged)
 
     def sync(self) -> None:
@@ -283,35 +593,53 @@ class ShardedStore(Store):
 
     # -- diagnostics ---------------------------------------------------------
 
+    @property
+    def degraded(self) -> bool:
+        """True while a shard breaker is open or replication debt exists."""
+        if self.health is not None and self.health.degraded:
+            return True
+        return len(self.debt) > 0
+
     def shard_key_counts(self, prefix: str = "") -> dict[str, int]:
-        return {
-            sid: len(store.list_keys(prefix))
-            for sid, store in sorted(self.shards.items())
-        }
+        out: dict[str, int] = {}
+        for sid, store in sorted(self.shards.items()):
+            try:
+                out[sid] = len(store.list_keys(prefix))
+            except StorageError:
+                out[sid] = -1  # unreachable shard; occupancy unknown
+        return out
 
     def shard_stats(self, prefix: str = "") -> dict[str, Any]:
-        """Per-shard occupancy plus an imbalance figure, gauges refreshed.
+        """Per-shard occupancy plus imbalance and health, gauges refreshed.
 
         ``imbalance`` is max/mean key count across shards (1.0 = perfectly
-        even); the value the ROADMAP's rebalancing worker will watch.
+        even); the value the rebalancing worker watches.
         """
         counts = self.shard_key_counts(prefix)
         with self._lock:
             put_bytes = dict(self._put_bytes)
-        mean = sum(counts.values()) / len(counts) if counts else 0.0
-        imbalance = (max(counts.values()) / mean) if mean > 0 else 1.0
+        reachable = {sid: n for sid, n in counts.items() if n >= 0}
+        mean = sum(reachable.values()) / len(reachable) if reachable else 0.0
+        imbalance = (max(reachable.values()) / mean) if mean > 0 else 1.0
         metrics = get_registry()
         for sid, n in counts.items():
-            metrics.gauge("service.shard_keys", shard=sid).set(n)
+            metrics.gauge("service.shard_keys", shard=sid).set(max(n, 0))
             metrics.gauge("service.shard_bytes_written", shard=sid).set(
                 put_bytes.get(sid, 0)
             )
         metrics.gauge("service.shard_imbalance").set(imbalance)
-        return {
+        metrics.gauge("service.degraded").set(1.0 if self.degraded else 0.0)
+        out: dict[str, Any] = {
             "keys": counts,
             "put_bytes": put_bytes,
             "imbalance": imbalance,
+            "replication": self.replication,
+            "degraded": self.degraded,
+            "debt": self.debt.stats(),
         }
+        if self.health is not None:
+            out["health"] = self.health.snapshot()
+        return out
 
 
 def iter_tenant_namespaces(store: Store) -> Iterable[str]:

@@ -315,7 +315,34 @@ class ServiceServer:
         if op == "metrics":
             text = await asyncio.to_thread(svc.metrics_text)
             return {"ok": True}, text.encode("utf-8")
+        if op == "drain":
+            worker = self._migration_worker()
+            summary = await asyncio.to_thread(worker.drain, str(header["shard"]))
+            if header.get("remove") and summary["remaining"] == 0:
+                await asyncio.to_thread(
+                    worker.sharded.remove_shard, str(header["shard"])
+                )
+                summary = {**summary, "removed": True}
+            return {"ok": True, "drain": summary}, b""
+        if op == "rebalance":
+            worker = self._migration_worker()
+            summary = await asyncio.to_thread(worker.rebalance)
+            return {"ok": True, "rebalance": summary}, b""
+        if op == "repair":
+            summary = await asyncio.to_thread(svc.repair_replication)
+            return {"ok": True, "repair": summary}, b""
         raise FormatError(f"unknown wire op {op!r}")
+
+    def _migration_worker(self):
+        from .migration import MigrationWorker
+        from .sharded import ShardedStore
+
+        store = self.service.store
+        if not isinstance(store, ShardedStore):
+            raise ConfigurationError(
+                "drain/rebalance require a sharded store backend"
+            )
+        return MigrationWorker(store)
 
 
 class ServiceClient:
@@ -324,23 +351,82 @@ class ServiceClient:
     One client holds one connection; requests on a single client are
     serialized (run many clients for concurrency, as the load benchmark
     does).  Service refusals arrive as the original typed exceptions.
+
+    Every blocking step is bounded: connection attempts time out after
+    ``connect_timeout`` and are retried ``connect_retries`` times with
+    exponential backoff (a server restarting mid-deploy), and each
+    request/response exchange times out after ``op_timeout`` -- a dead or
+    wedged server surfaces as a typed
+    :class:`~repro.exceptions.ServiceUnavailableError` instead of a
+    forever-hung ``svc-put``.  Requests themselves are *not* retried:
+    a timed-out submit may have committed server-side, and silently
+    re-sending it would turn one ambiguous outcome into a duplicate.
+    ``op_timeout=None`` disables the per-request bound (long restores of
+    huge generations over a loaded server).
+
+    Parameters
+    ----------
+    connect_timeout:
+        Seconds one connection attempt may take.
+    connect_retries:
+        Extra connection attempts after the first fails.
+    retry_backoff:
+        Base seconds between connection attempts, doubled each retry.
+    op_timeout:
+        Seconds one request/response round trip may take, or ``None``.
+    sleep:
+        Backoff sleeper, injectable for deterministic tests.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 2,
+        retry_backoff: float = 0.2,
+        op_timeout: float | None = 60.0,
+        sleep=asyncio.sleep,
+    ) -> None:
+        if connect_timeout <= 0:
+            raise ConfigurationError(
+                f"connect_timeout must be > 0, got {connect_timeout!r}"
+            )
+        if connect_retries < 0:
+            raise ConfigurationError(
+                f"connect_retries must be >= 0, got {connect_retries!r}"
+            )
+        if op_timeout is not None and op_timeout <= 0:
+            raise ConfigurationError(
+                f"op_timeout must be > 0 or None, got {op_timeout!r}"
+            )
         self.path = path
+        self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
+        self.op_timeout = op_timeout
+        self._sleep = sleep
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
     async def connect(self) -> "ServiceClient":
-        try:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self.path
-            )
-        except OSError as exc:
-            raise ServiceUnavailableError(
-                f"cannot connect to service socket {self.path!r}: {exc}"
-            ) from exc
-        return self
+        last: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                await self._sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_unix_connection(self.path),
+                    timeout=self.connect_timeout,
+                )
+                return self
+            except (OSError, asyncio.TimeoutError) as exc:
+                last = exc
+        detail = "timed out" if isinstance(last, asyncio.TimeoutError) else str(last)
+        raise ServiceUnavailableError(
+            f"cannot connect to service socket {self.path!r} after "
+            f"{self.connect_retries + 1} attempt(s): {detail}"
+        ) from last
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -370,12 +456,28 @@ class ServiceClient:
                     **header,
                     "trace": {"trace_id": sp.trace_id, "span_id": sp.span_id},
                 }
-            await _write_message(self._writer, header, payload)
             try:
-                resp, resp_payload = await _read_message(self._reader)
+                async def _exchange() -> tuple[dict[str, Any], bytes]:
+                    await _write_message(self._writer, header, payload)
+                    return await _read_message(self._reader)
+
+                if self.op_timeout is not None:
+                    resp, resp_payload = await asyncio.wait_for(
+                        _exchange(), timeout=self.op_timeout
+                    )
+                else:
+                    resp, resp_payload = await _exchange()
             except asyncio.IncompleteReadError as exc:
                 raise ServiceUnavailableError(
                     "connection closed by the service mid-request"
+                ) from exc
+            except asyncio.TimeoutError as exc:
+                # The stream may now carry a half-read response; it cannot
+                # be resynchronized, so tear the connection down.
+                await self.close()
+                raise ServiceUnavailableError(
+                    f"service did not answer {header.get('op')!r} within "
+                    f"{self.op_timeout}s"
                 ) from exc
         if not resp.get("ok"):
             err = resp.get("error") or {}
@@ -428,3 +530,20 @@ class ServiceClient:
         """Prometheus text exposition of the server's metric registry."""
         _, payload = await self._call({"op": "metrics"})
         return payload.decode("utf-8")
+
+    async def drain(self, shard: str, *, remove: bool = False) -> dict[str, Any]:
+        """Drain ``shard`` server-side; optionally remove it once empty."""
+        resp, _ = await self._call(
+            {"op": "drain", "shard": shard, "remove": bool(remove)}
+        )
+        return resp["drain"]
+
+    async def rebalance(self) -> dict[str, Any]:
+        """Converge placements onto the current ring (after a shard add)."""
+        resp, _ = await self._call({"op": "rebalance"})
+        return resp["rebalance"]
+
+    async def repair(self) -> dict[str, Any]:
+        """Repay replication debt left by degraded writes."""
+        resp, _ = await self._call({"op": "repair"})
+        return resp["repair"]

@@ -83,6 +83,124 @@ class TestSpread:
             assert abs(n - mean) / mean < 0.5, counts
 
 
+class TestSuccessors:
+    def test_first_successor_is_lookup(self):
+        ring = HashRing(SHARDS)
+        for unit in _units(300):
+            assert ring.successors(unit, 1) == [ring.lookup(unit)]
+            assert ring.successors(unit, 2)[0] == ring.lookup(unit)
+
+    def test_distinct_and_bounded_by_ring_size(self):
+        ring = HashRing(SHARDS)
+        for unit in _units(100):
+            reps = ring.successors(unit, len(SHARDS) + 3)
+            assert len(reps) == len(SHARDS)  # never more than exist
+            assert len(set(reps)) == len(reps)  # never a duplicate
+
+    def test_exclude_skips_shards(self):
+        ring = HashRing(SHARDS)
+        for unit in _units(100):
+            primary = ring.lookup(unit)
+            reps = ring.successors(unit, 2, exclude={primary})
+            assert primary not in reps
+            assert len(reps) == 2
+
+    def test_shard_departure_changes_replica_sets_minimally(self):
+        # The replica-placement rule: when a shard leaves, each unit's
+        # replica set changes by exactly the departed member.
+        units = _units(500)
+        ring = HashRing(SHARDS)
+        before = {u: ring.successors(u, 2) for u in units}
+        ring.remove("shard-01")
+        for u in units:
+            after = ring.successors(u, 2)
+            if "shard-01" not in before[u]:
+                assert after == before[u]
+            else:
+                survivors = [s for s in before[u] if s != "shard-01"]
+                assert set(survivors) <= set(after)
+
+    def test_single_shard_ring(self):
+        ring = HashRing(["only"])
+        assert ring.successors("tenants/a/ckpt/0000000001", 3) == ["only"]
+
+    def test_bad_count_refused(self):
+        with pytest.raises(ConfigurationError, match="replica count"):
+            HashRing(SHARDS).successors("u", 0)
+
+
+class TestPlacementEdgeCases:
+    """Satellite: ring/placement interplay the service relies on."""
+
+    def test_remove_shard_with_recorded_placements_pointing_at_it(self):
+        from repro.ckpt.store import MemoryStore
+        from repro.service import ShardedStore
+
+        shards = {s: MemoryStore() for s in SHARDS}
+        store = ShardedStore(shards, placement=MemoryStore(), replication=2)
+        key = "tenants/a/ckpt/0000000001/u.bin"
+        store.put(key, b"payload")
+        replicas = store.replicas_for(key)
+        victim = replicas[0]
+        # empty the shard out-of-band (as a crashed drain would leave it)
+        for k in shards[victim].list_keys(""):
+            shards[victim].delete(k)
+        store.remove_shard(victim)
+        # the record was scrubbed down to its surviving members and the
+        # data is still readable through them
+        assert victim not in store.placement_map()[
+            "tenants/a/ckpt/0000000001"
+        ]
+        assert store.get(key) == b"payload"
+
+    def test_single_shard_sharded_store(self):
+        from repro.ckpt.store import MemoryStore
+        from repro.service import ShardedStore
+
+        store = ShardedStore({"solo": MemoryStore()}, replication=2)
+        key = "tenants/a/ckpt/0000000001/u.bin"
+        store.put(key, b"payload")
+        assert store.get(key) == b"payload"
+        assert store.replicas_for(key) == ["solo"]
+
+    def test_placement_unit_stable_across_process_restarts(self, tmp_path):
+        # placement_unit and stable_hash are pure functions of the key:
+        # a subprocess (fresh hash seed) must compute identical values.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        keys = [
+            "tenants/alice/ckpt/0000000007/u.bin",
+            "tenants/bob/ckpt/0000000001/manifest.json",
+            "loose/key.bin",
+        ]
+        code = (
+            "from repro.service.sharded import placement_unit\n"
+            "from repro.service.hashring import stable_hash\n"
+            f"for k in {keys!r}:\n"
+            "    u = placement_unit(k)\n"
+            "    print(u, stable_hash(u))\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": src_dir, "PYTHONHASHSEED": "random"},
+        ).stdout
+        from repro.service.hashring import stable_hash as local_hash
+        from repro.service.sharded import placement_unit as local_unit
+
+        expected = "".join(
+            f"{local_unit(k)} {local_hash(local_unit(k))}\n" for k in keys
+        )
+        assert out == expected
+
+
 class TestMembershipErrors:
     def test_duplicate_add_refused(self):
         ring = HashRing(SHARDS)

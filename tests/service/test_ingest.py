@@ -14,6 +14,7 @@ from repro.exceptions import (
     CommitError,
     QuotaExceededError,
     ServiceUnavailableError,
+    StorageError,
     UnknownTenantError,
 )
 from repro.service import (
@@ -335,5 +336,113 @@ def test_stats_shape():
         assert stats["buffer"]["drained_blobs"] == 1
         assert stats["tenants"]["alice"]["submits"] == 1
         assert stats["crashed"] is False
+
+    asyncio.run(run())
+
+
+def test_build_service_with_replication(tmp_path):
+    async def run():
+        config = ServiceConfig(shards=3, replication=2)
+        svc = build_service(str(tmp_path), _registry(), config)
+        blobs = {"u": os.urandom(1024), "v": b"small"}
+        async with svc:
+            await svc.submit("alice", 0, blobs)
+        # every generation really landed on two distinct shards
+        for unit, replicas in svc.store.placement_map().items():
+            assert len(replicas) == 2, (unit, replicas)
+        assert svc.stats()["degraded"] is False
+        # a reopened service restores through the replicated placement
+        svc2 = build_service(str(tmp_path), _registry(), config)
+        assert svc2.restore_blobs("alice", 0) == blobs
+
+    asyncio.run(run())
+
+
+def test_restore_blobs_fails_over_a_corrupt_replica(tmp_path):
+    async def run():
+        config = ServiceConfig(shards=3, replication=2)
+        svc = build_service(str(tmp_path), _registry(), config)
+        blobs = {"u": os.urandom(4096)}
+        async with svc:
+            await svc.submit("alice", 0, blobs)
+        # corrupt the blob on its first replica, on disk, behind the
+        # service's back
+        store = svc.store
+        key = "tenants/alice/ckpt/0000000000/u.bin"
+        first = store.replicas_for(key)[0]
+        assert store.shards[first].exists(key)
+        raw = store.shards[first].get(key)
+        store.shards[first].put(key, b"\x00" + raw[1:])
+        # the CRC-verified restore path must skip the corrupt copy,
+        # serve the good one, and repair the bad replica in place
+        assert svc.restore_blobs("alice", 0) == blobs
+        assert store.shards[first].get(key) == raw
+
+    asyncio.run(run())
+
+
+def test_repair_replication_repays_debt(tmp_path):
+    async def run():
+        from repro.service.health import ShardHealth
+        from repro.service.sharded import ShardedStore as _SS
+
+        clock_t = [0.0]
+        health = ShardHealth(
+            failure_threshold=1, open_seconds=10.0, clock=lambda: clock_t[0]
+        )
+        shards = {f"s{i}": MemoryStore() for i in range(3)}
+        down = {"flag": False}
+
+        class Breakable(MemoryStore):
+            def __init__(self, inner):
+                super().__init__()
+                self._inner = inner
+
+            def put(self, key, data):
+                if down["flag"]:
+                    raise StorageError("injected: shard down")
+                self._inner.put(key, data)
+
+            def get(self, key):
+                return self._inner.get(key)
+
+            def exists(self, key):
+                return self._inner.exists(key)
+
+            def delete(self, key):
+                self._inner.delete(key)
+
+            def list_keys(self, prefix):
+                return self._inner.list_keys(prefix)
+
+        shards["s0"] = Breakable(MemoryStore())
+        store = _SS(
+            shards, placement=MemoryStore(), replication=2, health=health
+        )
+        svc = _service(store=store)
+        blobs = {"u": os.urandom(512)}
+        down["flag"] = True
+        async with svc:
+            for step in range(4):
+                await svc.submit("alice", step, _b := {"u": blobs["u"]})
+            degraded_during = svc.stats()["degraded"]
+            down["flag"] = False
+            clock_t[0] = 20.0  # breaker half-opens, probe succeeds
+            summary = svc.repair_replication()
+        if degraded_during:  # s0 was in some unit's replica set
+            assert summary["repaired_units"] == summary["attempted_units"]
+        assert summary["remaining_debt"]["units"] == 0
+        assert svc.stats()["degraded"] is False
+
+    asyncio.run(run())
+
+
+def test_repair_replication_noop_on_unsharded_store():
+    async def run():
+        svc = _service()
+        async with svc:
+            await svc.submit("alice", 0, {"u": b"x" * 64})
+        summary = svc.repair_replication()
+        assert summary["remaining_debt"]["units"] == 0
 
     asyncio.run(run())

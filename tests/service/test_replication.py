@@ -1,0 +1,272 @@
+"""Replicated placement: successor-walk writes, failover reads,
+read-repair, degraded writes and the replication-debt ledger."""
+
+import zlib
+
+import pytest
+
+from repro.ckpt.store import MemoryStore, Store
+from repro.exceptions import IntegrityError, StorageError
+from repro.service.health import ShardHealth
+from repro.service.replication import (
+    ReplicationDebt,
+    decode_replicas,
+    encode_replicas,
+    repair_debt,
+    repair_unit,
+)
+from repro.service.sharded import ShardedStore
+
+KEY = "tenants/a/ckpt/0000000001/u.bin"
+UNIT = "tenants/a/ckpt/0000000001"
+
+
+class BreakableStore(Store):
+    """MemoryStore that can be switched to fail every data operation."""
+
+    def __init__(self) -> None:
+        self.inner = MemoryStore()
+        self.down = False
+
+    def _check(self) -> None:
+        if self.down:
+            raise StorageError("shard is down (test)")
+
+    def put(self, key, data):
+        self._check()
+        self.inner.put(key, data)
+
+    def get(self, key):
+        self._check()
+        return self.inner.get(key)
+
+    def exists(self, key):
+        self._check()
+        return self.inner.exists(key)
+
+    def delete(self, key):
+        self._check()
+        self.inner.delete(key)
+
+    def list_keys(self, prefix=""):
+        self._check()
+        return self.inner.list_keys(prefix)
+
+    def sync(self):
+        self.inner.sync()
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _fresh(n=4, replication=2, health=None):
+    shards = {f"s{i}": BreakableStore() for i in range(n)}
+    store = ShardedStore(
+        shards,
+        placement=MemoryStore(),
+        replication=replication,
+        health=health,
+    )
+    return store, shards
+
+
+def _holders(shards, key):
+    return sorted(sid for sid, s in shards.items() if s.inner.exists(key))
+
+
+class TestReplicaCodec:
+    def test_round_trip(self):
+        assert decode_replicas(encode_replicas(["s1", "s0"])) == ["s1", "s0"]
+
+    def test_legacy_single_id_record(self):
+        # Placement maps written before replication existed hold a bare
+        # shard id; they must decode as a one-element replica list.
+        assert decode_replicas(b"shard-03") == ["shard-03"]
+
+    def test_rejects_comma_in_shard_id(self):
+        with pytest.raises(StorageError, match="','"):
+            encode_replicas(["a,b"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError, match="at least one replica"):
+            encode_replicas([])
+
+
+class TestReplicatedPlacement:
+    def test_put_lands_on_n_distinct_shards(self):
+        store, shards = _fresh(replication=2)
+        store.put(KEY, b"payload")
+        assert len(_holders(shards, KEY)) == 2
+        assert store.placement_map(UNIT)[UNIT] == store.replicas_for(KEY)
+
+    def test_replication_clamped_by_shard_count(self):
+        store, shards = _fresh(n=2, replication=3)
+        store.put(KEY, b"payload")
+        assert len(_holders(shards, KEY)) == 2
+
+    def test_whole_generation_shares_a_replica_set(self):
+        store, _ = _fresh(replication=2)
+        keys = [f"{UNIT}/{name}" for name in ("a.bin", "b.bin", "COMMIT")]
+        for k in keys:
+            store.put(k, b"x")
+        sets = {tuple(store.replicas_for(k)) for k in keys}
+        assert len(sets) == 1
+
+    def test_failover_read_when_primary_is_down(self):
+        store, shards = _fresh(replication=2)
+        store.put(KEY, b"payload")
+        primary = store.replicas_for(KEY)[0]
+        shards[primary].down = True
+        assert store.get(KEY) == b"payload"
+
+    def test_read_repair_restores_missing_replica(self):
+        store, shards = _fresh(replication=2)
+        store.put(KEY, b"payload")
+        holders = _holders(shards, KEY)
+        shards[holders[0]].inner.delete(KEY)  # lose one copy out-of-band
+        assert store.get(KEY) == b"payload"
+        assert _holders(shards, KEY) == holders  # repaired in place
+
+    def test_single_replica_keeps_old_semantics(self):
+        store, shards = _fresh(replication=1)
+        store.put(KEY, b"payload")
+        assert len(_holders(shards, KEY)) == 1
+        assert store.get(KEY) == b"payload"
+
+    def test_delete_clears_every_replica_and_the_record(self):
+        store, shards = _fresh(replication=2)
+        store.put(KEY, b"payload")
+        store.delete(KEY)
+        assert _holders(shards, KEY) == []
+        assert store.placement_map(UNIT) == {}
+
+    def test_missing_key_message_unchanged(self):
+        store, _ = _fresh()
+        with pytest.raises(StorageError, match="no object stored under key"):
+            store.get("tenants/a/ckpt/0000000009/nope.bin")
+
+
+class TestVerifiedReads:
+    def test_crc_failover_serves_good_replica_and_repairs(self):
+        store, shards = _fresh(replication=2)
+        payload = b"payload-bytes"
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        store.put(KEY, payload)
+        victim = _holders(shards, KEY)[0]
+        shards[victim].inner.put(KEY, b"corrupted-at-rest")
+        assert store.get_verified(KEY, crc, len(payload)) == payload
+        # the corrupt replica was overwritten with the good bytes
+        assert shards[victim].inner.get(KEY) == payload
+
+    def test_all_replicas_corrupt_raises_integrity_error(self):
+        store, shards = _fresh(replication=2)
+        payload = b"payload-bytes"
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        store.put(KEY, payload)
+        for sid in _holders(shards, KEY):
+            shards[sid].inner.put(KEY, b"corrupted-at-rest")
+        with pytest.raises(IntegrityError, match="every replica"):
+            store.get_verified(KEY, crc, len(payload))
+
+    def test_corruption_does_not_trip_the_breaker(self):
+        # CRC mismatch is data corruption on one replica, not shard
+        # unavailability; the breaker must stay closed.
+        health = ShardHealth(failure_threshold=1, clock=FakeClock())
+        store, shards = _fresh(replication=2, health=health)
+        payload = b"payload-bytes"
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        store.put(KEY, payload)
+        victim = _holders(shards, KEY)[0]
+        shards[victim].inner.put(KEY, b"corrupted-at-rest")
+        assert store.get_verified(KEY, crc, len(payload)) == payload
+        assert health.available(victim)
+
+
+class TestDegradedWrites:
+    def test_put_succeeds_short_and_records_debt(self):
+        health = ShardHealth(failure_threshold=1, clock=FakeClock())
+        store, shards = _fresh(replication=2, health=health)
+        intended = store.replicas_for(KEY)
+        health.mark_down(intended[1], "test outage")
+        store.put(KEY, b"payload")
+        assert _holders(shards, KEY) == [intended[0]]
+        assert store.debt.owed() == {UNIT: [intended[1]]}
+        assert store.degraded
+        assert store.get(KEY) == b"payload"
+
+    def test_put_fails_only_when_every_replica_fails(self):
+        store, shards = _fresh(n=2, replication=2)
+        for s in shards.values():
+            s.down = True
+        with pytest.raises(StorageError, match="every replica"):
+            store.put(KEY, b"payload")
+
+    def test_repair_debt_restores_full_replication(self):
+        health = ShardHealth(failure_threshold=1, clock=FakeClock())
+        store, shards = _fresh(replication=2, health=health)
+        intended = store.replicas_for(KEY)
+        shards[intended[1]].down = True
+        store.put(KEY, b"payload")  # degrades: replica write fails
+        assert len(store.debt) == 1
+        shards[intended[1]].down = False
+        health.record_success(intended[1])
+        summary = repair_debt(store)
+        assert summary["repaired_units"] == 1
+        assert summary["remaining_debt"]["units"] == 0
+        assert sorted(_holders(shards, KEY)) == sorted(intended)
+        assert not store.degraded
+
+    def test_repair_skips_unavailable_target(self):
+        clock = FakeClock()
+        health = ShardHealth(failure_threshold=1, clock=clock)
+        store, shards = _fresh(replication=2, health=health)
+        intended = store.replicas_for(KEY)
+        health.mark_down(intended[1], "still down")
+        store.put(KEY, b"payload")
+        summary = repair_unit(store, UNIT, [intended[1]])
+        assert summary["repaired"] == []
+        assert summary["failed"] == [intended[1]]
+        assert len(store.debt) == 1  # still owed
+
+
+class TestDebtLedger:
+    def test_record_merge_resolve(self):
+        debt = ReplicationDebt()
+        debt.record("u1", ["s0"])
+        debt.record("u1", ["s1"])
+        assert debt.owed() == {"u1": ["s0", "s1"]}
+        debt.resolve("u1", ["s0"])
+        assert debt.owed() == {"u1": ["s1"]}
+        debt.resolve("u1")
+        assert len(debt) == 0
+
+    def test_forget(self):
+        debt = ReplicationDebt()
+        debt.record("u1", ["s0"])
+        debt.forget("u1")
+        assert debt.stats() == {"units": 0, "missing_copies": 0}
+
+    def test_empty_missing_is_a_noop(self):
+        debt = ReplicationDebt()
+        debt.record("u1", [])
+        assert len(debt) == 0
+
+
+class TestLegacyPlacementUpgrade:
+    def test_single_id_record_reads_fine_under_replication(self):
+        # A store written with replication=1 is reopened with
+        # replication=2: old records (one id) keep the data readable.
+        shards = {f"s{i}": BreakableStore() for i in range(4)}
+        placement = MemoryStore()
+        old = ShardedStore(shards, placement=placement, replication=1)
+        old.put(KEY, b"payload")
+        reopened = ShardedStore(shards, placement=placement, replication=2)
+        assert reopened.get(KEY) == b"payload"
+        # a new write to the same unit tops the replica set up to 2
+        reopened.put(f"{UNIT}/v.bin", b"more")
+        assert len(reopened.replicas_for(KEY)) == 2

@@ -161,12 +161,28 @@ class TestShardedStore:
         assert empty not in store.shards
         assert store.get("tenants/a/ckpt/0000000001/u.bin") == b"x"
 
-    def test_prune_placement_drops_reaped_units(self):
+    def test_delete_retires_placement_record(self):
+        # Deleting the last key of a generation must drop its placement
+        # record inline -- no leak, no prune pass needed.
         store, _ = self._fresh()
         key = "tenants/a/ckpt/0000000001/u.bin"
         store.put(key, b"x")
         assert store.placement_map("tenants/a")
         store.delete(key)
+        assert store.placement_map("tenants/a") == {}
+        assert store.prune_placement() == 0
+
+    def test_prune_placement_drops_out_of_band_reaps(self):
+        # Keys removed directly on a backend (crash debris, external
+        # reaping) bypass ShardedStore.delete; prune_placement is the
+        # sweeper that retires those orphaned records.
+        store, shards = self._fresh()
+        key = "tenants/a/ckpt/0000000001/u.bin"
+        store.put(key, b"x")
+        for backend in shards.values():
+            if backend.exists(key):
+                backend.delete(key)
+        assert store.placement_map("tenants/a")
         assert store.prune_placement() == 1
         assert store.placement_map("tenants/a") == {}
 

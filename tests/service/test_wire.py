@@ -265,6 +265,145 @@ class TestTraceContext:
         _run_with_server(go)
 
 
+class TestClientTimeouts:
+    def test_connect_retries_with_exponential_backoff(self):
+        async def go():
+            naps = []
+
+            async def fake_sleep(seconds):
+                naps.append(seconds)
+
+            client = ServiceClient(
+                "/nonexistent/service.sock",
+                connect_retries=3,
+                retry_backoff=0.2,
+                sleep=fake_sleep,
+            )
+            with pytest.raises(
+                ServiceUnavailableError, match="after 4 attempt"
+            ):
+                await client.connect()
+            # no sleep before the first attempt, doubling after that
+            assert naps == [0.2, 0.4, 0.8]
+
+        asyncio.run(go())
+
+    def test_op_timeout_raises_typed_error_not_a_hang(self):
+        async def run():
+            import tempfile
+
+            async def black_hole(reader, writer):
+                await reader.read()  # swallow the request, never answer
+
+            with tempfile.TemporaryDirectory() as tmp:
+                sock = os.path.join(tmp, "svc.sock")
+                server = await asyncio.start_unix_server(black_hole, path=sock)
+                try:
+                    client = ServiceClient(sock, op_timeout=0.05)
+                    await client.connect()
+                    with pytest.raises(
+                        ServiceUnavailableError, match="did not answer"
+                    ):
+                        await client.ping()
+                    # the stream is torn down: no half-read frame lingers
+                    assert client._writer is None
+                    await client.close()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_bad_client_knobs_refused(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="connect_timeout"):
+            ServiceClient("x", connect_timeout=0)
+        with pytest.raises(ConfigurationError, match="connect_retries"):
+            ServiceClient("x", connect_retries=-1)
+        with pytest.raises(ConfigurationError, match="op_timeout"):
+            ServiceClient("x", op_timeout=0)
+
+
+class TestAdminOps:
+    def _sharded_service(self):
+        from repro.service import ShardedStore
+
+        shards = {f"s{i}": MemoryStore() for i in range(3)}
+        store = ShardedStore(shards, placement=MemoryStore(), replication=2)
+        svc = CheckpointIngestService(
+            store, TenantRegistry([TenantSpec("bob")])
+        )
+        return svc, store, shards
+
+    def _run_sharded(self, coro_factory):
+        async def run():
+            import tempfile
+
+            with tempfile.TemporaryDirectory() as tmp:
+                sock = os.path.join(tmp, "svc.sock")
+                svc, store, shards = self._sharded_service()
+                async with svc, ServiceServer(svc, sock):
+                    return await coro_factory(sock, svc, store, shards)
+
+        return asyncio.run(run())
+
+    def test_drain_and_remove_over_the_wire(self):
+        async def go(sock, svc, store, shards):
+            async with ServiceClient(sock) as client:
+                for step in range(4):
+                    await client.submit("bob", step, {"u": os.urandom(256)})
+                summary = await client.drain("s1", remove=True)
+                assert summary["remaining"] == 0
+                assert summary.get("removed") is True
+                assert "s1" not in store.shards
+                # every generation still restores through the survivors
+                for step in range(4):
+                    assert await client.restore("bob", step)
+
+        self._run_sharded(go)
+
+    def test_rebalance_over_the_wire(self):
+        async def go(sock, svc, store, shards):
+            async with ServiceClient(sock) as client:
+                for step in range(6):
+                    await client.submit("bob", step, {"u": os.urandom(128)})
+                store.add_shard("s9", MemoryStore())
+                summary = await client.rebalance()
+                assert summary["units_moved"] + summary["units_in_place"] >= 6
+                for unit, replicas in store.placement_map().items():
+                    assert replicas == store.ring.successors(unit, 2)
+
+        self._run_sharded(go)
+
+    def test_repair_over_the_wire(self):
+        async def go(sock, svc, store, shards):
+            async with ServiceClient(sock) as client:
+                await client.submit("bob", 0, {"u": b"x" * 512})
+                summary = await client.repair()
+                assert summary["remaining_debt"]["units"] == 0
+
+        self._run_sharded(go)
+
+    def test_admin_ops_refused_on_unsharded_backend(self):
+        from repro.exceptions import ConfigurationError
+
+        async def go(sock, svc):
+            async with ServiceClient(sock) as client:
+                with pytest.raises(
+                    ConfigurationError, match="sharded store backend"
+                ):
+                    await client.rebalance()
+                with pytest.raises(
+                    ConfigurationError, match="sharded store backend"
+                ):
+                    await client.drain("s0")
+                # the connection survives the refusal
+                assert await client.ping()
+
+        _run_with_server(go)
+
+
 class TestMetricsOp:
     def test_metrics_op_serves_prometheus_text(self):
         from repro.obs import get_registry
